@@ -1,0 +1,58 @@
+"""Ablation benchmarks on the design choices of the Section 4 heuristics.
+
+Three ablations on a shared E2 instance stream (20 stages, 10 processors):
+
+* selection rule — mono-criterion ``max`` versus ``Δlatency/Δperiod`` inside
+  the same 2-way splitting loop;
+* exploration width — 2-way splitting versus 3-way exploration;
+* processor order — non-increasing speed versus increasing and random orders.
+
+Each report goes to ``benchmarks/results/ablation_*.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import BENCH_SEED, instance_count, write_report
+from repro.experiments.ablation import (
+    exploration_width_ablation,
+    processor_order_ablation,
+    selection_rule_ablation,
+)
+from repro.experiments.report import render_ablation
+from repro.generators.experiments import experiment_config, generate_instances
+
+STUDIES = {
+    "selection_rule": selection_rule_ablation,
+    "exploration_width": exploration_width_ablation,
+    "processor_order": processor_order_ablation,
+}
+
+
+@pytest.fixture(scope="module")
+def instances():
+    config = experiment_config("E2", 20, 10, n_instances=instance_count())
+    return config, generate_instances(config, seed=BENCH_SEED)
+
+
+@pytest.mark.parametrize("study", list(STUDIES), ids=list(STUDIES))
+def test_ablation(benchmark, study, instances):
+    config, instance_list = instances
+    fn = STUDIES[study]
+    rows = benchmark.pedantic(
+        fn, kwargs={"config": config, "instances": instance_list}, rounds=1, iterations=1
+    )
+    text = render_ablation(rows, title=f"Ablation: {study} ({config.label})")
+    write_report(f"ablation_{study}", text)
+    assert len(rows) >= 2
+    for row in rows:
+        assert row.mean_best_period > 0
+
+    if study == "processor_order":
+        by_variant = {r.variant: r for r in rows}
+        # the paper's choice (fastest first) should not lose to ascending order
+        assert (
+            by_variant["speed order: descending"].mean_best_period
+            <= by_variant["speed order: ascending"].mean_best_period + 1e-9
+        )

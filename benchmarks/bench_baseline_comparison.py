@@ -1,0 +1,72 @@
+"""Baseline comparison — how much do the paper's heuristics actually buy?
+
+Not a figure of the paper (which only compares its six heuristics against
+each other).  This benchmark positions ``Sp mono P`` against:
+
+* the homogeneous chains-to-chains baseline (classical 1-D partitioning of
+  the work vector + fastest-to-heaviest assignment);
+* the best of 100 random interval mappings;
+* the exact one-to-one bottleneck assignment (when ``n <= p``).
+
+The comparison uses the best reachable period of each method on E2 instances
+and is written to ``benchmarks/results/baseline_comparison.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import BENCH_SEED, instance_count, write_report
+from repro.exact.one_to_one import one_to_one_min_period
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import (
+    ChainsPartitionBaseline,
+    RandomMappingBaseline,
+    SplittingMonoPeriod,
+)
+from repro.utils.tables import format_table
+
+
+def compare(n_instances: int) -> list[tuple[str, float, float]]:
+    config = experiment_config("E2", 8, 10, n_instances=n_instances)
+    instances = generate_instances(config, seed=BENCH_SEED)
+    methods = {
+        "Sp mono P (H1)": lambda app, platform: SplittingMonoPeriod()
+        .run(app, platform, period_bound=1e-9)
+        .period,
+        "Chains baseline": lambda app, platform: ChainsPartitionBaseline()
+        .run(app, platform, period_bound=1e-9)
+        .period,
+        "Random baseline": lambda app, platform: RandomMappingBaseline(
+            n_samples=100, seed=0
+        )
+        .run(app, platform, period_bound=1e-9)
+        .period,
+        "One-to-one optimal": lambda app, platform: one_to_one_min_period(app, platform)[1],
+    }
+    periods: dict[str, list[float]] = {name: [] for name in methods}
+    for inst in instances:
+        for name, fn in methods.items():
+            periods[name].append(fn(inst.application, inst.platform))
+    reference = np.array(periods["Sp mono P (H1)"])
+    rows = []
+    for name, values in periods.items():
+        arr = np.array(values)
+        rows.append((name, float(arr.mean()), float(np.mean(arr / reference))))
+    return rows
+
+
+def test_baseline_comparison(benchmark):
+    n_instances = max(5, instance_count() // 2)
+    rows = benchmark.pedantic(compare, args=(n_instances,), rounds=1, iterations=1)
+    text = format_table(
+        ["method", "mean best period", "mean ratio vs H1"],
+        rows,
+        precision=3,
+        title=f"Best reachable period: H1 vs baselines (E2, 8 stages, p=10, "
+        f"{n_instances} instances)",
+    )
+    write_report("baseline_comparison", text)
+    by_name = {r[0]: r for r in rows}
+    # the random floor should not beat the paper's heuristic on average
+    assert by_name["Random baseline"][2] >= 0.95

@@ -1,0 +1,86 @@
+"""Chains-to-chains substrate benchmark (Section 3 background).
+
+Compares the homogeneous 1-D partitioning solvers — exact DP, Nicol-style
+parametric search, bisection and the greedy heuristic — on arrays of growing
+size, both in runtime (pytest-benchmark) and in achieved bottleneck (report
+file ``benchmarks/results/chains_to_chains.txt``).  The heterogeneous
+fixed-order heuristic is measured against the exact bitmask solver on small
+instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_utils import BENCH_SEED, write_report
+from repro.chains.heterogeneous import hetero_exact_bisect, hetero_fixed_order
+from repro.chains.homogeneous import bisect_optimal, dp_optimal, greedy_partition, nicol_optimal
+from repro.utils.tables import format_table
+
+_SOLVERS = {
+    "dp": dp_optimal,
+    "nicol": nicol_optimal,
+    "bisect": bisect_optimal,
+    "greedy": greedy_partition,
+}
+_QUALITY_ROWS: list[tuple[str, int, float]] = []
+
+
+def _values(n: int) -> np.ndarray:
+    rng = np.random.default_rng(BENCH_SEED)
+    return rng.uniform(0.5, 20.0, size=n)
+
+
+@pytest.mark.parametrize("n", [200, 1000], ids=["n200", "n1000"])
+@pytest.mark.parametrize("solver_name", ["nicol", "bisect", "greedy"])
+def test_homogeneous_solver_runtime(benchmark, solver_name, n):
+    """Runtime of the scalable solvers on larger arrays (p = 16)."""
+    values = _values(n)
+    solver = _SOLVERS[solver_name]
+    result = benchmark(lambda: solver(values, 16))
+    assert result.covers(n)
+    _QUALITY_ROWS.append((solver_name, n, result.bottleneck))
+
+
+def test_dp_runtime_small(benchmark):
+    """The quadratic DP stays the reference on moderate sizes (n = 200)."""
+    values = _values(200)
+    result = benchmark(lambda: dp_optimal(values, 16))
+    assert result.covers(200)
+    _QUALITY_ROWS.append(("dp", 200, result.bottleneck))
+
+
+def test_heterogeneous_heuristic_vs_exact(benchmark):
+    """Fixed-order heuristic quality against the exact solver (small instances)."""
+    rng = np.random.default_rng(BENCH_SEED)
+
+    def run() -> float:
+        ratios = []
+        for _ in range(10):
+            n = int(rng.integers(6, 14))
+            p = int(rng.integers(2, 6))
+            values = rng.integers(1, 20, size=n).astype(float)
+            speeds = rng.integers(1, 20, size=p).astype(float)
+            exact = hetero_exact_bisect(values, speeds).bottleneck
+            heuristic = hetero_fixed_order(values, speeds).bottleneck
+            if exact > 0:
+                ratios.append(heuristic / exact)
+        return float(np.mean(ratios))
+
+    mean_ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    _QUALITY_ROWS.append(("hetero fixed-order / exact", 0, mean_ratio))
+    assert mean_ratio >= 1.0 - 1e-9
+    assert mean_ratio <= 2.0
+
+
+def teardown_module(module) -> None:  # noqa: D103 - pytest hook
+    if not _QUALITY_ROWS:
+        return
+    text = format_table(
+        ["solver", "n", "achieved bottleneck / ratio"],
+        _QUALITY_ROWS,
+        precision=4,
+        title="Chains-to-chains solver quality",
+    )
+    write_report("chains_to_chains", text)

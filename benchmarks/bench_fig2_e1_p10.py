@@ -1,0 +1,29 @@
+"""Figure 2 — (E1) balanced comp/comm, homogeneous communications, p = 10.
+
+Regenerates the two panels of Figure 2 of the paper (10 and 40 stages):
+for every heuristic, the averaged latency-versus-period curve obtained by
+sweeping the fixed-period (resp. fixed-latency) threshold over the instance
+stream.  The series are written to ``benchmarks/results/figure2*.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import run_panel_benchmark
+
+PANELS = [
+    ("figure2a_e1_n10_p10", "Figure 2(a) — E1, 10 stages, p=10", "E1", 10, 10),
+    ("figure2b_e1_n40_p10", "Figure 2(b) — E1, 40 stages, p=10", "E1", 40, 10),
+]
+
+
+@pytest.mark.parametrize("report_name,title,family,n_stages,n_procs", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_figure2_panel(benchmark, report_name, title, family, n_stages, n_procs):
+    result = run_panel_benchmark(
+        benchmark, report_name, title, family, n_stages, n_procs
+    )
+    # E1-specific sanity: communications are homogeneous (delta = 10), so the
+    # single-processor period is close to total work / fastest speed + 2*delta/b
+    assert result.config.comm_fixed == 10.0

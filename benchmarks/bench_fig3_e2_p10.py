@@ -1,0 +1,25 @@
+"""Figure 3 — (E2) balanced comp/comm, heterogeneous communications, p = 10.
+
+Regenerates the two panels of Figure 3 of the paper (10 and 40 stages);
+series are written to ``benchmarks/results/figure3*.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import run_panel_benchmark
+
+PANELS = [
+    ("figure3a_e2_n10_p10", "Figure 3(a) — E2, 10 stages, p=10", "E2", 10, 10),
+    ("figure3b_e2_n40_p10", "Figure 3(b) — E2, 40 stages, p=10", "E2", 40, 10),
+]
+
+
+@pytest.mark.parametrize("report_name,title,family,n_stages,n_procs", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_figure3_panel(benchmark, report_name, title, family, n_stages, n_procs):
+    result = run_panel_benchmark(
+        benchmark, report_name, title, family, n_stages, n_procs
+    )
+    assert result.config.comm_range == (1.0, 100.0)

@@ -1,0 +1,25 @@
+"""Figure 4 — (E3) large computations (communications negligible), p = 10.
+
+Regenerates the two panels of Figure 4 of the paper (5 and 20 stages);
+series are written to ``benchmarks/results/figure4*.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import run_panel_benchmark
+
+PANELS = [
+    ("figure4a_e3_n5_p10", "Figure 4(a) — E3, 5 stages, p=10", "E3", 5, 10),
+    ("figure4b_e3_n20_p10", "Figure 4(b) — E3, 20 stages, p=10", "E3", 20, 10),
+]
+
+
+@pytest.mark.parametrize("report_name,title,family,n_stages,n_procs", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_figure4_panel(benchmark, report_name, title, family, n_stages, n_procs):
+    result = run_panel_benchmark(
+        benchmark, report_name, title, family, n_stages, n_procs
+    )
+    assert result.config.work_range == (10.0, 1000.0)

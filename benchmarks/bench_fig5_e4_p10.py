@@ -1,0 +1,25 @@
+"""Figure 5 — (E4) small computations (communications dominate), p = 10.
+
+Regenerates the two panels of Figure 5 of the paper (5 and 20 stages);
+series are written to ``benchmarks/results/figure5*.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import run_panel_benchmark
+
+PANELS = [
+    ("figure5a_e4_n5_p10", "Figure 5(a) — E4, 5 stages, p=10", "E4", 5, 10),
+    ("figure5b_e4_n20_p10", "Figure 5(b) — E4, 20 stages, p=10", "E4", 20, 10),
+]
+
+
+@pytest.mark.parametrize("report_name,title,family,n_stages,n_procs", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_figure5_panel(benchmark, report_name, title, family, n_stages, n_procs):
+    result = run_panel_benchmark(
+        benchmark, report_name, title, family, n_stages, n_procs
+    )
+    assert result.config.work_range == (0.01, 10.0)

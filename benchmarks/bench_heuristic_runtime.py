@@ -1,0 +1,54 @@
+"""Runtime of the heuristics (the paper's "efficient polynomial" claim).
+
+Times a single run of each heuristic on growing instances (stages x
+processors).  Unlike the figure sweeps, these are micro-benchmarks: the
+function under timing is one heuristic run, repeated by pytest-benchmark for
+statistical stability.  A summary is written to
+``benchmarks/results/heuristic_runtime.txt`` (one row per case).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import BENCH_SEED, write_report
+from repro.core.costs import optimal_latency
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import all_heuristics, Objective
+
+SIZES = [(20, 10), (40, 10), (40, 100), (100, 100)]
+_RESULTS: list[tuple[str, str, float]] = []
+
+
+def _instance(n_stages: int, n_processors: int):
+    config = experiment_config("E2", n_stages, n_processors, n_instances=1)
+    inst = generate_instances(config, seed=BENCH_SEED)[0]
+    return inst.application, inst.platform
+
+
+@pytest.mark.parametrize("n_stages,n_processors", SIZES,
+                         ids=[f"n{n}-p{p}" for n, p in SIZES])
+@pytest.mark.parametrize("heuristic", all_heuristics(), ids=lambda h: h.key)
+def test_heuristic_runtime(benchmark, heuristic, n_stages, n_processors):
+    app, platform = _instance(n_stages, n_processors)
+    if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+        bound_kwargs = {"period_bound": 1e-9}  # forces the longest run
+    else:
+        bound_kwargs = {"latency_bound": optimal_latency(app, platform) * 3}
+
+    result = benchmark(lambda: heuristic.run(app, platform, **bound_kwargs))
+    assert result.mapping.n_intervals >= 1
+    try:
+        mean_seconds = float(benchmark.stats.stats.mean)
+    except AttributeError:  # pragma: no cover - depends on pytest-benchmark version
+        mean_seconds = float("nan")
+    _RESULTS.append((heuristic.key, f"n={n_stages},p={n_processors}", mean_seconds))
+
+
+def teardown_module(module) -> None:  # noqa: D103 - pytest hook
+    if not _RESULTS:
+        return
+    lines = ["heuristic | case | mean seconds"]
+    for key, case, mean in _RESULTS:
+        lines.append(f"{key:4s} | {case:12s} | {mean:.6f}")
+    write_report("heuristic_runtime", "\n".join(lines))

@@ -1,0 +1,60 @@
+"""Model validation — analytical formulas versus executable schedules.
+
+This benchmark is not a figure of the paper; it validates the substrate the
+whole evaluation rests on.  For a sample of instances of every experiment
+family, it runs ``Sp mono P`` to its best reachable period, executes the
+resulting mapping with the greedy event-driven one-port simulator, and
+compares the measured period / latency with eqs. (1) and (2).  Aggregate
+deviations are written to ``benchmarks/results/model_validation.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import BENCH_SEED, instance_count, write_report
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import get_heuristic
+from repro.simulation.validate import validate_mapping
+from repro.utils.tables import format_table
+
+
+def _validate_family(family: str, n_instances: int) -> tuple[str, float, float, float]:
+    config = experiment_config(family, 20, 10, n_instances=n_instances)
+    instances = generate_instances(config, seed=BENCH_SEED)
+    heuristic = get_heuristic("H1")
+    period_errors, latency_errors = [], []
+    for inst in instances:
+        mapping = heuristic.run(
+            inst.application, inst.platform, period_bound=1e-9
+        ).mapping
+        report = validate_mapping(inst.application, inst.platform, mapping, n_datasets=40)
+        period_errors.append(report.period_relative_error)
+        latency_errors.append(report.latency_relative_error)
+    return (
+        family,
+        float(np.mean(period_errors)),
+        float(np.max(period_errors)),
+        float(np.max(latency_errors)),
+    )
+
+
+def run_validation(n_instances: int) -> list[tuple[str, float, float, float]]:
+    return [_validate_family(family, n_instances) for family in ("E1", "E2", "E3", "E4")]
+
+
+def test_model_validation(benchmark):
+    n_instances = max(5, instance_count() // 2)
+    rows = benchmark.pedantic(run_validation, args=(n_instances,), rounds=1, iterations=1)
+    text = format_table(
+        ["family", "mean period rel.err", "max period rel.err", "max latency rel.err"],
+        rows,
+        precision=4,
+        title=f"Analytical model vs event-driven one-port simulation "
+        f"({n_instances} instances per family, 20 stages, p=10)",
+    )
+    write_report("model_validation", text)
+    for _, mean_err, max_err, lat_err in rows:
+        assert mean_err <= 0.05
+        assert max_err <= 0.10
+        assert lat_err <= 1e-6

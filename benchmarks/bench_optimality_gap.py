@@ -1,0 +1,76 @@
+"""Optimality gap of the heuristics against the exact bitmask DP.
+
+Not a figure of the paper, but the natural question it leaves open: how far
+from optimal are the heuristics on instances small enough to solve exactly?
+For a sample of E2 instances (10 stages, 6 processors) and a period budget of
+1.25x the best period reachable by ``Sp mono P``, the benchmark compares each
+fixed-period heuristic's latency with the exact minimum latency under the
+same budget (subset dynamic program), and each fixed-latency heuristic's
+period with the exact minimum period under a 1.5x Lemma-1 latency budget.
+Results go to ``benchmarks/results/optimality_gap.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import BENCH_SEED, instance_count, write_report
+from repro.core.costs import optimal_latency
+from repro.exact.dp_bitmask import dp_min_latency_for_period, dp_min_period_for_latency
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import fixed_latency_heuristics, fixed_period_heuristics, get_heuristic
+from repro.utils.tables import format_table
+
+
+def compute_gaps(n_instances: int) -> list[tuple[str, float, float, int]]:
+    config = experiment_config("E2", 10, 6, n_instances=n_instances)
+    instances = generate_instances(config, seed=BENCH_SEED)
+    h1 = get_heuristic("H1")
+
+    gaps: dict[str, list[float]] = {}
+    for inst in instances:
+        app, platform = inst.application, inst.platform
+        period_budget = h1.run(app, platform, period_bound=1e-9).period * 1.25
+        latency_budget = optimal_latency(app, platform) * 1.5
+        try:
+            _, exact_latency = dp_min_latency_for_period(app, platform, period_budget)
+        except Exception:  # pragma: no cover - infeasible budgets never happen here
+            continue
+        _, exact_period = dp_min_period_for_latency(app, platform, latency_budget)
+
+        for heuristic in fixed_period_heuristics():
+            result = heuristic.run(app, platform, period_bound=period_budget)
+            if result.feasible and exact_latency > 0:
+                gaps.setdefault(heuristic.key, []).append(result.latency / exact_latency)
+        for heuristic in fixed_latency_heuristics():
+            result = heuristic.run(app, platform, latency_bound=latency_budget)
+            if result.feasible and exact_period > 0:
+                gaps.setdefault(heuristic.key, []).append(result.period / exact_period)
+
+    rows = []
+    for key in ("H1", "H2", "H3", "H4", "H5", "H6"):
+        values = gaps.get(key, [])
+        if values:
+            rows.append((key, float(np.mean(values)), float(np.max(values)), len(values)))
+        else:
+            rows.append((key, float("nan"), float("nan"), 0))
+    return rows
+
+
+def test_optimality_gap(benchmark):
+    n_instances = max(5, instance_count() // 2)
+    rows = benchmark.pedantic(compute_gaps, args=(n_instances,), rounds=1, iterations=1)
+    text = format_table(
+        ["heuristic", "mean ratio to optimum", "max ratio", "feasible runs"],
+        rows,
+        precision=3,
+        title="Optimality gap vs exact bitmask DP (E2, 10 stages, 6 processors)",
+    )
+    write_report("optimality_gap", text)
+    by_key = dict((r[0], r) for r in rows)
+    # heuristics can never beat the exact optimum
+    for key, mean_ratio, _max_ratio, count in rows:
+        if count:
+            assert mean_ratio >= 1.0 - 1e-9
+    # the simple splitting heuristic stays within a reasonable factor
+    assert by_key["H1"][1] <= 2.0

@@ -1,0 +1,36 @@
+"""Table 1 — failure thresholds of the six heuristics.
+
+Regenerates the paper's Table 1: for each experiment family (E1–E4) and each
+stage count (5, 10, 20, 40) on a 10-processor platform, the average largest
+threshold value (fixed period for H1–H4, fixed latency for H5–H6) for which
+the heuristic cannot find a solution.  Each family's quadrant is written to
+``benchmarks/results/table1_<family>.txt``.
+
+Qualitative expectations (Section 5.2.1 of the paper):
+
+* H1 (Sp mono P) exhibits the smallest thresholds among the fixed-period
+  heuristics;
+* the 3-exploration heuristics exhibit the largest thresholds (they stall
+  when the next processor pair contains a slow machine);
+* H5 and H6 share identical values (both fail exactly below the Lemma 1
+  latency) and dominate the table because the latency grows with the number
+  of stages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import table1_quadrant, write_report
+
+FAMILIES = ("E1", "E2", "E3", "E4")
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_table1_quadrant(benchmark, family):
+    text = benchmark.pedantic(table1_quadrant, args=(family,), rounds=1, iterations=1)
+    write_report(f"table1_{family.lower()}", text)
+    # every heuristic key appears with one value per stage count
+    for key in ("H1", "H2", "H3", "H4", "H5", "H6"):
+        assert key in text
+    assert "n=40" in text

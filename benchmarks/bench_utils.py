@@ -1,0 +1,117 @@
+"""Shared helpers for the benchmark harness.
+
+The benchmarks mirror the paper's evaluation section: every figure panel and
+table quadrant has a function here that produces both the aggregate data and
+a plain-text report.  Reports are written to ``benchmarks/results/`` so they
+survive pytest's output capturing; sizes are controlled by environment
+variables so the full 50-instance protocol of the paper can be requested
+without editing code.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.failure import failure_threshold_table
+from repro.experiments.report import render_failure_table, render_sweep
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.generators.experiments import experiment_config
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: default number of random application/platform pairs per experimental point
+DEFAULT_INSTANCES = 20
+#: default threshold-grid resolution for the figure sweeps
+DEFAULT_THRESHOLDS = 10
+#: seed shared by every benchmark so reports are reproducible run to run
+BENCH_SEED = 20070628  # submission date of the reproduced report
+
+
+def instance_count(default: int | None = None) -> int:
+    """Number of instances per experimental point (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_INSTANCES", default or DEFAULT_INSTANCES))
+
+
+def threshold_count(default: int | None = None) -> int:
+    """Threshold-grid resolution for the sweeps (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_THRESHOLDS", default or DEFAULT_THRESHOLDS))
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a textual report under ``benchmarks/results/`` and return its path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def figure_panel(
+    family: str,
+    n_stages: int,
+    n_processors: int,
+    n_instances: int | None = None,
+    n_thresholds: int | None = None,
+) -> SweepResult:
+    """Run the sweep of one figure panel with the benchmark-wide sizing."""
+    config = experiment_config(
+        family, n_stages, n_processors, n_instances=instance_count(n_instances)
+    )
+    return run_sweep(config, n_thresholds=threshold_count(n_thresholds), seed=BENCH_SEED)
+
+
+def figure_report(name: str, panels: dict[str, SweepResult]) -> str:
+    """Render a multi-panel figure report and persist it."""
+    blocks = []
+    for title, sweep in panels.items():
+        blocks.append(render_sweep(sweep, title=title))
+        blocks.append("")
+    text = "\n".join(blocks).rstrip()
+    write_report(name, text)
+    return text
+
+
+def run_panel_benchmark(
+    benchmark,
+    report_name: str,
+    title: str,
+    family: str,
+    n_stages: int,
+    n_processors: int,
+) -> SweepResult:
+    """Benchmark one figure panel and persist its textual report.
+
+    The sweep is executed exactly once inside the benchmark timer (it is a
+    macro-benchmark: hundreds of heuristic runs), its latency-versus-period
+    series is written to ``benchmarks/results/<report_name>.txt``, and basic
+    sanity checks are applied so a silently broken sweep fails the suite.
+    """
+    result: SweepResult = benchmark.pedantic(
+        figure_panel, args=(family, n_stages, n_processors), rounds=1, iterations=1
+    )
+    text = render_sweep(result, title=title)
+    write_report(report_name, text)
+    # sanity: all six heuristics produced a curve and at least one point of
+    # each fixed-period curve is feasible at the loosest threshold
+    assert len(result.curves) == 6
+    for curve in result.curves.values():
+        assert curve.points, curve.heuristic
+        assert curve.points[-1].n_feasible > 0, curve.heuristic
+    return result
+
+
+def table1_quadrant(family: str, n_processors: int = 10) -> str:
+    """Compute and render one experiment family's quadrant of Table 1."""
+    table = failure_threshold_table(
+        family,
+        stage_counts=(5, 10, 20, 40),
+        n_processors=n_processors,
+        n_instances=instance_count(),
+        seed=BENCH_SEED,
+    )
+    return render_failure_table(
+        table,
+        stage_counts=(5, 10, 20, 40),
+        title=f"Table 1 — {family} failure thresholds (p={n_processors}, "
+        f"{instance_count()} instances)",
+    )

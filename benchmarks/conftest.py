@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Adds the ``src`` layout to ``sys.path`` (so the benchmarks run without an
+installed package) and exposes the shared sizing knobs:
+
+* ``REPRO_BENCH_INSTANCES``  — instances per experimental point (default 20;
+  the paper uses 50, which roughly doubles the runtime);
+* ``REPRO_BENCH_THRESHOLDS`` — threshold-grid resolution of the figure sweeps
+  (default 10).
+
+Every benchmark writes its textual report (the series / table mirroring the
+paper's figure or table) to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for path in (_ROOT / "src", _ROOT / "benchmarks"):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))

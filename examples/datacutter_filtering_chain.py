@@ -1,0 +1,125 @@
+"""Scientific data-filtering chain on a large heterogeneous cluster.
+
+The related-work section of the paper cites the DataCutter project, whose
+typical application is "a chain of consecutive filtering operations, to be
+executed on a very large data set".  This example models such a workload —
+a 20-stage filtering/aggregation chain over multi-megabyte chunks — mapped
+onto a 100-node communication-homogeneous cluster (the paper's large-platform
+regime, Section 5.2.2).
+
+It reproduces, on this single scenario, the behaviour the paper reports for
+``p = 100``:
+
+* the bi-criteria heuristics become clearly competitive;
+* a latency-versus-period frontier is swept by varying the period budget;
+* the failure threshold (tightest sustainable period) of every heuristic is
+  reported.
+
+Run with:  python examples/datacutter_filtering_chain.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import PipelineApplication, Platform
+from repro.core.costs import optimal_latency
+from repro.heuristics import all_heuristics, fixed_period_heuristics, Objective
+from repro.utils.tables import format_table
+
+
+def build_instance(seed: int = 2024) -> tuple[PipelineApplication, Platform]:
+    """A 20-stage filtering chain and a 100-node heterogeneous cluster."""
+    rng = np.random.default_rng(seed)
+    n_stages = 20
+    # filters alternate between cheap selections and expensive aggregations;
+    # data shrinks as the chain progresses (filtering discards tuples)
+    works = []
+    for k in range(n_stages):
+        if k % 4 == 3:
+            works.append(float(rng.uniform(200, 600)))   # aggregation stage
+        else:
+            works.append(float(rng.uniform(20, 80)))     # filtering stage
+    sizes = [float(400 * (0.85 ** k)) for k in range(n_stages + 1)]  # MB, shrinking
+    app = PipelineApplication(works, sizes, name="datacutter-chain")
+
+    speeds = rng.integers(1, 21, size=100).astype(float)
+    platform = Platform.communication_homogeneous(speeds, bandwidth=10.0,
+                                                  name="grid-cluster-100")
+    return app, platform
+
+
+def main() -> None:
+    app, platform = build_instance()
+    print(f"Application : {app.name} with {app.n_stages} stages, "
+          f"total work {app.total_work:.0f}, total data {app.total_comm:.0f} MB")
+    print(f"Platform    : {platform.n_processors} processors, speeds in "
+          f"[{platform.speeds.min():.0f}, {platform.speeds.max():.0f}], b = "
+          f"{platform.uniform_bandwidth:.0f}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # failure thresholds: the tightest period each heuristic can sustain
+    # ------------------------------------------------------------------ #
+    rows = []
+    opt_lat = optimal_latency(app, platform)
+    for heuristic in all_heuristics():
+        if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+            probe = heuristic.run(app, platform, period_bound=1e-9)
+            rows.append([heuristic.key, heuristic.name, probe.period, probe.latency])
+        else:
+            rows.append([heuristic.key, heuristic.name, float("nan"), opt_lat])
+    print(format_table(
+        ["key", "heuristic", "tightest period", "latency (at that point)"],
+        rows,
+        precision=2,
+        title="Best reachable operating point per heuristic (p = 100)",
+    ))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # frontier sweep: latency as a function of the period budget
+    # ------------------------------------------------------------------ #
+    tightest = min(r[2] for r in rows if not np.isnan(r[2]))
+    budgets = [tightest * f for f in (1.0, 1.1, 1.3, 1.6, 2.0, 3.0)]
+    series_rows = []
+    for budget in budgets:
+        row = [budget]
+        for heuristic in fixed_period_heuristics():
+            result = heuristic.run(app, platform, period_bound=budget)
+            row.append(result.latency if result.feasible else float("nan"))
+        series_rows.append(row)
+    print(format_table(
+        ["period budget"] + [h.name for h in fixed_period_heuristics()],
+        series_rows,
+        precision=1,
+        title="Latency achieved under each period budget (NaN = infeasible)",
+    ))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # highlight of the paper's p=100 observation
+    # ------------------------------------------------------------------ #
+    mid_budget = tightest * 1.3
+    mono = fixed_period_heuristics()[0].run(app, platform, period_bound=mid_budget)
+    bi = fixed_period_heuristics()[3].run(app, platform, period_bound=mid_budget)
+    print(f"At a period budget of {mid_budget:.2f}:")
+    print(f"  {mono.heuristic:14s}: latency {mono.latency:8.1f} "
+          f"({mono.mapping.n_intervals} processors enrolled)")
+    print(f"  {bi.heuristic:14s}: latency {bi.latency:8.1f} "
+          f"({bi.mapping.n_intervals} processors enrolled)")
+    if bi.latency < mono.latency:
+        print("  -> the bi-criteria heuristic wins on latency, as the paper reports "
+              "for large platforms.")
+    else:
+        print("  -> on this instance the mono-criterion heuristic keeps the edge; "
+              "the paper's observation is statistical over 50 instances.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy (non-PEP-517) editable installs — ``pip install -e . --no-use-pep517``
+— keep working in offline environments where the ``wheel`` package is not
+available for the modern editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro — reproduction of "Multi-criteria scheduling of pipeline workflows".
+
+This library reproduces the system described by Benoit, Rehn-Sonigo and Robert
+(INRIA RR-6232 / IEEE CLUSTER 2007): bi-criteria (period / latency) interval
+mapping of pipeline skeletons onto communication-homogeneous platforms.
+
+Quick start
+-----------
+>>> from repro import PipelineApplication, Platform, get_heuristic
+>>> app = PipelineApplication(works=[5, 3, 8, 2], comm_sizes=[10, 4, 6, 2, 10])
+>>> platform = Platform.communication_homogeneous([4, 2, 1], bandwidth=10)
+>>> result = get_heuristic("Sp mono P").run(app, platform, period_bound=4.0)
+>>> result.feasible, round(result.period, 3) <= 4.0
+(True, True)
+
+Sub-packages
+------------
+``repro.core``
+    Applications, platforms, mappings and the analytical cost model (Sec. 2).
+``repro.chains``
+    Homogeneous and heterogeneous 1-D partitioning (chains-to-chains, Sec. 3).
+``repro.complexity``
+    NMWTS and the executable Theorem 1 / Theorem 2 reductions (Sec. 3).
+``repro.exact``
+    Exact solvers (brute force, bitmask DP, homogeneous DP, Lemma 1).
+``repro.heuristics``
+    The six polynomial bi-criteria heuristics (Sec. 4).
+``repro.simulation``
+    Synchronous and event-driven pipeline simulators validating the model.
+``repro.generators``
+    Random application/platform generators for experiments E1–E4 (Sec. 5.1).
+``repro.experiments``
+    Sweeps, aggregation, failure thresholds and reports (Sec. 5.2, Figs. 2–7,
+    Table 1).
+``repro.extensions``
+    Replicated (deal-skeleton) mappings and fully heterogeneous platforms
+    (Sec. 7 future work).
+"""
+
+from .core import (
+    BicriteriaPoint,
+    Interval,
+    IntervalMapping,
+    MappingEvaluation,
+    PipelineApplication,
+    Platform,
+    PlatformClass,
+    Processor,
+    Stage,
+    evaluate,
+    latency,
+    optimal_latency,
+    optimal_latency_mapping,
+    pareto_front,
+    period,
+    period_lower_bound,
+)
+from .heuristics import (
+    HeuristicResult,
+    all_heuristics,
+    get_heuristic,
+    heuristic_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core re-exports
+    "PipelineApplication",
+    "Stage",
+    "Platform",
+    "PlatformClass",
+    "Processor",
+    "Interval",
+    "IntervalMapping",
+    "MappingEvaluation",
+    "BicriteriaPoint",
+    "evaluate",
+    "period",
+    "latency",
+    "optimal_latency",
+    "optimal_latency_mapping",
+    "period_lower_bound",
+    "pareto_front",
+    # heuristics re-exports
+    "HeuristicResult",
+    "all_heuristics",
+    "get_heuristic",
+    "heuristic_names",
+]

@@ -1,0 +1,46 @@
+"""Chains-to-chains (1-D partitioning) substrate.
+
+Homogeneous algorithms (exact DP, parametric search, bisection, greedy) and
+the heterogeneous generalisation studied in Section 3 of the paper
+(Hetero-1D-Partition: exact exponential solvers and polynomial fixed-order
+heuristics).
+"""
+
+from .homogeneous import (
+    PartitionResult,
+    bisect_optimal,
+    bottleneck_lower_bound,
+    dp_optimal,
+    greedy_partition,
+    interval_sums,
+    nicol_optimal,
+)
+from .heterogeneous import (
+    hetero_best_of_orders,
+    hetero_exact_bisect,
+    hetero_exact_dp,
+    hetero_fixed_order,
+    hetero_lower_bound,
+    normalized_bottleneck,
+)
+from .probe import ProbeResult, prefix_sums, probe_heterogeneous, probe_homogeneous
+
+__all__ = [
+    "PartitionResult",
+    "ProbeResult",
+    "prefix_sums",
+    "probe_homogeneous",
+    "probe_heterogeneous",
+    "dp_optimal",
+    "nicol_optimal",
+    "bisect_optimal",
+    "greedy_partition",
+    "interval_sums",
+    "bottleneck_lower_bound",
+    "hetero_fixed_order",
+    "hetero_best_of_orders",
+    "hetero_exact_dp",
+    "hetero_exact_bisect",
+    "hetero_lower_bound",
+    "normalized_bottleneck",
+]

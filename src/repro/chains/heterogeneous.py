@@ -1,0 +1,354 @@
+"""Heterogeneous 1-D partitioning (the paper's **Hetero-1D-Partition** problem).
+
+Given an array ``a_1 .. a_n`` and processor speeds ``s_1 .. s_p``, find a
+partition of the array into consecutive intervals together with an assignment
+of intervals to distinct processors minimising::
+
+    max_k  ( sum of interval k ) / s_(processor of interval k)
+
+Theorem 1 of the paper proves the associated decision problem NP-complete, so
+no polynomial exact algorithm is expected.  This module provides:
+
+* :func:`hetero_exact_dp` — exact solver via dynamic programming over
+  ``(position, used-processor bitmask)`` states, usable for ``p`` up to ~15;
+* :func:`hetero_exact_bisect` — exact feasibility (bitmask DP) embedded in a
+  bisection on the bottleneck, faster in practice than the min-max DP;
+* :func:`hetero_fixed_order` / :func:`hetero_best_of_orders` — polynomial
+  heuristics that fix a processor *order* and run the greedy probe with a
+  bisection on the bottleneck (the natural generalisation of chains-to-chains
+  algorithms mentioned in Section 3);
+* :func:`normalized_bottleneck` — evaluation helper shared with the tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..utils.rng import ensure_rng
+from .homogeneous import PartitionResult, bottleneck_lower_bound
+from .probe import prefix_sums, probe_heterogeneous
+
+__all__ = [
+    "normalized_bottleneck",
+    "hetero_fixed_order",
+    "hetero_best_of_orders",
+    "hetero_exact_dp",
+    "hetero_exact_bisect",
+    "hetero_lower_bound",
+]
+
+
+def normalized_bottleneck(
+    values: Sequence[float] | np.ndarray,
+    speeds: Sequence[float] | np.ndarray,
+    intervals: Sequence[tuple[int, int]],
+    processors: Sequence[int],
+) -> float:
+    """Evaluate ``max_k sum(interval_k) / s_{proc_k}`` for a candidate solution."""
+    pre = prefix_sums(values)
+    speeds_arr = np.asarray(speeds, dtype=float)
+    worst = 0.0
+    for (start, end), proc in zip(intervals, processors):
+        load = float(pre[end + 1] - pre[start])
+        worst = max(worst, load / float(speeds_arr[proc]))
+    return worst
+
+
+def hetero_lower_bound(
+    values: Sequence[float] | np.ndarray, speeds: Sequence[float] | np.ndarray
+) -> float:
+    """Lower bound on the optimal normalised bottleneck.
+
+    Combines the aggregate-speed bound ``sum a / sum s`` with the observation
+    that the largest single element must be placed on some processor, at best
+    the fastest one.
+    """
+    arr = np.asarray(values, dtype=float)
+    spd = np.asarray(speeds, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(max(arr.max() / spd.max(), arr.sum() / spd.sum()))
+
+
+def _order_probe_to_result(
+    values: np.ndarray,
+    order: Sequence[int],
+    speeds: np.ndarray,
+    bottleneck: float,
+) -> PartitionResult | None:
+    """Run the fixed-order probe and convert its output to a PartitionResult."""
+    probe = probe_heterogeneous(values, [speeds[u] for u in order], bottleneck)
+    if not probe.feasible:
+        return None
+    intervals: list[tuple[int, int]] = []
+    processors: list[int] = []
+    start = 0
+    for k, end_excl in enumerate(probe.boundaries):
+        if end_excl > start:
+            intervals.append((start, end_excl - 1))
+            processors.append(int(order[k]))
+            start = end_excl
+    achieved = normalized_bottleneck(values, speeds, intervals, processors)
+    return PartitionResult(
+        bottleneck=achieved,
+        intervals=tuple(intervals),
+        processors=tuple(processors),
+    )
+
+
+def hetero_fixed_order(
+    values: Sequence[float] | np.ndarray,
+    speeds: Sequence[float] | np.ndarray,
+    order: Sequence[int] | None = None,
+    rel_tol: float = 1e-9,
+    max_iter: int = 200,
+) -> PartitionResult:
+    """Bisection + greedy probe for a *fixed* processor order.
+
+    ``order`` lists the processor indices in the order in which they receive
+    intervals along the chain; it defaults to non-increasing speed (fast
+    processors first), the same convention the mapping heuristics of Section 4
+    use.  The result is optimal *for that order* up to the bisection tolerance.
+    """
+    arr = np.asarray(values, dtype=float)
+    spd = np.asarray(speeds, dtype=float)
+    if spd.size == 0:
+        raise ValueError("at least one processor speed is required")
+    if order is None:
+        order = sorted(range(spd.size), key=lambda u: (-spd[u], u))
+    order = [int(u) for u in order]
+    if arr.size == 0:
+        return PartitionResult(0.0, (), ())
+
+    lo = hetero_lower_bound(arr, spd[order])
+    hi = float(arr.sum()) / float(min(spd[u] for u in order))
+    best = _order_probe_to_result(arr, order, spd, hi)
+    if best is None:  # should not happen: hi is always feasible for the order
+        hi *= 2.0
+        best = _order_probe_to_result(arr, order, spd, hi)
+    candidate = _order_probe_to_result(arr, order, spd, lo)
+    if candidate is not None:
+        return candidate
+    for _ in range(max_iter):
+        if hi - lo <= rel_tol * max(1.0, hi):
+            break
+        mid = 0.5 * (lo + hi)
+        candidate = _order_probe_to_result(arr, order, spd, mid)
+        if candidate is not None:
+            hi = mid
+            best = candidate
+        else:
+            lo = mid
+    assert best is not None
+    return best
+
+
+def hetero_best_of_orders(
+    values: Sequence[float] | np.ndarray,
+    speeds: Sequence[float] | np.ndarray,
+    orders: Iterable[Sequence[int]] | None = None,
+    n_random_orders: int = 0,
+    seed: int | np.random.Generator | None = None,
+    rel_tol: float = 1e-9,
+) -> PartitionResult:
+    """Try several processor orders and keep the best fixed-order solution.
+
+    By default the non-increasing and non-decreasing speed orders are tried;
+    ``n_random_orders`` additional random permutations can be added.  This is
+    a polynomial heuristic for the NP-hard problem; the exact solvers below
+    bound its quality in the tests.
+    """
+    spd = np.asarray(speeds, dtype=float)
+    p = spd.size
+    candidate_orders: list[list[int]] = []
+    if orders is not None:
+        candidate_orders.extend([list(map(int, o)) for o in orders])
+    else:
+        descending = sorted(range(p), key=lambda u: (-spd[u], u))
+        ascending = list(reversed(descending))
+        candidate_orders.extend([descending, ascending])
+    if n_random_orders > 0:
+        rng = ensure_rng(seed)
+        for _ in range(n_random_orders):
+            candidate_orders.append(list(rng.permutation(p)))
+    best: PartitionResult | None = None
+    for order in candidate_orders:
+        result = hetero_fixed_order(values, spd, order=order, rel_tol=rel_tol)
+        if best is None or result.bottleneck < best.bottleneck:
+            best = result
+    if best is None:
+        raise ValueError("no candidate order supplied")
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# exact solvers (exponential in p, for ground truth and small instances)
+# --------------------------------------------------------------------------- #
+def hetero_exact_dp(
+    values: Sequence[float] | np.ndarray, speeds: Sequence[float] | np.ndarray
+) -> PartitionResult:
+    """Exact min-max dynamic program over ``(position, used-processor mask)``.
+
+    State ``(i, mask)`` is the best achievable bottleneck for the suffix
+    ``values[i:]`` when the processors in ``mask`` are no longer available.
+    Complexity ``O(n^2 * 2^p * p)`` — intended for small instances (ground
+    truth in tests, optimality-gap benchmarks).
+    """
+    arr = np.asarray(values, dtype=float)
+    spd = np.asarray(speeds, dtype=float)
+    n, p = arr.size, spd.size
+    if p == 0:
+        raise ValueError("at least one processor speed is required")
+    if n == 0:
+        return PartitionResult(0.0, (), ())
+    if p > 20:
+        raise ValueError("hetero_exact_dp is exponential in p; use p <= 20")
+    pre = prefix_sums(arr)
+
+    @lru_cache(maxsize=None)
+    def best(i: int, mask: int) -> float:
+        if i >= n:
+            return 0.0
+        value = float("inf")
+        for u in range(p):
+            if mask & (1 << u):
+                continue
+            new_mask = mask | (1 << u)
+            for end in range(i + 1, n + 1):
+                load = (pre[end] - pre[i]) / spd[u]
+                if load >= value:
+                    break  # longer intervals only get worse for this processor
+                candidate = max(load, best(end, new_mask))
+                if candidate < value:
+                    value = candidate
+        return value
+
+    optimum = best(0, 0)
+
+    # rebuild one optimal solution by replaying the DP decisions
+    intervals: list[tuple[int, int]] = []
+    processors: list[int] = []
+    i, mask = 0, 0
+    tol = 1e-12 * max(1.0, optimum)
+    while i < n:
+        target = best(i, mask)
+        found = False
+        for u in range(p):
+            if mask & (1 << u):
+                continue
+            new_mask = mask | (1 << u)
+            for end in range(i + 1, n + 1):
+                load = (pre[end] - pre[i]) / spd[u]
+                if load > target + tol:
+                    break
+                if max(load, best(end, new_mask)) <= target + tol:
+                    intervals.append((i, end - 1))
+                    processors.append(u)
+                    i, mask = end, new_mask
+                    found = True
+                    break
+            if found:
+                break
+        if not found:  # pragma: no cover - defensive, should be unreachable
+            raise RuntimeError("failed to reconstruct an optimal hetero partition")
+    best.cache_clear()
+    achieved = normalized_bottleneck(arr, spd, intervals, processors)
+    return PartitionResult(
+        bottleneck=achieved, intervals=tuple(intervals), processors=tuple(processors)
+    )
+
+
+def hetero_exact_bisect(
+    values: Sequence[float] | np.ndarray,
+    speeds: Sequence[float] | np.ndarray,
+    rel_tol: float = 1e-9,
+    max_iter: int = 200,
+) -> PartitionResult:
+    """Bisection on the bottleneck with an exact feasibility test.
+
+    For a fixed bottleneck ``B`` the feasibility question ("is there a valid
+    partition and assignment whose normalised bottleneck is at most ``B``?")
+    is decided exactly by a DP over ``(position, used-processor mask)`` in
+    which each candidate processor greedily takes the longest prefix it can
+    accommodate — taking fewer elements never helps feasibility because it
+    leaves a larger suffix for the same remaining processor set.
+    """
+    arr = np.asarray(values, dtype=float)
+    spd = np.asarray(speeds, dtype=float)
+    n, p = arr.size, spd.size
+    if p == 0:
+        raise ValueError("at least one processor speed is required")
+    if n == 0:
+        return PartitionResult(0.0, (), ())
+    if p > 24:
+        raise ValueError("hetero_exact_bisect is exponential in p; use p <= 24")
+    pre = prefix_sums(arr)
+
+    def feasible(bound: float) -> tuple[bool, list[tuple[int, int]], list[int]]:
+        limit = bound * (1 + 1e-12) + 1e-15
+
+        @lru_cache(maxsize=None)
+        def reach(i: int, mask: int) -> bool:
+            if i >= n:
+                return True
+            for u in range(p):
+                if mask & (1 << u):
+                    continue
+                capacity = limit * spd[u]
+                end = int(np.searchsorted(pre, pre[i] + capacity, side="right")) - 1
+                if end <= i:
+                    continue
+                if reach(min(end, n), mask | (1 << u)):
+                    return True
+            return False
+
+        ok = reach(0, 0)
+        intervals: list[tuple[int, int]] = []
+        processors: list[int] = []
+        if ok:
+            i, mask = 0, 0
+            while i < n:
+                for u in range(p):
+                    if mask & (1 << u):
+                        continue
+                    capacity = limit * spd[u]
+                    end = int(np.searchsorted(pre, pre[i] + capacity, side="right")) - 1
+                    end = min(end, n)
+                    if end <= i:
+                        continue
+                    if reach(end, mask | (1 << u)):
+                        intervals.append((i, end - 1))
+                        processors.append(u)
+                        i, mask = end, mask | (1 << u)
+                        break
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError("inconsistent feasibility reconstruction")
+        reach.cache_clear()
+        return ok, intervals, processors
+
+    lo = hetero_lower_bound(arr, spd)
+    hi = float(arr.sum()) / float(spd.min())
+    ok, intervals, processors = feasible(lo)
+    if ok:
+        achieved = normalized_bottleneck(arr, spd, intervals, processors)
+        return PartitionResult(achieved, tuple(intervals), tuple(processors))
+    ok, best_intervals, best_processors = feasible(hi)
+    if not ok:  # pragma: no cover - hi is always feasible
+        raise RuntimeError("upper bound bottleneck is infeasible")
+    for _ in range(max_iter):
+        if hi - lo <= rel_tol * max(1.0, hi):
+            break
+        mid = 0.5 * (lo + hi)
+        ok, intervals, processors = feasible(mid)
+        if ok:
+            hi = mid
+            best_intervals, best_processors = intervals, processors
+        else:
+            lo = mid
+    achieved = normalized_bottleneck(arr, spd, best_intervals, best_processors)
+    return PartitionResult(
+        achieved, tuple(best_intervals), tuple(best_processors)
+    )

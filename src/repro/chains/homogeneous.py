@@ -1,0 +1,314 @@
+"""Homogeneous chains-to-chains (1-D partitioning) algorithms.
+
+Given an array ``a_1 .. a_n`` and ``p`` identical processors, partition the
+array into at most ``p`` consecutive intervals minimising the largest interval
+sum.  This classical problem (Bokhari 1988; Hansen & Lih 1992; Olstad & Manne
+1995; Pinar & Aykanat 2004) is reviewed in Section 1/3 of the paper as the
+homogeneous special case of the NP-hard heterogeneous problem.
+
+Four solvers are provided, trading speed for exactness:
+
+* :func:`dp_optimal` — ``O(n^2 p)`` dynamic program, exact, used as ground truth;
+* :func:`nicol_optimal` — Nicol-style parametric search driven by the greedy
+  probe, exact and much faster (``O(p^2 log^2 n)`` probe calls);
+* :func:`bisect_optimal` — plain bisection on the bottleneck value, exact up to
+  a user-chosen tolerance, the most robust choice for very large arrays;
+* :func:`greedy_partition` — the classical "fill to the average" heuristic,
+  useful as a cheap baseline and as an upper bound seeding the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .probe import ProbeResult, prefix_sums, probe_homogeneous
+
+__all__ = [
+    "PartitionResult",
+    "interval_sums",
+    "dp_optimal",
+    "nicol_optimal",
+    "bisect_optimal",
+    "greedy_partition",
+    "bottleneck_lower_bound",
+]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Result of a 1-D partitioning solver.
+
+    Attributes
+    ----------
+    bottleneck:
+        The achieved maximum interval sum (weighted by speeds in the
+        heterogeneous case).
+    intervals:
+        Inclusive ``(start, end)`` pairs of the non-empty intervals, in order.
+    processors:
+        For heterogeneous solvers, the processor index assigned to each
+        interval (aligned with ``intervals``); ``None`` for homogeneous
+        solvers where processors are interchangeable.
+    """
+
+    bottleneck: float
+    intervals: tuple[tuple[int, int], ...]
+    processors: tuple[int, ...] | None = None
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.intervals)
+
+    def covers(self, n: int) -> bool:
+        """Whether the intervals exactly cover ``[0, n-1]`` consecutively."""
+        expected = 0
+        for start, end in self.intervals:
+            if start != expected or end < start:
+                return False
+            expected = end + 1
+        return expected == n
+
+
+def interval_sums(
+    values: Sequence[float] | np.ndarray, intervals: Sequence[tuple[int, int]]
+) -> list[float]:
+    """Sums of the given inclusive intervals of ``values``."""
+    pre = prefix_sums(values)
+    return [float(pre[end + 1] - pre[start]) for start, end in intervals]
+
+
+def bottleneck_lower_bound(values: Sequence[float] | np.ndarray, p: int) -> float:
+    """Trivial lower bound: ``max(max_i a_i, sum_i a_i / p)``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if p <= 0:
+        return float("inf")
+    return float(max(arr.max(), arr.sum() / p))
+
+
+def _result_from_probe(
+    values: Sequence[float] | np.ndarray, probe: ProbeResult
+) -> PartitionResult:
+    intervals = tuple(probe.as_interval_list())
+    sums = interval_sums(values, intervals)
+    bottleneck = max(sums) if sums else 0.0
+    return PartitionResult(bottleneck=bottleneck, intervals=intervals)
+
+
+# --------------------------------------------------------------------------- #
+# exact dynamic programming
+# --------------------------------------------------------------------------- #
+def dp_optimal(values: Sequence[float] | np.ndarray, p: int) -> PartitionResult:
+    """Exact ``O(n^2 p)`` dynamic program for the homogeneous problem.
+
+    ``cost[k][i]`` is the optimal bottleneck for the first ``i`` elements split
+    into at most ``k`` intervals; the recurrence tries every position of the
+    last cut.  The partition is rebuilt from the stored cut positions.
+    """
+    arr = np.asarray(values, dtype=float)
+    n = arr.size
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if n == 0:
+        return PartitionResult(0.0, ())
+    pre = prefix_sums(arr)
+    p_eff = min(p, n)
+
+    # cost[i] for the current number of intervals; cut[k][i] = position of the
+    # last cut (exclusive start of the final interval) in the optimum.
+    cost = np.array([pre[i] for i in range(n + 1)], dtype=float)  # k = 1
+    cuts = np.zeros((p_eff + 1, n + 1), dtype=np.int64)
+    for k in range(2, p_eff + 1):
+        new_cost = np.empty(n + 1, dtype=float)
+        new_cost[0] = 0.0
+        for i in range(1, n + 1):
+            best = float("inf")
+            best_j = i - 1
+            # last interval is values[j:i]
+            for j in range(i - 1, -1, -1):
+                last = pre[i] - pre[j]
+                if last >= best:
+                    # the last interval only grows as j decreases: stop early
+                    if cost[j] >= best:
+                        break
+                candidate = max(cost[j], last)
+                if candidate < best:
+                    best = candidate
+                    best_j = j
+                if last >= cost[j]:
+                    # further decreasing j cannot improve the max
+                    break
+            new_cost[i] = best
+            cuts[k, i] = best_j
+        cost = new_cost
+
+    # rebuild the partition
+    boundaries: list[int] = []
+    i = n
+    k = p_eff
+    while k > 1 and i > 0:
+        j = int(cuts[k, i])
+        if j < i:
+            boundaries.append(i)
+            i = j
+        k -= 1
+    if i > 0:
+        boundaries.append(i)
+    boundaries.reverse()
+    intervals: list[tuple[int, int]] = []
+    start = 0
+    for end_excl in boundaries:
+        if end_excl > start:
+            intervals.append((start, end_excl - 1))
+            start = end_excl
+    if start < n:
+        intervals.append((start, n - 1))
+    sums = interval_sums(arr, intervals)
+    return PartitionResult(bottleneck=float(max(sums)), intervals=tuple(intervals))
+
+
+# --------------------------------------------------------------------------- #
+# parametric search (Nicol-style, probe driven)
+# --------------------------------------------------------------------------- #
+def nicol_optimal(values: Sequence[float] | np.ndarray, p: int) -> PartitionResult:
+    """Exact parametric-search solver driven by the greedy probe.
+
+    Follows Nicol's recursive argument: the optimal bottleneck with the first
+    interval ending at position ``i`` is ``max(sum(a[:i]), B*(a[i:], p-1))``
+    where the first term grows and the second shrinks with ``i``; the minimum
+    is attained around the crossing point, which the probe locates by binary
+    search.  The recursion goes down one processor at a time, so at most ``p``
+    levels of ``O(log n)`` probe calls are needed.
+    """
+    arr = np.asarray(values, dtype=float)
+    n = arr.size
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if n == 0:
+        return PartitionResult(0.0, ())
+    pre = prefix_sums(arr)
+
+    def subsum(i: int, j: int) -> float:
+        return float(pre[j] - pre[i])
+
+    def rec(start: int, procs: int) -> float:
+        """Optimal bottleneck of values[start:] on ``procs`` processors."""
+        if start >= n:
+            return 0.0
+        if procs == 1:
+            return subsum(start, n)
+        # smallest e in [start, n] such that the tail values[e:] fits within
+        # bottleneck subsum(start, e) using procs-1 processors
+        lo, hi = start, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            feasible = probe_homogeneous(
+                arr[mid:], procs - 1, subsum(start, mid)
+            ).feasible
+            if feasible:
+                hi = mid
+            else:
+                lo = mid + 1
+        e = lo
+        best = float("inf")
+        if e <= n:
+            best = subsum(start, e)
+        if e - 1 >= start:
+            best = min(best, rec(e - 1, procs - 1))
+        return best
+
+    bottleneck = rec(0, min(p, n))
+    probe = probe_homogeneous(arr, min(p, n), bottleneck, prefix=pre)
+    if not probe.feasible:  # numerical guard: nudge the bottleneck up slightly
+        probe = probe_homogeneous(arr, min(p, n), bottleneck * (1 + 1e-9), prefix=pre)
+    return _result_from_probe(arr, probe)
+
+
+# --------------------------------------------------------------------------- #
+# bisection
+# --------------------------------------------------------------------------- #
+def bisect_optimal(
+    values: Sequence[float] | np.ndarray,
+    p: int,
+    rel_tol: float = 1e-9,
+    max_iter: int = 200,
+) -> PartitionResult:
+    """Bisection on the bottleneck value, exact up to ``rel_tol``.
+
+    The search interval is ``[max(max a, sum a / p), sum a]``; each step runs
+    the ``O(p log n)`` probe.  The returned bottleneck is the *achieved* value
+    of the final feasible partition (hence never under-reported).
+    """
+    arr = np.asarray(values, dtype=float)
+    n = arr.size
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if n == 0:
+        return PartitionResult(0.0, ())
+    pre = prefix_sums(arr)
+    lo = bottleneck_lower_bound(arr, p)
+    hi = float(pre[-1])
+    best_probe = probe_homogeneous(arr, p, hi, prefix=pre)
+    if probe_homogeneous(arr, p, lo, prefix=pre).feasible:
+        best_probe = probe_homogeneous(arr, p, lo, prefix=pre)
+        return _result_from_probe(arr, best_probe)
+    for _ in range(max_iter):
+        if hi - lo <= rel_tol * max(1.0, hi):
+            break
+        mid = 0.5 * (lo + hi)
+        probe = probe_homogeneous(arr, p, mid, prefix=pre)
+        if probe.feasible:
+            hi = mid
+            best_probe = probe
+        else:
+            lo = mid
+    return _result_from_probe(arr, best_probe)
+
+
+# --------------------------------------------------------------------------- #
+# greedy heuristic
+# --------------------------------------------------------------------------- #
+def greedy_partition(values: Sequence[float] | np.ndarray, p: int) -> PartitionResult:
+    """Classical heuristic: fill each interval up to the ideal average load.
+
+    Every interval takes elements while its sum stays below ``sum a / p``
+    (always taking at least one element).  The last interval absorbs the rest.
+    Cheap (``O(n)``) and usually within a small factor of the optimum; used as
+    a baseline and as an initial upper bound.
+    """
+    arr = np.asarray(values, dtype=float)
+    n = arr.size
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if n == 0:
+        return PartitionResult(0.0, ())
+    target = float(arr.sum()) / p
+    intervals: list[tuple[int, int]] = []
+    start = 0
+    for k in range(p):
+        if start >= n:
+            break
+        remaining_intervals = p - k
+        if remaining_intervals == 1:
+            intervals.append((start, n - 1))
+            start = n
+            break
+        # leave at least one element per remaining processor
+        max_end = n - remaining_intervals  # inclusive upper bound for this interval
+        end = start
+        total = float(arr[start])
+        while end < max_end and total + float(arr[end + 1]) <= target:
+            end += 1
+            total += float(arr[end])
+        intervals.append((start, end))
+        start = end + 1
+    if start < n:
+        # safety net: absorb any leftover into the final interval
+        last_start, _ = intervals[-1]
+        intervals[-1] = (last_start, n - 1)
+    sums = interval_sums(arr, intervals)
+    return PartitionResult(bottleneck=float(max(sums)), intervals=tuple(intervals))

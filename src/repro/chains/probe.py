@@ -1,0 +1,156 @@
+"""Probe (feasibility) algorithms for 1-D partitioning.
+
+The *probe* is the basic building block of chains-to-chains algorithms
+(Bokhari; Hansen & Lih; Iqbal; Pinar & Aykanat): given a bottleneck value
+``B``, decide whether the array can be partitioned into at most ``p``
+consecutive intervals whose sums do not exceed ``B`` (homogeneous case), or —
+in the heterogeneous generalisation introduced by the paper — whose sums do
+not exceed ``B * s_k`` for the prescribed processor order ``s_1 .. s_p``.
+
+Both probes are greedy: each interval takes as many elements as it can.  For
+the homogeneous problem this greedy rule is a classical exact feasibility
+test; for the heterogeneous problem it is exact *for a fixed processor order*
+(a longer prefix can never hurt the remaining suffix), which is exactly what
+the exact solvers in :mod:`repro.chains.heterogeneous` need when they search
+over orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ProbeResult", "probe_homogeneous", "probe_heterogeneous", "prefix_sums"]
+
+#: Relative tolerance used when comparing floating-point loads to the target.
+_REL_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a probe call.
+
+    Attributes
+    ----------
+    feasible:
+        Whether a partition within the bottleneck exists.
+    boundaries:
+        When feasible, the exclusive end index of each used interval, in order
+        (the last entry equals ``n``).  Intervals are ``[boundaries[k-1],
+        boundaries[k])`` with ``boundaries[-1] = 0`` implied.  Empty when
+        infeasible.
+    intervals_used:
+        Number of non-empty intervals in the partition (0 when infeasible and
+        meaningless in that case).
+    """
+
+    feasible: bool
+    boundaries: tuple[int, ...]
+    intervals_used: int
+
+    def as_interval_list(self) -> list[tuple[int, int]]:
+        """Convert the boundaries into inclusive ``(start, end)`` pairs."""
+        result = []
+        start = 0
+        for end_excl in self.boundaries:
+            if end_excl > start:
+                result.append((start, end_excl - 1))
+            start = end_excl
+        return result
+
+
+def prefix_sums(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Prefix-sum vector ``P`` with ``P[0] = 0`` and ``P[i] = sum(values[:i])``."""
+    arr = np.asarray(values, dtype=float)
+    return np.concatenate(([0.0], np.cumsum(arr)))
+
+
+def _tolerant_target(target: float) -> float:
+    """Inflate a capacity target by a relative epsilon to absorb FP noise."""
+    return target * (1.0 + _REL_TOL) + 1e-15
+
+
+def probe_homogeneous(
+    values: Sequence[float] | np.ndarray,
+    n_intervals: int,
+    bottleneck: float,
+    prefix: np.ndarray | None = None,
+) -> ProbeResult:
+    """Greedy feasibility test for the homogeneous chains-to-chains problem.
+
+    Decide whether ``values`` can be split into at most ``n_intervals``
+    consecutive intervals of sum at most ``bottleneck``.  Runs in
+    ``O(p log n)`` thanks to binary search on the prefix sums.
+    """
+    if n_intervals <= 0:
+        return ProbeResult(False, (), 0)
+    pre = prefix_sums(values) if prefix is None else prefix
+    n = pre.size - 1
+    if n == 0:
+        return ProbeResult(True, (), 0)
+    if bottleneck < 0:
+        return ProbeResult(False, (), 0)
+    boundaries: list[int] = []
+    start = 0
+    for _ in range(n_intervals):
+        if start >= n:
+            break
+        limit = _tolerant_target(bottleneck) + pre[start]
+        # last index end such that pre[end] <= limit, end > start
+        end = int(np.searchsorted(pre, limit, side="right")) - 1
+        if end <= start:
+            # the next single element already exceeds the bottleneck
+            return ProbeResult(False, (), 0)
+        end = min(end, n)
+        boundaries.append(end)
+        start = end
+    if start < n:
+        return ProbeResult(False, (), 0)
+    return ProbeResult(True, tuple(boundaries), len(boundaries))
+
+
+def probe_heterogeneous(
+    values: Sequence[float] | np.ndarray,
+    speeds_in_order: Sequence[float] | np.ndarray,
+    bottleneck: float,
+    prefix: np.ndarray | None = None,
+) -> ProbeResult:
+    """Greedy feasibility test for Hetero-1D-Partition with a *fixed* order.
+
+    Processor ``k`` (in the given order) may receive a load of at most
+    ``bottleneck * speeds_in_order[k]``.  Processors that cannot accommodate
+    the next element are skipped (they receive an empty interval), which is
+    valid because an empty interval never hurts feasibility.
+
+    The test is exact for the given order; optimising over orders is the
+    NP-hard part (Theorem 1) handled by :mod:`repro.chains.heterogeneous`.
+    """
+    speeds = np.asarray(speeds_in_order, dtype=float)
+    pre = prefix_sums(values) if prefix is None else prefix
+    n = pre.size - 1
+    if n == 0:
+        return ProbeResult(True, (), 0)
+    if bottleneck < 0 or speeds.size == 0:
+        return ProbeResult(False, (), 0)
+    boundaries: list[int] = []
+    used = 0
+    start = 0
+    for speed in speeds:
+        if start >= n:
+            break
+        capacity = _tolerant_target(bottleneck * float(speed))
+        limit = capacity + pre[start]
+        end = int(np.searchsorted(pre, limit, side="right")) - 1
+        end = min(end, n)
+        if end <= start:
+            # this processor cannot even take one element: give it nothing
+            boundaries.append(start)
+            continue
+        boundaries.append(end)
+        used += 1
+        start = end
+    if start < n:
+        return ProbeResult(False, (), 0)
+    return ProbeResult(True, tuple(boundaries), used)

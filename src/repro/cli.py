@@ -1,0 +1,210 @@
+"""Command-line interface of the reproduction.
+
+The ``repro-pipeline`` entry point exposes the main workflows:
+
+* ``solve``     — run one heuristic on an explicit instance;
+* ``sweep``     — reproduce one latency-versus-period figure panel (Figs. 2–7);
+* ``failure``   — reproduce one quadrant of Table 1 (failure thresholds);
+* ``ablation``  — run the design-choice ablations;
+* ``validate``  — cross-check the analytical model against the simulators.
+
+All output is plain text (the environment is headless); every command accepts
+``--seed`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.application import PipelineApplication
+from .core.costs import evaluate
+from .core.platform import Platform
+from .experiments.ablation import (
+    exploration_width_ablation,
+    processor_order_ablation,
+    selection_rule_ablation,
+)
+from .experiments.failure import failure_threshold_table
+from .experiments.report import (
+    render_ablation,
+    render_failure_table,
+    render_sweep,
+)
+from .experiments.sweep import run_sweep
+from .generators.experiments import experiment_config, generate_instances
+from .heuristics.base import Objective
+from .heuristics.registry import get_heuristic, heuristic_names
+from .simulation.validate import validate_mapping
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pipeline",
+        description="Bi-criteria pipeline mapping (Benoit, Rehn-Sonigo, Robert 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run one heuristic on an explicit instance")
+    solve.add_argument("--works", type=float, nargs="+", required=True,
+                       help="per-stage computation amounts w_1 .. w_n")
+    solve.add_argument("--comms", type=float, nargs="+", required=True,
+                       help="data sizes delta_0 .. delta_n (n+1 values)")
+    solve.add_argument("--speeds", type=float, nargs="+", required=True,
+                       help="processor speeds s_1 .. s_p")
+    solve.add_argument("--bandwidth", type=float, default=10.0, help="link bandwidth b")
+    solve.add_argument("--heuristic", default="H1",
+                       help=f"heuristic name or key (known: {', '.join(heuristic_names())})")
+    solve.add_argument("--period", type=float, default=None, help="period bound")
+    solve.add_argument("--latency", type=float, default=None, help="latency bound")
+
+    sweep = sub.add_parser("sweep", help="reproduce one latency-vs-period figure panel")
+    _add_experiment_arguments(sweep)
+    sweep.add_argument("--thresholds", type=int, default=10,
+                       help="number of threshold values per heuristic family")
+
+    failure = sub.add_parser("failure", help="reproduce one quadrant of Table 1")
+    failure.add_argument("--family", default="E1", help="experiment family E1..E4")
+    failure.add_argument("--stages", type=int, nargs="+", default=[5, 10, 20, 40])
+    failure.add_argument("--processors", type=int, default=10)
+    failure.add_argument("--instances", type=int, default=50)
+    failure.add_argument("--seed", type=int, default=0)
+
+    ablation = sub.add_parser("ablation", help="run the design-choice ablations")
+    _add_experiment_arguments(ablation)
+    ablation.add_argument(
+        "--study",
+        choices=("selection-rule", "exploration-width", "processor-order", "all"),
+        default="all",
+    )
+
+    validate = sub.add_parser(
+        "validate", help="cross-check the analytical model against the simulators"
+    )
+    _add_experiment_arguments(validate)
+    validate.add_argument("--datasets", type=int, default=50,
+                          help="number of data sets pushed through the simulators")
+
+    return parser
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", default="E1", help="experiment family E1..E4")
+    parser.add_argument("--stages", type=int, default=10, help="number of stages n")
+    parser.add_argument("--processors", type=int, default=10, help="number of processors p")
+    parser.add_argument("--instances", type=int, default=20,
+                        help="number of random application/platform pairs")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    app = PipelineApplication(args.works, args.comms, name="cli-instance")
+    platform = Platform.communication_homogeneous(
+        args.speeds, bandwidth=args.bandwidth, name="cli-platform"
+    )
+    heuristic = get_heuristic(args.heuristic)
+    if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+        if args.period is None:
+            print("error: this heuristic needs --period", file=sys.stderr)
+            return 2
+        result = heuristic.run(app, platform, period_bound=args.period)
+    else:
+        if args.latency is None:
+            print("error: this heuristic needs --latency", file=sys.stderr)
+            return 2
+        result = heuristic.run(app, platform, latency_bound=args.latency)
+    print(f"heuristic : {result.heuristic} ({heuristic.key})")
+    print(f"feasible  : {result.feasible}")
+    print(f"period    : {result.period:.6g}")
+    print(f"latency   : {result.latency:.6g}")
+    print(result.mapping.describe())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = experiment_config(
+        args.family, args.stages, args.processors, n_instances=args.instances
+    )
+    result = run_sweep(config, n_thresholds=args.thresholds, seed=args.seed)
+    print(render_sweep(result))
+    return 0
+
+
+def _cmd_failure(args: argparse.Namespace) -> int:
+    table = failure_threshold_table(
+        args.family,
+        stage_counts=args.stages,
+        n_processors=args.processors,
+        n_instances=args.instances,
+        seed=args.seed,
+    )
+    print(
+        render_failure_table(
+            table,
+            stage_counts=args.stages,
+            title=f"Failure thresholds — {args.family}, p={args.processors}",
+        )
+    )
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    config = experiment_config(
+        args.family, args.stages, args.processors, n_instances=args.instances
+    )
+    instances = generate_instances(config, seed=args.seed)
+    studies = {
+        "selection-rule": selection_rule_ablation,
+        "exploration-width": exploration_width_ablation,
+        "processor-order": processor_order_ablation,
+    }
+    selected = studies if args.study == "all" else {args.study: studies[args.study]}
+    for name, fn in selected.items():
+        rows = fn(config, seed=args.seed, instances=instances)
+        print(render_ablation(rows, title=f"Ablation: {name} ({config.label})"))
+        print()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    config = experiment_config(
+        args.family, args.stages, args.processors, n_instances=args.instances
+    )
+    instances = generate_instances(config, seed=args.seed)
+    heuristic = get_heuristic("H1")
+    worst_period_err = worst_latency_err = 0.0
+    for instance in instances:
+        app, platform = instance.application, instance.platform
+        # use the mapping H1 reaches when pushed to its best period
+        mapping = heuristic.run(app, platform, period_bound=1e-9).mapping
+        report = validate_mapping(app, platform, mapping, n_datasets=args.datasets)
+        worst_period_err = max(worst_period_err, report.period_relative_error)
+        worst_latency_err = max(worst_latency_err, report.latency_relative_error)
+    analytical = evaluate(app, platform, mapping)
+    print(f"instances validated        : {len(instances)}")
+    print(f"worst period rel. error    : {worst_period_err:.3%}")
+    print(f"worst latency rel. error   : {worst_latency_err:.3%}")
+    print(f"(last instance period/latency: {analytical.period:.4g} / {analytical.latency:.4g})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-pipeline`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "sweep": _cmd_sweep,
+        "failure": _cmd_failure,
+        "ablation": _cmd_ablation,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Complexity machinery of Section 3: NMWTS and the Theorem 1/2 reductions."""
+
+from .nmwts import (
+    NMWTSInstance,
+    NMWTSSolution,
+    solve_nmwts_bruteforce,
+    verify_nmwts,
+)
+from .reduction import (
+    ReductionInstance,
+    build_hetero_instance,
+    build_pipeline_instance,
+    extract_nmwts_solution,
+    partition_from_nmwts_solution,
+)
+
+__all__ = [
+    "NMWTSInstance",
+    "NMWTSSolution",
+    "solve_nmwts_bruteforce",
+    "verify_nmwts",
+    "ReductionInstance",
+    "build_hetero_instance",
+    "build_pipeline_instance",
+    "extract_nmwts_solution",
+    "partition_from_nmwts_solution",
+]

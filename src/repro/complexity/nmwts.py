@@ -1,0 +1,139 @@
+"""NUMERICAL MATCHING WITH TARGET SUMS (NMWTS).
+
+NMWTS is the strongly NP-complete problem used as the source of the reduction
+in Theorem 1 of the paper: given ``3m`` numbers ``x_1..x_m``, ``y_1..y_m`` and
+``z_1..z_m``, do there exist permutations ``sigma_1`` and ``sigma_2`` of
+``{1..m}`` such that ``x_i + y_{sigma_1(i)} = z_{sigma_2(i)}`` for all ``i``?
+
+This module provides the instance container, a solution verifier, and a
+brute-force solver (used on small instances by the reduction tests — the
+reduction maps YES/NO instances of NMWTS to YES/NO instances of
+Hetero-1D-Partition, and we check both directions executable-y).
+
+The brute-force solver uses a simple bipartite matching formulation rather
+than enumerating the ``(m!)^2`` permutation pairs: for every ``i`` we must pick
+a distinct ``y`` index ``j`` and a distinct ``z`` index ``k`` with
+``x_i + y_j = z_k``; this is a 3-dimensional matching restricted by the
+equality constraint, solved by backtracking with memo-friendly pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["NMWTSInstance", "NMWTSSolution", "solve_nmwts_bruteforce", "verify_nmwts"]
+
+
+@dataclass(frozen=True)
+class NMWTSInstance:
+    """An instance of NUMERICAL MATCHING WITH TARGET SUMS."""
+
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    z: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.x) == len(self.y) == len(self.z)):
+            raise ValueError("x, y and z must have the same length m")
+        if len(self.x) == 0:
+            raise ValueError("m must be at least 1")
+
+    @property
+    def m(self) -> int:
+        return len(self.x)
+
+    @property
+    def max_value(self) -> float:
+        """``M = max_i {x_i, y_i, z_i}`` used to size the reduction weights."""
+        return max(max(self.x), max(self.y), max(self.z))
+
+    @property
+    def sums_match(self) -> bool:
+        """Necessary condition ``sum x + sum y == sum z`` (else trivially NO)."""
+        return abs(sum(self.x) + sum(self.y) - sum(self.z)) < 1e-9
+
+    @classmethod
+    def from_lists(
+        cls, x: Sequence[float], y: Sequence[float], z: Sequence[float]
+    ) -> "NMWTSInstance":
+        return cls(tuple(float(v) for v in x), tuple(float(v) for v in y), tuple(float(v) for v in z))
+
+
+@dataclass(frozen=True)
+class NMWTSSolution:
+    """A pair of permutations solving an NMWTS instance.
+
+    ``sigma1[i]`` is the index of the ``y`` value matched with ``x_i`` and
+    ``sigma2[i]`` the index of the ``z`` value, both 0-based.
+    """
+
+    sigma1: tuple[int, ...]
+    sigma2: tuple[int, ...]
+
+
+def verify_nmwts(instance: NMWTSInstance, solution: NMWTSSolution, tol: float = 1e-9) -> bool:
+    """Check that the two permutations satisfy ``x_i + y_{s1(i)} = z_{s2(i)}``."""
+    m = instance.m
+    if len(solution.sigma1) != m or len(solution.sigma2) != m:
+        return False
+    if sorted(solution.sigma1) != list(range(m)) or sorted(solution.sigma2) != list(range(m)):
+        return False
+    for i in range(m):
+        lhs = instance.x[i] + instance.y[solution.sigma1[i]]
+        rhs = instance.z[solution.sigma2[i]]
+        if abs(lhs - rhs) > tol:
+            return False
+    return True
+
+
+def solve_nmwts_bruteforce(
+    instance: NMWTSInstance, tol: float = 1e-9
+) -> NMWTSSolution | None:
+    """Backtracking solver for small NMWTS instances.
+
+    Returns a satisfying pair of permutations or ``None`` when the instance is
+    a NO instance.  Exponential in ``m``; intended for ``m <= 8`` (reduction
+    tests and examples).
+    """
+    m = instance.m
+    if not instance.sums_match:
+        return None
+    # pre-compute the compatible (j, k) pairs for each i
+    compatible: list[list[tuple[int, int]]] = []
+    for i in range(m):
+        pairs = [
+            (j, k)
+            for j in range(m)
+            for k in range(m)
+            if abs(instance.x[i] + instance.y[j] - instance.z[k]) <= tol
+        ]
+        if not pairs:
+            return None
+        compatible.append(pairs)
+
+    # assign the most constrained x first
+    order = sorted(range(m), key=lambda i: len(compatible[i]))
+    sigma1: list[int] = [-1] * m
+    sigma2: list[int] = [-1] * m
+    used_y = [False] * m
+    used_z = [False] * m
+
+    def backtrack(pos: int) -> bool:
+        if pos == m:
+            return True
+        i = order[pos]
+        for j, k in compatible[i]:
+            if used_y[j] or used_z[k]:
+                continue
+            used_y[j] = used_z[k] = True
+            sigma1[i], sigma2[i] = j, k
+            if backtrack(pos + 1):
+                return True
+            used_y[j] = used_z[k] = False
+            sigma1[i] = sigma2[i] = -1
+        return False
+
+    if backtrack(0):
+        return NMWTSSolution(tuple(sigma1), tuple(sigma2))
+    return None

@@ -1,0 +1,220 @@
+"""Executable version of the Theorem 1 / Theorem 2 reductions.
+
+Theorem 1 of the paper proves that **Hetero-1D-Partition** is NP-complete by
+reduction from NUMERICAL MATCHING WITH TARGET SUMS (NMWTS).  Theorem 2 then
+converts any Hetero-1D-Partition instance into a period-minimisation instance
+of the pipeline mapping problem (zero communication costs, unit bandwidth).
+
+This module makes both constructions executable so they can be tested:
+
+* :func:`build_hetero_instance` builds the task weights and processor speeds
+  of the Theorem 1 construction (``B = 2M``, ``C = 5M``, ``D = 7M``,
+  ``A_i = B + x_i``; one block ``[A_i, 1^M, C, D]`` per NMWTS triple; speeds
+  ``B + z_i``, ``C + M - y_i`` and ``D``; bound ``K = 1``).
+* :func:`partition_from_nmwts_solution` implements the *forward* direction of
+  the proof: an NMWTS solution yields a partition of normalised bottleneck 1.
+* :func:`extract_nmwts_solution` implements the *backward* direction: a
+  partition matching the bound yields the two permutations.
+* :func:`build_pipeline_instance` implements the Theorem 2 conversion to the
+  pipeline mapping problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.application import PipelineApplication
+from ..core.platform import Platform
+from ..chains.heterogeneous import normalized_bottleneck
+from .nmwts import NMWTSInstance, NMWTSSolution, verify_nmwts
+
+__all__ = [
+    "ReductionInstance",
+    "build_hetero_instance",
+    "partition_from_nmwts_solution",
+    "extract_nmwts_solution",
+    "build_pipeline_instance",
+]
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """The Hetero-1D-Partition instance produced by the Theorem 1 reduction."""
+
+    nmwts: NMWTSInstance
+    values: tuple[float, ...]
+    speeds: tuple[float, ...]
+    bound: float
+    big_m: int
+    block_size: int  # N = M + 3 tasks per NMWTS triple
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.values)
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.speeds)
+
+    def block_offset(self, i: int) -> int:
+        """Start index of the ``i``-th block (0-based) in the task array."""
+        return i * self.block_size
+
+
+def _validate_nmwts_for_reduction(instance: NMWTSInstance) -> int:
+    """The reduction uses unary-encoded integers; check and return ``M``."""
+    for name, seq in (("x", instance.x), ("y", instance.y), ("z", instance.z)):
+        for v in seq:
+            if v < 0 or abs(v - round(v)) > 1e-12:
+                raise ValueError(
+                    f"the Theorem 1 reduction needs non-negative integers; {name} "
+                    f"contains {v!r}"
+                )
+    big_m = int(round(instance.max_value))
+    if big_m < 1:
+        raise ValueError("the reduction requires M = max(x, y, z) >= 1")
+    return big_m
+
+
+def build_hetero_instance(instance: NMWTSInstance) -> ReductionInstance:
+    """Build the Hetero-1D-Partition instance of Theorem 1.
+
+    Tasks (one block per ``i``): ``A_i = B + x_i``, then ``M`` unit tasks, then
+    ``C``, then ``D``.  Speeds: ``s_i = B + z_i``, ``s_{m+i} = C + M - y_i``,
+    ``s_{2m+i} = D`` with ``B = 2M``, ``C = 5M``, ``D = 7M``.  The decision
+    bound is ``K = 1``.
+    """
+    big_m = _validate_nmwts_for_reduction(instance)
+    m = instance.m
+    b_const = 2 * big_m
+    c_const = 5 * big_m
+    d_const = 7 * big_m
+
+    values: list[float] = []
+    for i in range(m):
+        values.append(float(b_const + instance.x[i]))  # A_i
+        values.extend([1.0] * big_m)
+        values.append(float(c_const))
+        values.append(float(d_const))
+
+    speeds: list[float] = []
+    speeds.extend(float(b_const + instance.z[i]) for i in range(m))
+    speeds.extend(float(c_const + big_m - instance.y[i]) for i in range(m))
+    speeds.extend(float(d_const) for _ in range(m))
+
+    return ReductionInstance(
+        nmwts=instance,
+        values=tuple(values),
+        speeds=tuple(speeds),
+        bound=1.0,
+        big_m=big_m,
+        block_size=big_m + 3,
+    )
+
+
+def partition_from_nmwts_solution(
+    reduction: ReductionInstance, solution: NMWTSSolution
+) -> tuple[list[tuple[int, int]], list[int]]:
+    """Forward direction of Theorem 1.
+
+    From an NMWTS solution, build the interval partition and processor
+    assignment whose normalised bottleneck equals the bound ``K = 1``:
+
+    * ``A_i`` and the next ``y_{sigma1(i)}`` unit tasks go to ``P_{sigma2(i)}``;
+    * the remaining ``M - y_{sigma1(i)}`` unit tasks and ``C`` go to
+      ``P_{m + sigma1(i)}``;
+    * ``D`` goes to ``P_{2m + i}``.
+    """
+    instance = reduction.nmwts
+    if not verify_nmwts(instance, solution):
+        raise ValueError("the provided permutations do not solve the NMWTS instance")
+    m = instance.m
+    big_m = reduction.big_m
+    intervals: list[tuple[int, int]] = []
+    processors: list[int] = []
+    for i in range(m):
+        offset = reduction.block_offset(i)
+        y_val = int(round(instance.y[solution.sigma1[i]]))
+        # A_i plus y_{sigma1(i)} unit tasks
+        intervals.append((offset, offset + y_val))
+        processors.append(solution.sigma2[i])
+        # remaining unit tasks plus C
+        intervals.append((offset + y_val + 1, offset + big_m + 1))
+        processors.append(m + solution.sigma1[i])
+        # D alone
+        intervals.append((offset + big_m + 2, offset + big_m + 2))
+        processors.append(2 * m + i)
+    return intervals, processors
+
+
+def extract_nmwts_solution(
+    reduction: ReductionInstance,
+    intervals: Sequence[tuple[int, int]],
+    processors: Sequence[int],
+    tol: float = 1e-9,
+) -> NMWTSSolution | None:
+    """Backward direction of Theorem 1.
+
+    Given a partition/assignment whose normalised bottleneck is at most the
+    bound ``K = 1`` (within ``tol``), recover the NMWTS permutations.  Returns
+    ``None`` when the partition does not match the bound or does not exhibit
+    the block structure the proof establishes (which would contradict
+    Theorem 1 if the bottleneck really were ``<= 1``).
+    """
+    instance = reduction.nmwts
+    m = instance.m
+    big_m = reduction.big_m
+    achieved = normalized_bottleneck(
+        reduction.values, reduction.speeds, intervals, processors
+    )
+    if achieved > reduction.bound + tol:
+        return None
+
+    owner: dict[int, int] = {}
+    for (start, end), proc in zip(intervals, processors):
+        for task in range(start, end + 1):
+            owner[task] = proc
+    if len(owner) != reduction.n_tasks:
+        return None
+
+    sigma1: list[int] = [-1] * m
+    sigma2: list[int] = [-1] * m
+    for i in range(m):
+        offset = reduction.block_offset(i)
+        a_owner = owner[offset]  # processor holding task A_i
+        c_owner = owner[offset + big_m + 1]  # processor holding task C
+        if not 0 <= a_owner < m:
+            return None
+        if not m <= c_owner < 2 * m:
+            return None
+        sigma2[i] = a_owner
+        sigma1[i] = c_owner - m
+    solution = NMWTSSolution(tuple(sigma1), tuple(sigma2))
+    if not verify_nmwts(instance, solution, tol=tol):
+        return None
+    return solution
+
+
+def build_pipeline_instance(
+    reduction: ReductionInstance, bandwidth: float = 1.0
+) -> tuple[PipelineApplication, Platform, float]:
+    """Theorem 2 conversion: Hetero-1D-Partition -> period minimisation.
+
+    Every task becomes a pipeline stage of work ``a_i``; all communication
+    sizes are zero; the platform keeps the same processor speeds with uniform
+    link bandwidth ``b`` (the value is irrelevant since nothing is
+    communicated).  The returned threshold is the decision bound ``K``: the
+    Hetero-1D-Partition instance is a YES instance iff a mapping of period at
+    most ``K`` exists.
+    """
+    n = reduction.n_tasks
+    app = PipelineApplication(
+        works=list(reduction.values),
+        comm_sizes=[0.0] * (n + 1),
+        name="theorem2-reduction",
+    )
+    platform = Platform.communication_homogeneous(
+        list(reduction.speeds), bandwidth=bandwidth, name="theorem2-platform"
+    )
+    return app, platform, reduction.bound

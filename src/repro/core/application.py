@@ -1,0 +1,296 @@
+"""Pipeline application model (Section 2 of the paper, "Applicative framework").
+
+A pipeline application is a linear chain of ``n`` stages ``S_1 .. S_n``.  Stage
+``S_k`` receives an input of size ``delta_{k-1}`` from the previous stage (or
+from the outside world for ``S_1``), performs ``w_k`` units of computation and
+emits an output of size ``delta_k`` to the next stage (or to the outside world
+for ``S_n``).
+
+Internally this module uses 0-based indices: stage ``i`` (``0 <= i < n``)
+consumes ``comm_sizes[i]`` and produces ``comm_sizes[i + 1]``; the vector of
+communication sizes therefore has length ``n + 1``.
+
+The class pre-computes prefix sums of the work vector so that the total work of
+any interval of consecutive stages — the quantity that appears in both the
+period (eq. 1) and the latency (eq. 2) — is available in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidApplicationError
+
+__all__ = ["Stage", "PipelineApplication"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A single pipeline stage.
+
+    Attributes
+    ----------
+    index:
+        0-based position of the stage in the pipeline.
+    work:
+        Number of computation units ``w_k`` required per data set.
+    input_size:
+        Size ``delta_{k-1}`` of the data read from the previous stage.
+    output_size:
+        Size ``delta_k`` of the data written to the next stage.
+    name:
+        Optional human-readable label (defaults to ``"S<k>"`` with a 1-based
+        index, matching the paper's notation).
+    """
+
+    index: int
+    work: float
+    input_size: float
+    output_size: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", f"S{self.index + 1}")
+
+    @property
+    def label(self) -> str:
+        """Alias of :attr:`name` kept for symmetry with :class:`Processor`."""
+        return self.name
+
+
+class PipelineApplication:
+    """A linear pipeline of stages with per-stage work and data sizes.
+
+    Parameters
+    ----------
+    works:
+        Sequence of ``n`` positive computation amounts ``w_1 .. w_n``.
+    comm_sizes:
+        Sequence of ``n + 1`` non-negative data sizes ``delta_0 .. delta_n``.
+        ``comm_sizes[0]`` is the size of the initial input fed to the first
+        stage and ``comm_sizes[n]`` the size of the final output.
+    name:
+        Optional label used in reports.
+
+    Examples
+    --------
+    >>> app = PipelineApplication(works=[4.0, 2.0, 6.0], comm_sizes=[1, 1, 1, 1])
+    >>> app.n_stages
+    3
+    >>> app.work_sum(0, 2)
+    12.0
+    """
+
+    __slots__ = ("_works", "_comm", "_prefix", "name")
+
+    def __init__(
+        self,
+        works: Sequence[float] | np.ndarray,
+        comm_sizes: Sequence[float] | np.ndarray,
+        name: str = "pipeline",
+    ) -> None:
+        works_arr = np.asarray(list(works), dtype=float)
+        comm_arr = np.asarray(list(comm_sizes), dtype=float)
+        if works_arr.ndim != 1 or works_arr.size == 0:
+            raise InvalidApplicationError(
+                "a pipeline application needs at least one stage"
+            )
+        if comm_arr.ndim != 1 or comm_arr.size != works_arr.size + 1:
+            raise InvalidApplicationError(
+                "comm_sizes must have exactly n_stages + 1 entries "
+                f"(got {comm_arr.size} for {works_arr.size} stages)"
+            )
+        if np.any(works_arr < 0) or not np.all(np.isfinite(works_arr)):
+            raise InvalidApplicationError("stage works must be finite and non-negative")
+        if np.any(comm_arr < 0) or not np.all(np.isfinite(comm_arr)):
+            raise InvalidApplicationError(
+                "communication sizes must be finite and non-negative"
+            )
+        self._works = works_arr
+        self._works.setflags(write=False)
+        self._comm = comm_arr
+        self._comm.setflags(write=False)
+        # prefix[i] = sum of works[0:i]; interval sums become two lookups.
+        self._prefix = np.concatenate(([0.0], np.cumsum(works_arr)))
+        self._prefix.setflags(write=False)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_stages(self) -> int:
+        """Number of stages ``n``."""
+        return int(self._works.size)
+
+    def __len__(self) -> int:
+        return self.n_stages
+
+    @property
+    def works(self) -> np.ndarray:
+        """Read-only vector of stage works ``w`` (length ``n``)."""
+        return self._works
+
+    @property
+    def comm_sizes(self) -> np.ndarray:
+        """Read-only vector of data sizes ``delta`` (length ``n + 1``)."""
+        return self._comm
+
+    def work(self, i: int) -> float:
+        """Work ``w_i`` of stage ``i`` (0-based)."""
+        return float(self._works[self._check_stage(i)])
+
+    def comm(self, i: int) -> float:
+        """Data size ``delta_i`` (``0 <= i <= n``)."""
+        if not 0 <= i <= self.n_stages:
+            raise InvalidApplicationError(
+                f"communication index {i} out of range [0, {self.n_stages}]"
+            )
+        return float(self._comm[i])
+
+    def input_size(self, i: int) -> float:
+        """Size of the data consumed by stage ``i`` (``delta_i`` in 0-based form)."""
+        return float(self._comm[self._check_stage(i)])
+
+    def output_size(self, i: int) -> float:
+        """Size of the data produced by stage ``i`` (``delta_{i+1}``)."""
+        return float(self._comm[self._check_stage(i) + 1])
+
+    def stage(self, i: int) -> Stage:
+        """Return stage ``i`` as a :class:`Stage` record."""
+        i = self._check_stage(i)
+        return Stage(
+            index=i,
+            work=float(self._works[i]),
+            input_size=float(self._comm[i]),
+            output_size=float(self._comm[i + 1]),
+        )
+
+    def stages(self) -> Iterator[Stage]:
+        """Iterate over all stages in pipeline order."""
+        for i in range(self.n_stages):
+            yield self.stage(i)
+
+    def __iter__(self) -> Iterator[Stage]:
+        return self.stages()
+
+    # ------------------------------------------------------------------ #
+    # aggregate quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def total_work(self) -> float:
+        """Total work ``sum_k w_k`` of the whole pipeline."""
+        return float(self._prefix[-1])
+
+    def work_sum(self, d: int, e: int) -> float:
+        """Total work of the stage interval ``[d, e]`` (0-based, inclusive)."""
+        d = self._check_stage(d)
+        e = self._check_stage(e)
+        if d > e:
+            raise InvalidApplicationError(f"empty interval [{d}, {e}]")
+        return float(self._prefix[e + 1] - self._prefix[d])
+
+    @property
+    def total_comm(self) -> float:
+        """Sum of every data size ``delta_0 .. delta_n``."""
+        return float(self._comm.sum())
+
+    @property
+    def comm_to_work_ratio(self) -> float:
+        """Aggregate ``delta``-to-``w`` ratio, used to classify E1–E4 instances."""
+        if self.total_work == 0:
+            return float("inf")
+        return self.total_comm / self.total_work
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def homogeneous(
+        cls, n_stages: int, work: float = 1.0, comm: float = 1.0, name: str = "uniform"
+    ) -> "PipelineApplication":
+        """Build a pipeline whose stages all share the same ``w`` and ``delta``."""
+        if n_stages <= 0:
+            raise InvalidApplicationError("n_stages must be positive")
+        return cls([work] * n_stages, [comm] * (n_stages + 1), name=name)
+
+    @classmethod
+    def from_stages(
+        cls, stages: Iterable[Stage], final_output: float, name: str = "pipeline"
+    ) -> "PipelineApplication":
+        """Rebuild an application from :class:`Stage` records.
+
+        Consecutive stages must agree on the size of the data they exchange
+        (``stages[k].output_size == stages[k+1].input_size``).
+        """
+        stage_list = list(stages)
+        if not stage_list:
+            raise InvalidApplicationError("at least one stage is required")
+        works = [s.work for s in stage_list]
+        comm = [stage_list[0].input_size]
+        for prev, nxt in zip(stage_list, stage_list[1:]):
+            if prev.output_size != nxt.input_size:
+                raise InvalidApplicationError(
+                    f"stage {prev.index} outputs {prev.output_size} but stage "
+                    f"{nxt.index} expects {nxt.input_size}"
+                )
+            comm.append(nxt.input_size)
+        comm.append(final_output if len(stage_list) > 0 else stage_list[-1].output_size)
+        if stage_list[-1].output_size != comm[-1]:
+            # keep the declared final output of the last stage authoritative
+            comm[-1] = stage_list[-1].output_size
+        return cls(works, comm, name=name)
+
+    def subchain(self, d: int, e: int, name: str | None = None) -> "PipelineApplication":
+        """Extract the sub-pipeline made of stages ``d .. e`` (inclusive)."""
+        d = self._check_stage(d)
+        e = self._check_stage(e)
+        if d > e:
+            raise InvalidApplicationError(f"empty interval [{d}, {e}]")
+        return PipelineApplication(
+            self._works[d : e + 1],
+            self._comm[d : e + 2],
+            name=name or f"{self.name}[{d}:{e}]",
+        )
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+    def _check_stage(self, i: int) -> int:
+        if not isinstance(i, (int, np.integer)):
+            raise InvalidApplicationError(f"stage index must be an integer, got {i!r}")
+        if not 0 <= i < self.n_stages:
+            raise InvalidApplicationError(
+                f"stage index {i} out of range [0, {self.n_stages - 1}]"
+            )
+        return int(i)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PipelineApplication):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._works, other._works)
+            and np.array_equal(self._comm, other._comm)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._works.tobytes(), self._comm.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineApplication(name={self.name!r}, n_stages={self.n_stages}, "
+            f"total_work={self.total_work:.6g}, total_comm={self.total_comm:.6g})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the pipeline."""
+        lines = [f"Pipeline '{self.name}' with {self.n_stages} stage(s)"]
+        for s in self.stages():
+            lines.append(
+                f"  {s.name}: in={s.input_size:g}  w={s.work:g}  out={s.output_size:g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,293 @@
+"""Analytical cost model: period (eq. 1) and latency (eq. 2) of a mapping.
+
+For an interval mapping with intervals ``I_j = [d_j, e_j]`` executed on
+processors ``alloc(j)`` the paper defines (Section 2):
+
+* period  ``T_period  = max_j ( delta_{d_j - 1}/b  +  sum_{i in I_j} w_i / s_alloc(j)  +  delta_{e_j}/b )``
+* latency ``T_latency = sum_j ( delta_{d_j - 1}/b  +  sum_{i in I_j} w_i / s_alloc(j) )  +  delta_n / b``
+
+with the convention that a communication between two stages mapped onto the
+*same* processor is free (it only appears in the formulas when an interval
+boundary is crossed).  On the communication-homogeneous platforms of the paper
+every link has bandwidth ``b``; the functions below also support fully
+heterogeneous platforms (per-link bandwidths) so that the extension modules can
+reuse the same cost model.
+
+The module exposes both fine-grained helpers (per-interval cycle time, used
+heavily by the splitting heuristics) and aggregate evaluation returning a
+:class:`MappingEvaluation` record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .application import PipelineApplication
+from .exceptions import InvalidMappingError
+from .mapping import Interval, IntervalMapping
+from .platform import Platform
+
+__all__ = [
+    "IntervalCost",
+    "MappingEvaluation",
+    "interval_compute_time",
+    "interval_cycle_time",
+    "period",
+    "latency",
+    "evaluate",
+    "optimal_latency",
+    "optimal_latency_mapping",
+    "period_lower_bound",
+    "latency_of_intervals",
+]
+
+
+@dataclass(frozen=True)
+class IntervalCost:
+    """Cost breakdown of one interval of a mapping.
+
+    Attributes
+    ----------
+    interval:
+        The stage interval.
+    processor:
+        Processor executing the interval.
+    input_time / compute_time / output_time:
+        The three terms of the interval's cycle time: incoming communication,
+        computation, and outgoing communication.
+    """
+
+    interval: Interval
+    processor: int
+    input_time: float
+    compute_time: float
+    output_time: float
+
+    @property
+    def cycle_time(self) -> float:
+        """Cycle time of the interval (its contribution to the period)."""
+        return self.input_time + self.compute_time + self.output_time
+
+    @property
+    def latency_contribution(self) -> float:
+        """Contribution of the interval to the latency (eq. 2 term)."""
+        return self.input_time + self.compute_time
+
+
+@dataclass(frozen=True)
+class MappingEvaluation:
+    """Aggregate evaluation of a mapping under the analytical model."""
+
+    period: float
+    latency: float
+    interval_costs: tuple[IntervalCost, ...] = field(default_factory=tuple)
+
+    @property
+    def bottleneck_interval(self) -> int:
+        """Index of the interval achieving the period (first one on ties)."""
+        best, best_cost = 0, float("-inf")
+        for j, cost in enumerate(self.interval_costs):
+            if cost.cycle_time > best_cost:
+                best, best_cost = j, cost.cycle_time
+        return best
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.interval_costs)
+
+    def dominates(self, other: "MappingEvaluation", tol: float = 1e-12) -> bool:
+        """Pareto dominance: no worse on both criteria, better on at least one."""
+        not_worse = (
+            self.period <= other.period + tol and self.latency <= other.latency + tol
+        )
+        strictly_better = (
+            self.period < other.period - tol or self.latency < other.latency - tol
+        )
+        return not_worse and strictly_better
+
+
+# --------------------------------------------------------------------------- #
+# per-interval helpers
+# --------------------------------------------------------------------------- #
+def interval_compute_time(
+    app: PipelineApplication, platform: Platform, interval: Interval, processor: int
+) -> float:
+    """Computation time of ``interval`` on ``processor``: ``sum w_i / s_u``."""
+    return app.work_sum(interval.start, interval.end) / platform.speed(processor)
+
+
+def _input_bandwidth(
+    platform: Platform, processor: int, predecessor: int | None
+) -> float:
+    """Bandwidth used to receive the interval's input."""
+    if predecessor is None:
+        return platform.input_bandwidth
+    return platform.bandwidth(predecessor, processor)
+
+
+def _output_bandwidth(
+    platform: Platform, processor: int, successor: int | None
+) -> float:
+    """Bandwidth used to send the interval's output."""
+    if successor is None:
+        return platform.output_bandwidth
+    return platform.bandwidth(processor, successor)
+
+
+def interval_cycle_time(
+    app: PipelineApplication,
+    platform: Platform,
+    interval: Interval,
+    processor: int,
+    predecessor: int | None = None,
+    successor: int | None = None,
+) -> float:
+    """Cycle time of an interval: input + compute + output (eq. 1 inner term).
+
+    ``predecessor`` / ``successor`` are the processors holding the neighbouring
+    intervals (``None`` for the outside world).  On communication-homogeneous
+    platforms they only matter when they equal ``processor`` (free transfer);
+    on fully heterogeneous platforms they select the link bandwidth.
+    """
+    cost = _interval_cost(app, platform, interval, processor, predecessor, successor)
+    return cost.cycle_time
+
+
+def _interval_cost(
+    app: PipelineApplication,
+    platform: Platform,
+    interval: Interval,
+    processor: int,
+    predecessor: int | None,
+    successor: int | None,
+) -> IntervalCost:
+    delta_in = app.comm(interval.start)
+    delta_out = app.comm(interval.end + 1)
+    b_in = _input_bandwidth(platform, processor, predecessor)
+    b_out = _output_bandwidth(platform, processor, successor)
+    input_time = 0.0 if delta_in == 0 else delta_in / b_in
+    output_time = 0.0 if delta_out == 0 else delta_out / b_out
+    return IntervalCost(
+        interval=interval,
+        processor=processor,
+        input_time=input_time,
+        compute_time=interval_compute_time(app, platform, interval, processor),
+        output_time=output_time,
+    )
+
+
+def _all_interval_costs(
+    app: PipelineApplication, platform: Platform, mapping: IntervalMapping
+) -> list[IntervalCost]:
+    mapping.validate(app, platform)
+    costs: list[IntervalCost] = []
+    m = mapping.n_intervals
+    for j, (interval, proc) in enumerate(mapping.items()):
+        predecessor = mapping.processor_of_interval(j - 1) if j > 0 else None
+        successor = mapping.processor_of_interval(j + 1) if j < m - 1 else None
+        costs.append(
+            _interval_cost(app, platform, interval, proc, predecessor, successor)
+        )
+    return costs
+
+
+# --------------------------------------------------------------------------- #
+# aggregate metrics
+# --------------------------------------------------------------------------- #
+def period(
+    app: PipelineApplication, platform: Platform, mapping: IntervalMapping
+) -> float:
+    """Period of the mapping, eq. (1): the largest interval cycle time."""
+    return max(c.cycle_time for c in _all_interval_costs(app, platform, mapping))
+
+
+def latency(
+    app: PipelineApplication, platform: Platform, mapping: IntervalMapping
+) -> float:
+    """Latency of the mapping, eq. (2).
+
+    Sum over intervals of (input communication + computation), plus the final
+    output communication ``delta_n / b``.
+    """
+    costs = _all_interval_costs(app, platform, mapping)
+    total = sum(c.latency_contribution for c in costs)
+    return total + costs[-1].output_time
+
+
+def evaluate(
+    app: PipelineApplication, platform: Platform, mapping: IntervalMapping
+) -> MappingEvaluation:
+    """Evaluate period and latency in a single pass."""
+    costs = _all_interval_costs(app, platform, mapping)
+    per = max(c.cycle_time for c in costs)
+    lat = sum(c.latency_contribution for c in costs) + costs[-1].output_time
+    return MappingEvaluation(period=per, latency=lat, interval_costs=tuple(costs))
+
+
+def latency_of_intervals(
+    app: PipelineApplication,
+    platform: Platform,
+    intervals: Sequence[Interval],
+    processors: Sequence[int],
+) -> float:
+    """Latency of a (possibly partial) chain of intervals without validation.
+
+    Used by the heuristics when scoring candidate splits: the candidate is not
+    a fully-formed :class:`IntervalMapping` yet, but eq. (2) only needs the
+    interval boundaries and the assigned processors.
+    """
+    if len(intervals) != len(processors) or not intervals:
+        raise InvalidMappingError("intervals and processors must align and be non-empty")
+    total = 0.0
+    for j, (iv, proc) in enumerate(zip(intervals, processors)):
+        predecessor = processors[j - 1] if j > 0 else None
+        cost = _interval_cost(app, platform, iv, proc, predecessor, None)
+        total += cost.input_time + cost.compute_time
+    last = intervals[-1]
+    last_cost = _interval_cost(
+        app, platform, last, processors[-1], None, None
+    )
+    return total + last_cost.output_time
+
+
+# --------------------------------------------------------------------------- #
+# bounds and trivial optima
+# --------------------------------------------------------------------------- #
+def optimal_latency(app: PipelineApplication, platform: Platform) -> float:
+    """Minimum achievable latency (Lemma 1).
+
+    The optimum maps the whole pipeline onto the fastest processor; its latency
+    is ``delta_0 / b_in + (sum_i w_i) / s_max + delta_n / b_out``.
+    """
+    return latency(
+        app, platform, IntervalMapping.single_processor(app.n_stages, platform.fastest_processor)
+    )
+
+
+def optimal_latency_mapping(
+    app: PipelineApplication, platform: Platform
+) -> IntervalMapping:
+    """The latency-optimal mapping of Lemma 1 (whole chain on the fastest CPU)."""
+    return IntervalMapping.single_processor(app.n_stages, platform.fastest_processor)
+
+
+def period_lower_bound(app: PipelineApplication, platform: Platform) -> float:
+    """A simple lower bound on the achievable period.
+
+    Three bounds are combined:
+
+    * every stage must be computed somewhere, so the heaviest stage on the
+      fastest processor bounds the period from below;
+    * the first interval must read ``delta_0`` and the last must write
+      ``delta_n``;
+    * with ``p`` processors of aggregate speed ``S`` the total work per period
+      cannot exceed ``T * S``, hence ``T >= W / S``.
+    """
+    heaviest_stage = float(app.works.max()) / platform.max_speed
+    io_bound = max(
+        app.comm(0) / platform.input_bandwidth,
+        app.comm(app.n_stages) / platform.output_bandwidth,
+    )
+    aggregate = app.total_work / platform.total_speed
+    return max(heaviest_stage, io_bound, aggregate)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  The individual subclasses are raised by the core
+data model (invalid applications, platforms or mappings), by the solvers
+(infeasible constraints), and by the experiment harness (bad configuration).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidApplicationError",
+    "InvalidPlatformError",
+    "InvalidMappingError",
+    "InfeasibleError",
+    "ConfigurationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class InvalidApplicationError(ReproError, ValueError):
+    """Raised when a pipeline application description is malformed.
+
+    Typical causes: an empty stage list, negative work amounts, or a
+    communication-size vector whose length is not ``n_stages + 1``.
+    """
+
+
+class InvalidPlatformError(ReproError, ValueError):
+    """Raised when a platform description is malformed.
+
+    Typical causes: no processors, non-positive speeds or bandwidths, or a
+    bandwidth matrix whose shape does not match the processor count.
+    """
+
+
+class InvalidMappingError(ReproError, ValueError):
+    """Raised when an interval mapping violates the structural constraints.
+
+    The constraints checked are the ones of Section 2 of the paper: intervals
+    must be non-empty, consecutive, start at the first stage, end at the last
+    stage, and each interval must be assigned to a distinct existing
+    processor.
+    """
+
+
+class InfeasibleError(ReproError, RuntimeError):
+    """Raised by exact solvers when the requested constraint cannot be met.
+
+    Heuristics do *not* raise this error; they return a result whose
+    ``feasible`` flag is ``False`` so that failure statistics (Table 1 of the
+    paper) can be collected without exception handling in hot loops.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when an experiment or generator configuration is inconsistent."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Raised when the discrete-event simulator reaches an inconsistent state."""

@@ -1,0 +1,348 @@
+"""Interval mappings of pipeline stages onto processors (Section 2).
+
+An *interval mapping* partitions the stages ``[0 .. n-1]`` into ``m <= p``
+intervals of consecutive stages ``I_j = [d_j, e_j]`` (with ``d_1 = 0``,
+``d_{j+1} = e_j + 1`` and ``e_m = n - 1``) and assigns each interval to a
+distinct processor ``alloc(j)``.  One-to-one mappings are the special case
+where every interval is a single stage.
+
+The :class:`IntervalMapping` class stores the partition and the allocation,
+validates the structural constraints, and provides the navigation helpers used
+by the cost model, the heuristics and the simulators (which processor runs a
+stage, which processors talk to each other, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .application import PipelineApplication
+from .exceptions import InvalidMappingError
+from .platform import Platform
+
+__all__ = ["Interval", "IntervalMapping"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A contiguous interval of stages ``[start, end]`` (0-based, inclusive)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise InvalidMappingError(
+                f"invalid interval [{self.start}, {self.end}]"
+            )
+
+    @property
+    def n_stages(self) -> int:
+        """Number of stages contained in the interval."""
+        return self.end - self.start + 1
+
+    def __len__(self) -> int:
+        return self.n_stages
+
+    def __contains__(self, stage: int) -> bool:
+        return self.start <= stage <= self.end
+
+    def stages(self) -> range:
+        """Range over the stage indices of the interval."""
+        return range(self.start, self.end + 1)
+
+    def split(self, cut: int) -> tuple["Interval", "Interval"]:
+        """Split into ``[start, cut]`` and ``[cut + 1, end]``.
+
+        ``cut`` must satisfy ``start <= cut < end`` so both halves are
+        non-empty.
+        """
+        if not self.start <= cut < self.end:
+            raise InvalidMappingError(
+                f"cut {cut} outside splittable range [{self.start}, {self.end - 1}]"
+            )
+        return Interval(self.start, cut), Interval(cut + 1, self.end)
+
+    def split3(self, cut1: int, cut2: int) -> tuple["Interval", "Interval", "Interval"]:
+        """Split into three non-empty intervals at ``cut1 < cut2``."""
+        if not (self.start <= cut1 < cut2 < self.end):
+            raise InvalidMappingError(
+                f"cuts ({cut1}, {cut2}) invalid for interval [{self.start}, {self.end}]"
+            )
+        return (
+            Interval(self.start, cut1),
+            Interval(cut1 + 1, cut2),
+            Interval(cut2 + 1, self.end),
+        )
+
+    def __repr__(self) -> str:
+        return f"Interval({self.start}, {self.end})"
+
+
+class IntervalMapping:
+    """An interval-based mapping of a pipeline onto a platform.
+
+    Parameters
+    ----------
+    intervals:
+        Sequence of ``(start, end)`` pairs or :class:`Interval` objects, in
+        pipeline order, partitioning ``[0 .. n_stages - 1]``.
+    processors:
+        Sequence of distinct processor indices, ``processors[j]`` being
+        ``alloc(j)``, i.e. the processor executing interval ``j``.
+    n_stages / n_processors:
+        Optional sizes used for validation when the application/platform are
+        not passed explicitly.  When :meth:`validate` is later called with an
+        application and a platform the stricter check is performed again.
+    """
+
+    __slots__ = ("_intervals", "_processors")
+
+    def __init__(
+        self,
+        intervals: Sequence[Interval | tuple[int, int]],
+        processors: Sequence[int],
+        n_stages: int | None = None,
+        n_processors: int | None = None,
+    ) -> None:
+        parsed: list[Interval] = []
+        for item in intervals:
+            if isinstance(item, Interval):
+                parsed.append(item)
+            else:
+                start, end = item
+                parsed.append(Interval(int(start), int(end)))
+        if not parsed:
+            raise InvalidMappingError("a mapping needs at least one interval")
+        procs = [int(u) for u in processors]
+        if len(procs) != len(parsed):
+            raise InvalidMappingError(
+                f"{len(parsed)} intervals but {len(procs)} processor assignments"
+            )
+        if len(set(procs)) != len(procs):
+            raise InvalidMappingError(
+                "a processor cannot be assigned more than one interval"
+            )
+        if any(u < 0 for u in procs):
+            raise InvalidMappingError("processor indices must be non-negative")
+        # structural constraints on the partition
+        if parsed[0].start != 0:
+            raise InvalidMappingError("the first interval must start at stage 0")
+        for prev, nxt in zip(parsed, parsed[1:]):
+            if nxt.start != prev.end + 1:
+                raise InvalidMappingError(
+                    f"intervals {prev} and {nxt} are not consecutive"
+                )
+        if n_stages is not None and parsed[-1].end != n_stages - 1:
+            raise InvalidMappingError(
+                f"the last interval must end at stage {n_stages - 1}, "
+                f"got {parsed[-1].end}"
+            )
+        if n_processors is not None and any(u >= n_processors for u in procs):
+            raise InvalidMappingError(
+                f"processor index out of range for a platform with {n_processors} "
+                "processors"
+            )
+        self._intervals = tuple(parsed)
+        self._processors = tuple(procs)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The intervals ``I_1 .. I_m`` in pipeline order."""
+        return self._intervals
+
+    @property
+    def processors(self) -> tuple[int, ...]:
+        """The allocation vector: ``processors[j]`` runs interval ``j``."""
+        return self._processors
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of intervals ``m`` (i.e. of enrolled processors)."""
+        return len(self._intervals)
+
+    @property
+    def n_stages(self) -> int:
+        """Number of stages covered by the mapping."""
+        return self._intervals[-1].end + 1
+
+    @property
+    def used_processors(self) -> frozenset[int]:
+        """Set of processors enrolled by the mapping."""
+        return frozenset(self._processors)
+
+    def interval(self, j: int) -> Interval:
+        """Interval ``I_j`` (0-based)."""
+        return self._intervals[self._check_interval(j)]
+
+    def processor_of_interval(self, j: int) -> int:
+        """Processor ``alloc(j)`` executing interval ``j``."""
+        return self._processors[self._check_interval(j)]
+
+    def interval_of_stage(self, stage: int) -> int:
+        """Index of the interval containing ``stage``."""
+        if not 0 <= stage < self.n_stages:
+            raise InvalidMappingError(
+                f"stage {stage} out of range [0, {self.n_stages - 1}]"
+            )
+        # binary search over interval starts
+        lo, hi = 0, self.n_intervals - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._intervals[mid].start <= stage:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def processor_of_stage(self, stage: int) -> int:
+        """Processor executing ``stage``."""
+        return self._processors[self.interval_of_stage(stage)]
+
+    def items(self) -> Iterator[tuple[Interval, int]]:
+        """Iterate over ``(interval, processor)`` pairs in pipeline order."""
+        return zip(self._intervals, self._processors)
+
+    def __iter__(self) -> Iterator[tuple[Interval, int]]:
+        return self.items()
+
+    def __len__(self) -> int:
+        return self.n_intervals
+
+    @property
+    def is_one_to_one(self) -> bool:
+        """``True`` when every interval contains exactly one stage."""
+        return all(iv.n_stages == 1 for iv in self._intervals)
+
+    # ------------------------------------------------------------------ #
+    # validation and construction helpers
+    # ------------------------------------------------------------------ #
+    def validate(self, app: PipelineApplication, platform: Platform) -> None:
+        """Check the mapping against a concrete application and platform.
+
+        Raises :class:`InvalidMappingError` if the partition does not cover all
+        stages, uses more intervals than processors, or references processors
+        outside the platform.
+        """
+        if self.n_stages != app.n_stages:
+            raise InvalidMappingError(
+                f"mapping covers {self.n_stages} stages but the application has "
+                f"{app.n_stages}"
+            )
+        if self.n_intervals > platform.n_processors:
+            raise InvalidMappingError(
+                f"mapping uses {self.n_intervals} processors but the platform only "
+                f"has {platform.n_processors}"
+            )
+        for u in self._processors:
+            if u >= platform.n_processors:
+                raise InvalidMappingError(
+                    f"processor index {u} out of range for platform "
+                    f"with {platform.n_processors} processors"
+                )
+
+    @classmethod
+    def single_processor(cls, n_stages: int, processor: int) -> "IntervalMapping":
+        """Map the whole pipeline onto one processor (Lemma 1's optimum)."""
+        if n_stages <= 0:
+            raise InvalidMappingError("n_stages must be positive")
+        return cls([(0, n_stages - 1)], [processor])
+
+    @classmethod
+    def one_to_one(cls, processors: Sequence[int]) -> "IntervalMapping":
+        """One stage per processor, in the given processor order."""
+        procs = list(processors)
+        if not procs:
+            raise InvalidMappingError("at least one processor is required")
+        return cls([(i, i) for i in range(len(procs))], procs)
+
+    @classmethod
+    def from_boundaries(
+        cls, boundaries: Sequence[int], processors: Sequence[int], n_stages: int
+    ) -> "IntervalMapping":
+        """Build a mapping from interval *end* boundaries.
+
+        ``boundaries`` lists the last stage of every interval except the final
+        one (which always ends at ``n_stages - 1``).  For instance with
+        ``n_stages = 6`` and ``boundaries = [1, 3]`` the intervals are
+        ``[0,1] [2,3] [4,5]``.
+        """
+        bounds = sorted(int(x) for x in boundaries)
+        starts = [0] + [b + 1 for b in bounds]
+        ends = bounds + [n_stages - 1]
+        return cls(list(zip(starts, ends)), processors, n_stages=n_stages)
+
+    def replace(
+        self,
+        j: int,
+        new_intervals: Iterable[Interval | tuple[int, int]],
+        new_processors: Iterable[int],
+    ) -> "IntervalMapping":
+        """Return a copy where interval ``j`` is replaced by several intervals.
+
+        This is the elementary operation of the splitting heuristics: interval
+        ``I_j`` is removed and the new intervals/processors are spliced in its
+        place.  The new intervals must exactly cover ``I_j``.
+        """
+        j = self._check_interval(j)
+        target = self._intervals[j]
+        new_ivs = [
+            iv if isinstance(iv, Interval) else Interval(int(iv[0]), int(iv[1]))
+            for iv in new_intervals
+        ]
+        new_procs = [int(u) for u in new_processors]
+        if not new_ivs:
+            raise InvalidMappingError("replacement must contain at least one interval")
+        if new_ivs[0].start != target.start or new_ivs[-1].end != target.end:
+            raise InvalidMappingError(
+                f"replacement {new_ivs} does not cover interval {target}"
+            )
+        intervals = list(self._intervals[:j]) + new_ivs + list(self._intervals[j + 1 :])
+        processors = (
+            list(self._processors[:j]) + new_procs + list(self._processors[j + 1 :])
+        )
+        return IntervalMapping(intervals, processors)
+
+    def boundaries(self) -> list[int]:
+        """Interval end boundaries (inverse of :meth:`from_boundaries`)."""
+        return [iv.end for iv in self._intervals[:-1]]
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+    def _check_interval(self, j: int) -> int:
+        if not 0 <= j < self.n_intervals:
+            raise InvalidMappingError(
+                f"interval index {j} out of range [0, {self.n_intervals - 1}]"
+            )
+        return j
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalMapping):
+            return NotImplemented
+        return (
+            self._intervals == other._intervals
+            and self._processors == other._processors
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._intervals, self._processors))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"[{iv.start},{iv.end}]->P{u + 1}" for iv, u in self.items()
+        )
+        return f"IntervalMapping({parts})"
+
+    def describe(self) -> str:
+        """Multi-line human readable description (1-based, paper notation)."""
+        lines = [f"Interval mapping with {self.n_intervals} interval(s)"]
+        for j, (iv, u) in enumerate(self.items()):
+            lines.append(
+                f"  I{j + 1} = stages S{iv.start + 1}..S{iv.end + 1} on P{u + 1}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Bi-criteria (period, latency) points, Pareto dominance and Pareto fronts.
+
+The experimental section of the paper presents each heuristic as a curve in
+the latency-versus-period plane.  This module provides the small amount of
+multi-objective machinery needed to manipulate those curves: dominance tests,
+non-dominated filtering, scalarisation, and summary indicators (ideal/nadir
+points, a 2-D hypervolume) used by the analysis helpers and the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "BicriteriaPoint",
+    "dominates",
+    "pareto_front",
+    "ideal_point",
+    "nadir_point",
+    "hypervolume_2d",
+    "weighted_sum",
+    "best_by_weighted_sum",
+]
+
+
+@dataclass(frozen=True)
+class BicriteriaPoint:
+    """A (period, latency) objective point, optionally labelled.
+
+    Both objectives are minimised.  ``payload`` can carry the mapping or any
+    other artefact that produced the point; it does not take part in equality
+    or ordering.
+    """
+
+    period: float
+    latency: float
+    label: str = ""
+    payload: object = None
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.period, self.latency)
+
+    def dominates(self, other: "BicriteriaPoint", tol: float = 1e-12) -> bool:
+        return dominates(self.as_tuple(), other.as_tuple(), tol=tol)
+
+    def __iter__(self):
+        return iter((self.period, self.latency))
+
+
+def _coerce(point: BicriteriaPoint | Sequence[float]) -> tuple[float, float]:
+    if isinstance(point, BicriteriaPoint):
+        return point.as_tuple()
+    per, lat = point
+    return (float(per), float(lat))
+
+
+def dominates(
+    a: BicriteriaPoint | Sequence[float],
+    b: BicriteriaPoint | Sequence[float],
+    tol: float = 1e-12,
+) -> bool:
+    """``True`` iff ``a`` Pareto-dominates ``b`` (both criteria minimised)."""
+    (pa, la), (pb, lb) = _coerce(a), _coerce(b)
+    not_worse = pa <= pb + tol and la <= lb + tol
+    strictly_better = pa < pb - tol or la < lb - tol
+    return not_worse and strictly_better
+
+
+def pareto_front(
+    points: Iterable[BicriteriaPoint | Sequence[float]], tol: float = 1e-12
+) -> list[BicriteriaPoint]:
+    """Non-dominated subset of ``points``, sorted by increasing period.
+
+    Input points may be raw ``(period, latency)`` pairs; they are normalised
+    to :class:`BicriteriaPoint`.  Duplicate objective vectors are collapsed to
+    a single representative (the first seen).
+    """
+    normalised: list[BicriteriaPoint] = []
+    for pt in points:
+        if isinstance(pt, BicriteriaPoint):
+            normalised.append(pt)
+        else:
+            per, lat = _coerce(pt)
+            normalised.append(BicriteriaPoint(per, lat))
+    if not normalised:
+        return []
+    # sort by period then latency; sweep keeping strictly decreasing latency
+    normalised.sort(key=lambda p: (p.period, p.latency))
+    front: list[BicriteriaPoint] = []
+    best_latency = float("inf")
+    for pt in normalised:
+        if pt.latency < best_latency - tol:
+            front.append(pt)
+            best_latency = pt.latency
+        elif not front:
+            front.append(pt)
+            best_latency = pt.latency
+    # The sweep treats periods differing by less than ``tol`` as distinct
+    # levels, which can leave a pair of near-equal-period points where one
+    # dominates the other within tolerance; a final filter restores mutual
+    # non-dominance under the same tolerance.
+    return [
+        a
+        for i, a in enumerate(front)
+        if not any(j != i and dominates(b, a, tol=tol) for j, b in enumerate(front))
+    ]
+
+
+def ideal_point(points: Iterable[BicriteriaPoint | Sequence[float]]) -> tuple[float, float]:
+    """Component-wise minimum of the point set (usually unattainable)."""
+    pts = [_coerce(p) for p in points]
+    if not pts:
+        raise ValueError("ideal_point of an empty point set")
+    return (min(p for p, _ in pts), min(l for _, l in pts))
+
+
+def nadir_point(points: Iterable[BicriteriaPoint | Sequence[float]]) -> tuple[float, float]:
+    """Component-wise maximum over the Pareto front of the point set."""
+    front = pareto_front(points)
+    if not front:
+        raise ValueError("nadir_point of an empty point set")
+    return (max(p.period for p in front), max(p.latency for p in front))
+
+
+def hypervolume_2d(
+    points: Iterable[BicriteriaPoint | Sequence[float]],
+    reference: Sequence[float],
+) -> float:
+    """Area dominated by the Pareto front of ``points`` up to ``reference``.
+
+    Points beyond the reference point contribute nothing.  A larger value
+    means a better (closer to the origin) front.  This is the standard 2-D
+    hypervolume computed by sweeping the sorted non-dominated points.
+    """
+    ref_p, ref_l = float(reference[0]), float(reference[1])
+    front = [
+        pt
+        for pt in pareto_front(points)
+        if pt.period < ref_p and pt.latency < ref_l
+    ]
+    if not front:
+        return 0.0
+    volume = 0.0
+    prev_latency = ref_l
+    for pt in front:  # sorted by increasing period, decreasing latency
+        volume += (ref_p - pt.period) * (prev_latency - pt.latency)
+        prev_latency = pt.latency
+    return volume
+
+
+def weighted_sum(
+    point: BicriteriaPoint | Sequence[float],
+    period_weight: float = 0.5,
+    latency_weight: float = 0.5,
+) -> float:
+    """Linear scalarisation ``w_p * period + w_l * latency``."""
+    per, lat = _coerce(point)
+    return period_weight * per + latency_weight * lat
+
+
+def best_by_weighted_sum(
+    points: Iterable[BicriteriaPoint | Sequence[float]],
+    period_weight: float = 0.5,
+    latency_weight: float = 0.5,
+) -> BicriteriaPoint:
+    """Point minimising the linear scalarisation (ties: smallest period)."""
+    best: BicriteriaPoint | None = None
+    best_score = float("inf")
+    for pt in points:
+        norm = pt if isinstance(pt, BicriteriaPoint) else BicriteriaPoint(*_coerce(pt))
+        score = weighted_sum(norm, period_weight, latency_weight)
+        if score < best_score - 1e-15 or (
+            abs(score - best_score) <= 1e-15
+            and best is not None
+            and norm.period < best.period
+        ):
+            best, best_score = norm, score
+    if best is None:
+        raise ValueError("best_by_weighted_sum of an empty point set")
+    return best

@@ -1,0 +1,47 @@
+"""Exact solvers used as baselines and ground truth.
+
+* Lemma 1 (optimal latency) lives in :mod:`repro.core.costs`
+  (:func:`repro.core.costs.optimal_latency`).
+* :mod:`repro.exact.brute_force` enumerates every interval mapping (tiny
+  instances only).
+* :mod:`repro.exact.dp_bitmask` solves the bi-criteria problem exactly for a
+  small number of processors via a subset dynamic program.
+* :mod:`repro.exact.homogeneous_dp` solves the fully homogeneous case in
+  polynomial time (the Subhlok–Vondran setting the paper extends).
+"""
+
+from ..core.costs import optimal_latency, optimal_latency_mapping
+from .brute_force import (
+    brute_force_min_latency,
+    brute_force_min_period,
+    brute_force_pareto_front,
+    enumerate_interval_mappings,
+)
+from .dp_bitmask import dp_min_latency_for_period, dp_min_period_for_latency
+from .homogeneous_dp import (
+    homogeneous_min_latency_for_period,
+    homogeneous_min_period,
+    homogeneous_min_period_for_latency,
+)
+from .one_to_one import (
+    one_to_one_cycle_matrix,
+    one_to_one_min_latency,
+    one_to_one_min_period,
+)
+
+__all__ = [
+    "one_to_one_cycle_matrix",
+    "one_to_one_min_latency",
+    "one_to_one_min_period",
+    "optimal_latency",
+    "optimal_latency_mapping",
+    "enumerate_interval_mappings",
+    "brute_force_min_period",
+    "brute_force_min_latency",
+    "brute_force_pareto_front",
+    "dp_min_latency_for_period",
+    "dp_min_period_for_latency",
+    "homogeneous_min_period",
+    "homogeneous_min_latency_for_period",
+    "homogeneous_min_period_for_latency",
+]

@@ -1,0 +1,130 @@
+"""Exhaustive solvers for the bi-criteria interval-mapping problem.
+
+These solvers enumerate *every* interval partition of the pipeline and every
+injective assignment of intervals to processors.  They are exponential in both
+``n`` and ``p`` and are therefore only meant for small instances, where they
+provide the ground truth used to validate the heuristics and the dynamic
+programs (tests and the optimality-gap benchmark).
+
+Enumeration size: the number of partitions of ``n`` stages into ``m``
+intervals is ``C(n-1, m-1)`` and each partition admits ``p! / (p-m)!``
+assignments, so keep ``n <= 10`` and ``p <= 6`` in practice.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Iterator
+
+from ..core.application import PipelineApplication
+from ..core.costs import MappingEvaluation, evaluate
+from ..core.exceptions import InfeasibleError
+from ..core.mapping import IntervalMapping
+from ..core.pareto import BicriteriaPoint, pareto_front
+from ..core.platform import Platform
+
+__all__ = [
+    "enumerate_interval_mappings",
+    "brute_force_min_period",
+    "brute_force_min_latency",
+    "brute_force_pareto_front",
+]
+
+_MAX_STAGES = 14
+_MAX_PROCESSORS = 8
+
+
+def _check_size(app: PipelineApplication, platform: Platform) -> None:
+    if app.n_stages > _MAX_STAGES or platform.n_processors > _MAX_PROCESSORS:
+        raise ValueError(
+            "brute-force enumeration is limited to "
+            f"n <= {_MAX_STAGES} stages and p <= {_MAX_PROCESSORS} processors "
+            f"(got n={app.n_stages}, p={platform.n_processors})"
+        )
+
+
+def enumerate_interval_mappings(
+    app: PipelineApplication, platform: Platform
+) -> Iterator[IntervalMapping]:
+    """Yield every valid interval mapping of ``app`` onto ``platform``.
+
+    All partitions of the stages into ``1 .. min(n, p)`` intervals are
+    generated, combined with every ordered choice of distinct processors.
+    """
+    _check_size(app, platform)
+    n = app.n_stages
+    p = platform.n_processors
+    processor_indices = list(range(p))
+    for m in range(1, min(n, p) + 1):
+        for cut_positions in combinations(range(n - 1), m - 1):
+            boundaries = list(cut_positions)
+            starts = [0] + [b + 1 for b in boundaries]
+            ends = boundaries + [n - 1]
+            intervals = list(zip(starts, ends))
+            for procs in permutations(processor_indices, m):
+                yield IntervalMapping(intervals, list(procs))
+
+
+def brute_force_min_period(
+    app: PipelineApplication,
+    platform: Platform,
+    latency_bound: float | None = None,
+) -> tuple[IntervalMapping, MappingEvaluation]:
+    """Mapping of minimum period, optionally subject to ``latency <= bound``.
+
+    Raises :class:`InfeasibleError` when no mapping satisfies the latency
+    bound (the unconstrained problem is always feasible).
+    """
+    best: tuple[IntervalMapping, MappingEvaluation] | None = None
+    for mapping in enumerate_interval_mappings(app, platform):
+        ev = evaluate(app, platform, mapping)
+        if latency_bound is not None and ev.latency > latency_bound + 1e-12:
+            continue
+        if best is None or ev.period < best[1].period - 1e-15 or (
+            abs(ev.period - best[1].period) <= 1e-15 and ev.latency < best[1].latency
+        ):
+            best = (mapping, ev)
+    if best is None:
+        raise InfeasibleError(
+            f"no interval mapping satisfies latency <= {latency_bound}"
+        )
+    return best
+
+
+def brute_force_min_latency(
+    app: PipelineApplication,
+    platform: Platform,
+    period_bound: float | None = None,
+) -> tuple[IntervalMapping, MappingEvaluation]:
+    """Mapping of minimum latency, optionally subject to ``period <= bound``.
+
+    Raises :class:`InfeasibleError` when no mapping satisfies the period bound.
+    """
+    best: tuple[IntervalMapping, MappingEvaluation] | None = None
+    for mapping in enumerate_interval_mappings(app, platform):
+        ev = evaluate(app, platform, mapping)
+        if period_bound is not None and ev.period > period_bound + 1e-12:
+            continue
+        if best is None or ev.latency < best[1].latency - 1e-15 or (
+            abs(ev.latency - best[1].latency) <= 1e-15 and ev.period < best[1].period
+        ):
+            best = (mapping, ev)
+    if best is None:
+        raise InfeasibleError(f"no interval mapping satisfies period <= {period_bound}")
+    return best
+
+
+def brute_force_pareto_front(
+    app: PipelineApplication, platform: Platform
+) -> list[BicriteriaPoint]:
+    """Exact Pareto front of (period, latency) over all interval mappings.
+
+    Each returned point carries its mapping in ``payload``.
+    """
+    points = []
+    for mapping in enumerate_interval_mappings(app, platform):
+        ev = evaluate(app, platform, mapping)
+        points.append(
+            BicriteriaPoint(ev.period, ev.latency, label="exact", payload=mapping)
+        )
+    return pareto_front(points)

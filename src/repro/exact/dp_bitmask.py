@@ -1,0 +1,190 @@
+"""Exact bi-criteria solver via dynamic programming over processor subsets.
+
+For communication-homogeneous (and even fully homogeneous) platforms with a
+*small* number of processors, the bi-criteria problem "minimise the latency
+subject to ``period <= P``" can be solved exactly in
+``O(n^2 * 2^p * p)`` time by a dynamic program whose state is
+
+    (next stage to map, set of processors already used)
+
+and whose value is the minimum accumulated latency of the prefix.  The
+converse problem "minimise the period subject to ``latency <= L``" is solved
+by a bisection on the period whose feasibility oracle is the same DP.
+
+These solvers remain exponential in ``p`` (the problem is NP-hard, Theorem 2),
+but they are far more scalable than plain enumeration (``p`` up to ~14, ``n``
+up to a few hundred) and serve as the reference optimum in the optimality-gap
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.application import PipelineApplication
+from ..core.costs import evaluate, interval_cycle_time, optimal_latency
+from ..core.exceptions import InfeasibleError
+from ..core.mapping import Interval, IntervalMapping
+from ..core.platform import Platform
+
+__all__ = ["dp_min_latency_for_period", "dp_min_period_for_latency"]
+
+_MAX_PROCESSORS = 16
+
+
+def _check_platform(platform: Platform) -> None:
+    if platform.n_processors > _MAX_PROCESSORS:
+        raise ValueError(
+            "the bitmask DP is exponential in p; "
+            f"use p <= {_MAX_PROCESSORS} (got {platform.n_processors})"
+        )
+    if not platform.is_communication_homogeneous:
+        raise ValueError(
+            "the bitmask DP assumes a communication-homogeneous platform"
+        )
+
+
+def dp_min_latency_for_period(
+    app: PipelineApplication,
+    platform: Platform,
+    period_bound: float,
+) -> tuple[IntervalMapping, float]:
+    """Exact minimum latency subject to ``period <= period_bound``.
+
+    Returns the optimal mapping and its latency.  Raises
+    :class:`InfeasibleError` when no interval mapping meets the period bound.
+    """
+    _check_platform(platform)
+    n = app.n_stages
+    p = platform.n_processors
+    b = platform.uniform_bandwidth
+    b_in = platform.input_bandwidth
+    b_out = platform.output_bandwidth
+    speeds = platform.speeds
+    comm = app.comm_sizes
+    prefix = np.concatenate(([0.0], np.cumsum(app.works)))
+
+    INF = float("inf")
+    size = 1 << p
+    # table[i][mask]: min accumulated latency of stages [0, i) using processors `mask`
+    table = np.full((n + 1, size), INF)
+    table[0, 0] = 0.0
+    # choices[i][mask] = (previous stage index, previous mask, processor used)
+    choices: list[dict[int, tuple[int, int, int]]] = [dict() for _ in range(n + 1)]
+
+    for i in range(n):
+        row = table[i]
+        active_masks = np.nonzero(np.isfinite(row))[0]
+        if active_masks.size == 0:
+            continue
+        for mask in active_masks:
+            base_latency = float(row[mask])
+            for u in range(p):
+                bit = 1 << u
+                if mask & bit:
+                    continue
+                s = float(speeds[u])
+                in_bw = b_in if i == 0 else b
+                input_time = comm[i] / in_bw if comm[i] else 0.0
+                # try every interval end e >= i
+                for e in range(i, n):
+                    work_time = float(prefix[e + 1] - prefix[i]) / s
+                    out_bw = b_out if e == n - 1 else b
+                    output_time = comm[e + 1] / out_bw if comm[e + 1] else 0.0
+                    cycle = input_time + work_time + output_time
+                    if cycle > period_bound + 1e-12:
+                        # input + work grows monotonically with e: once it alone
+                        # exceeds the bound, no longer interval can be feasible
+                        if input_time + work_time > period_bound + 1e-12:
+                            break
+                        continue
+                    new_latency = base_latency + input_time + work_time
+                    new_mask = mask | bit
+                    if new_latency < table[e + 1, new_mask] - 1e-15:
+                        table[e + 1, new_mask] = new_latency
+                        choices[e + 1][new_mask] = (i, mask, u)
+
+    final_row = table[n]
+    finite = np.isfinite(final_row)
+    if not finite.any():
+        raise InfeasibleError(
+            f"no interval mapping achieves period <= {period_bound:g}"
+        )
+    tail = comm[n] / b_out if comm[n] else 0.0
+    best_mask = int(np.argmin(np.where(finite, final_row, np.inf)))
+    best_latency = float(final_row[best_mask]) + tail
+
+    # rebuild the mapping
+    intervals: list[Interval] = []
+    processors: list[int] = []
+    i, mask = n, best_mask
+    while i > 0:
+        prev_i, prev_mask, proc = choices[i][mask]
+        intervals.append(Interval(prev_i, i - 1))
+        processors.append(proc)
+        i, mask = prev_i, prev_mask
+    intervals.reverse()
+    processors.reverse()
+    mapping = IntervalMapping(intervals, processors)
+    # sanity: recompute with the generic cost model
+    ev = evaluate(app, platform, mapping)
+    return mapping, float(ev.latency)
+
+
+def dp_min_period_for_latency(
+    app: PipelineApplication,
+    platform: Platform,
+    latency_bound: float,
+    rel_tol: float = 1e-6,
+    max_iter: int = 100,
+) -> tuple[IntervalMapping, float]:
+    """Exact (up to bisection tolerance) minimum period s.t. ``latency <= bound``.
+
+    Bisect on the period bound, using :func:`dp_min_latency_for_period` as the
+    feasibility oracle.  Raises :class:`InfeasibleError` when even the
+    latency-optimal mapping (Lemma 1) exceeds the latency bound.
+    """
+    _check_platform(platform)
+    if optimal_latency(app, platform) > latency_bound + 1e-12:
+        raise InfeasibleError(
+            f"latency bound {latency_bound:g} is below the optimal latency"
+        )
+
+    # Upper bound on the period: whole pipeline on the fastest processor.
+    whole = Interval(0, app.n_stages - 1)
+    hi = interval_cycle_time(app, platform, whole, platform.fastest_processor)
+    lo = 0.0
+    best_mapping: IntervalMapping | None = None
+    best_period = hi
+
+    def try_period(period_bound: float) -> IntervalMapping | None:
+        try:
+            mapping, latency = dp_min_latency_for_period(app, platform, period_bound)
+        except InfeasibleError:
+            return None
+        if latency > latency_bound + 1e-9:
+            return None
+        return mapping
+
+    mapping = try_period(hi)
+    if mapping is None:  # pragma: no cover - the Lemma 1 mapping is always valid
+        raise InfeasibleError("no feasible mapping found at the trivial period bound")
+    best_mapping = mapping
+    best_period = evaluate(app, platform, mapping).period
+
+    for _ in range(max_iter):
+        if hi - lo <= rel_tol * max(1.0, hi):
+            break
+        mid = 0.5 * (lo + hi)
+        mapping = try_period(mid)
+        if mapping is not None:
+            hi = mid
+            candidate_period = evaluate(app, platform, mapping).period
+            if candidate_period < best_period:
+                best_mapping, best_period = mapping, candidate_period
+        else:
+            lo = mid
+    assert best_mapping is not None
+    return best_mapping, float(best_period)

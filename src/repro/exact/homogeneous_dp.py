@@ -1,0 +1,233 @@
+"""Polynomial exact bi-criteria solvers for *fully homogeneous* platforms.
+
+When every processor has the same speed the processor assignment is
+irrelevant and the bi-criteria mapping problem becomes polynomial (this is the
+setting of Subhlok & Vondran [19, 20], which the paper generalises).  The
+solvers below provide:
+
+* :func:`homogeneous_min_period` — optimal period over all interval
+  partitions into at most ``p`` intervals (``O(n^2 p)`` DP);
+* :func:`homogeneous_min_latency_for_period` — optimal latency subject to a
+  period bound (``O(n^2 p)`` DP);
+* :func:`homogeneous_min_period_for_latency` — optimal period subject to a
+  latency bound, via an exact search over the ``O(n^2)`` candidate period
+  values (interval cycle times).
+
+They are used as baselines and as ground truth in the tests: on a homogeneous
+platform the heuristics of Section 4 can never beat them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.application import PipelineApplication
+from ..core.costs import evaluate
+from ..core.exceptions import InfeasibleError, InvalidPlatformError
+from ..core.mapping import Interval, IntervalMapping
+from ..core.platform import Platform
+
+__all__ = [
+    "homogeneous_min_period",
+    "homogeneous_min_latency_for_period",
+    "homogeneous_min_period_for_latency",
+]
+
+
+def _check_homogeneous(platform: Platform) -> float:
+    speeds = platform.speeds
+    if not np.allclose(speeds, speeds[0]):
+        raise InvalidPlatformError(
+            "this solver requires identical processor speeds; "
+            "use the bitmask DP or the heuristics for heterogeneous platforms"
+        )
+    if not platform.is_communication_homogeneous:
+        raise InvalidPlatformError("this solver requires identical link bandwidths")
+    return float(speeds[0])
+
+
+def _cycle_matrix(app: PipelineApplication, platform: Platform) -> np.ndarray:
+    """``cycle[d, e]``: cycle time of interval ``[d, e]`` on any processor."""
+    n = app.n_stages
+    s = _check_homogeneous(platform)
+    b = platform.uniform_bandwidth
+    b_in, b_out = platform.input_bandwidth, platform.output_bandwidth
+    comm = app.comm_sizes
+    prefix = np.concatenate(([0.0], np.cumsum(app.works)))
+    cycle = np.full((n, n), np.inf)
+    for d in range(n):
+        in_bw = b_in if d == 0 else b
+        input_time = comm[d] / in_bw if comm[d] else 0.0
+        for e in range(d, n):
+            out_bw = b_out if e == n - 1 else b
+            output_time = comm[e + 1] / out_bw if comm[e + 1] else 0.0
+            cycle[d, e] = input_time + (prefix[e + 1] - prefix[d]) / s + output_time
+    return cycle
+
+
+def _latency_term_matrix(app: PipelineApplication, platform: Platform) -> np.ndarray:
+    """``term[d, e]``: latency contribution (input + compute) of interval ``[d, e]``."""
+    n = app.n_stages
+    s = _check_homogeneous(platform)
+    b = platform.uniform_bandwidth
+    b_in = platform.input_bandwidth
+    comm = app.comm_sizes
+    prefix = np.concatenate(([0.0], np.cumsum(app.works)))
+    term = np.full((n, n), np.inf)
+    for d in range(n):
+        in_bw = b_in if d == 0 else b
+        input_time = comm[d] / in_bw if comm[d] else 0.0
+        for e in range(d, n):
+            term[d, e] = input_time + (prefix[e + 1] - prefix[d]) / s
+    return term
+
+
+def _mapping_from_boundaries(
+    boundaries: list[int], n: int
+) -> IntervalMapping:
+    """Mapping from exclusive interval ends, processors assigned in index order."""
+    intervals: list[Interval] = []
+    start = 0
+    for end_excl in boundaries:
+        intervals.append(Interval(start, end_excl - 1))
+        start = end_excl
+    if start < n:
+        intervals.append(Interval(start, n - 1))
+    processors = list(range(len(intervals)))
+    return IntervalMapping(intervals, processors)
+
+
+def homogeneous_min_period(
+    app: PipelineApplication, platform: Platform
+) -> tuple[IntervalMapping, float]:
+    """Optimal-period interval mapping on a fully homogeneous platform."""
+    n = app.n_stages
+    p = min(platform.n_processors, n)
+    cycle = _cycle_matrix(app, platform)
+
+    INF = float("inf")
+    # dp[k][i]: minimum over partitions of stages [0, i) into exactly k intervals
+    dp = np.full((p + 1, n + 1), INF)
+    dp[0, 0] = 0.0
+    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
+    for k in range(1, p + 1):
+        for i in range(1, n + 1):
+            best = INF
+            best_j = -1
+            for j in range(k - 1, i):
+                if dp[k - 1, j] == INF:
+                    continue
+                candidate = max(dp[k - 1, j], cycle[j, i - 1])
+                if candidate < best:
+                    best = candidate
+                    best_j = j
+            dp[k, i] = best
+            parent[k, i] = best_j
+
+    best_k = int(np.argmin(dp[1 : p + 1, n])) + 1
+    best_value = float(dp[best_k, n])
+    # rebuild boundaries
+    boundaries: list[int] = []
+    i, k = n, best_k
+    while k > 0:
+        j = int(parent[k, i])
+        boundaries.append(i)
+        i, k = j, k - 1
+    boundaries.reverse()
+    mapping = _mapping_from_boundaries(boundaries, n)
+    ev = evaluate(app, platform, mapping)
+    assert abs(ev.period - best_value) <= 1e-9 * max(1.0, best_value)
+    return mapping, float(ev.period)
+
+
+def homogeneous_min_latency_for_period(
+    app: PipelineApplication, platform: Platform, period_bound: float
+) -> tuple[IntervalMapping, float]:
+    """Optimal latency subject to ``period <= period_bound`` (homogeneous case)."""
+    n = app.n_stages
+    p = min(platform.n_processors, n)
+    cycle = _cycle_matrix(app, platform)
+    term = _latency_term_matrix(app, platform)
+
+    INF = float("inf")
+    # dp[k][i]: min accumulated latency of stages [0, i) split into exactly k
+    # intervals whose cycle times all respect the period bound
+    dp = np.full((p + 1, n + 1), INF)
+    dp[0, 0] = 0.0
+    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
+    for k in range(1, p + 1):
+        for i in range(k, n + 1):
+            best = INF
+            best_j = -1
+            for j in range(k - 1, i):
+                if dp[k - 1, j] == INF:
+                    continue
+                if cycle[j, i - 1] > period_bound + 1e-12:
+                    continue
+                candidate = dp[k - 1, j] + term[j, i - 1]
+                if candidate < best - 1e-15:
+                    best = candidate
+                    best_j = j
+            dp[k, i] = best
+            parent[k, i] = best_j
+
+    finite_levels = [k for k in range(1, p + 1) if dp[k, n] < INF]
+    if not finite_levels:
+        raise InfeasibleError(
+            f"no homogeneous interval mapping achieves period <= {period_bound:g}"
+        )
+    best_k = min(finite_levels, key=lambda k: dp[k, n])
+
+    boundaries: list[int] = []
+    i, k = n, best_k
+    while k > 0:
+        j = int(parent[k, i])
+        if j < 0:
+            raise InfeasibleError("failed to reconstruct the optimal partition")
+        boundaries.append(i)
+        i, k = j, k - 1
+    boundaries.reverse()
+    mapping = _mapping_from_boundaries(boundaries, n)
+    ev = evaluate(app, platform, mapping)
+    if ev.period > period_bound + 1e-9:
+        raise InfeasibleError("reconstructed mapping violates the period bound")
+    return mapping, float(ev.latency)
+
+
+def homogeneous_min_period_for_latency(
+    app: PipelineApplication, platform: Platform, latency_bound: float
+) -> tuple[IntervalMapping, float]:
+    """Optimal period subject to ``latency <= latency_bound`` (homogeneous case).
+
+    The optimal period is one of the ``O(n^2)`` interval cycle times, so an
+    exact binary search over the sorted candidate values is performed, using
+    :func:`homogeneous_min_latency_for_period` as the feasibility oracle.
+    """
+    n = app.n_stages
+    cycle = _cycle_matrix(app, platform)
+    candidates = np.unique(cycle[np.isfinite(cycle)])
+
+    best: tuple[IntervalMapping, float] | None = None
+    lo, hi = 0, candidates.size - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        period_bound = float(candidates[mid])
+        try:
+            mapping, latency = homogeneous_min_latency_for_period(
+                app, platform, period_bound
+            )
+            feasible = latency <= latency_bound + 1e-9
+        except InfeasibleError:
+            feasible = False
+        if feasible:
+            ev = evaluate(app, platform, mapping)
+            if best is None or ev.period < best[1]:
+                best = (mapping, float(ev.period))
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        raise InfeasibleError(
+            f"no homogeneous interval mapping achieves latency <= {latency_bound:g}"
+        )
+    return best

@@ -1,0 +1,157 @@
+"""Exact solvers for *one-to-one* mappings (one stage per processor).
+
+Section 2 of the paper introduces one-to-one mappings as the restricted case
+of interval mappings where every enrolled processor receives exactly one
+stage (only possible when ``n <= p``).  Although the paper immediately moves
+to interval mappings, the one-to-one case is a useful exact baseline because
+it is polynomial on communication-homogeneous platforms:
+
+* **minimum latency** — the latency of a one-to-one mapping is a sum of
+  independent per-stage terms ``delta_{k-1}/b + w_k / s_alloc(k)``, so the
+  optimal assignment is a linear sum assignment problem (solved here with
+  ``scipy.optimize.linear_sum_assignment``);
+* **minimum period** — the period is the maximum of the same per-stage cycle
+  terms, so the optimal assignment is a *bottleneck* assignment problem,
+  solved by a binary search over the candidate cycle values combined with a
+  bipartite perfect-matching feasibility test (``networkx``).
+
+Both solvers give additional ground truth for the heuristics: an interval
+mapping can beat a one-to-one mapping (by saving communications) and the
+period-optimal interval mapping is never worse than the period-optimal
+one-to-one mapping on the same platform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised implicitly by the import-time fallback
+    import networkx as nx
+except ImportError:  # pragma: no cover
+    nx = None
+
+try:  # pragma: no cover
+    from scipy.optimize import linear_sum_assignment
+except ImportError:  # pragma: no cover
+    linear_sum_assignment = None
+
+from ..core.application import PipelineApplication
+from ..core.costs import evaluate
+from ..core.exceptions import InfeasibleError
+from ..core.mapping import IntervalMapping
+from ..core.platform import Platform
+
+__all__ = ["one_to_one_min_latency", "one_to_one_min_period", "one_to_one_cycle_matrix"]
+
+
+def _check_sizes(app: PipelineApplication, platform: Platform) -> None:
+    if app.n_stages > platform.n_processors:
+        raise InfeasibleError(
+            "a one-to-one mapping needs at least as many processors as stages "
+            f"(n={app.n_stages}, p={platform.n_processors})"
+        )
+
+
+def one_to_one_cycle_matrix(
+    app: PipelineApplication, platform: Platform
+) -> np.ndarray:
+    """``cycle[k, u]``: cycle time of stage ``k`` if executed alone on ``u``.
+
+    Uses the communication-homogeneous cost model: the stage pays its input
+    and output communications at the uniform bandwidth (the platform's
+    input/output bandwidths for the first/last stage).
+    """
+    n, p = app.n_stages, platform.n_processors
+    b = platform.uniform_bandwidth
+    cycles = np.empty((n, p))
+    for k in range(n):
+        in_bw = platform.input_bandwidth if k == 0 else b
+        out_bw = platform.output_bandwidth if k == n - 1 else b
+        comm_cost = app.comm(k) / in_bw + app.comm(k + 1) / out_bw
+        cycles[k, :] = comm_cost + app.work(k) / platform.speeds
+    return cycles
+
+
+def _latency_term_matrix(app: PipelineApplication, platform: Platform) -> np.ndarray:
+    """``term[k, u]``: latency contribution of stage ``k`` on processor ``u``."""
+    n, p = app.n_stages, platform.n_processors
+    b = platform.uniform_bandwidth
+    terms = np.empty((n, p))
+    for k in range(n):
+        in_bw = platform.input_bandwidth if k == 0 else b
+        terms[k, :] = app.comm(k) / in_bw + app.work(k) / platform.speeds
+    return terms
+
+
+def one_to_one_min_latency(
+    app: PipelineApplication, platform: Platform
+) -> tuple[IntervalMapping, float]:
+    """Latency-optimal one-to-one mapping (linear sum assignment).
+
+    Note that by Lemma 1 the globally optimal latency uses a *single*
+    processor; this solver answers the restricted question "what is the best
+    latency if every stage must go to a distinct processor?", which is the
+    relevant baseline when the period constraint forces a one-to-one shape.
+    """
+    _check_sizes(app, platform)
+    if linear_sum_assignment is None:  # pragma: no cover - scipy is a test dep
+        raise RuntimeError("scipy is required for one_to_one_min_latency")
+    terms = _latency_term_matrix(app, platform)
+    rows, cols = linear_sum_assignment(terms)
+    order = np.argsort(rows)
+    processors = [int(cols[i]) for i in order]
+    mapping = IntervalMapping.one_to_one(processors)
+    ev = evaluate(app, platform, mapping)
+    return mapping, float(ev.latency)
+
+
+def one_to_one_min_period(
+    app: PipelineApplication, platform: Platform
+) -> tuple[IntervalMapping, float]:
+    """Period-optimal one-to-one mapping (bottleneck assignment problem).
+
+    Binary search over the sorted distinct cycle values; feasibility of a
+    candidate bottleneck ``B`` is a bipartite perfect matching between stages
+    and processors using only the pairs whose cycle time is at most ``B``.
+    """
+    _check_sizes(app, platform)
+    if nx is None:  # pragma: no cover - networkx is a hard dependency
+        raise RuntimeError("networkx is required for one_to_one_min_period")
+    cycles = one_to_one_cycle_matrix(app, platform)
+    n, p = cycles.shape
+    candidates = np.unique(cycles)
+
+    def feasible(bound: float) -> list[int] | None:
+        graph = nx.Graph()
+        stage_nodes = [("stage", k) for k in range(n)]
+        proc_nodes = [("proc", u) for u in range(p)]
+        graph.add_nodes_from(stage_nodes, bipartite=0)
+        graph.add_nodes_from(proc_nodes, bipartite=1)
+        for k in range(n):
+            for u in range(p):
+                if cycles[k, u] <= bound * (1 + 1e-12) + 1e-15:
+                    graph.add_edge(("stage", k), ("proc", u))
+        matching = nx.bipartite.maximum_matching(graph, top_nodes=stage_nodes)
+        assignment = []
+        for k in range(n):
+            partner = matching.get(("stage", k))
+            if partner is None:
+                return None
+            assignment.append(int(partner[1]))
+        return assignment
+
+    lo, hi = 0, candidates.size - 1
+    best: list[int] | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        assignment = feasible(float(candidates[mid]))
+        if assignment is not None:
+            best = assignment
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:  # pragma: no cover - the largest candidate is always feasible
+        raise InfeasibleError("no one-to-one assignment exists")
+    mapping = IntervalMapping.one_to_one(best)
+    ev = evaluate(app, platform, mapping)
+    return mapping, float(ev.period)

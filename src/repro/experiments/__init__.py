@@ -1,0 +1,48 @@
+"""Experiment harness reproducing Section 5 (Figures 2–7 and Table 1)."""
+
+from .ablation import (
+    AblationRow,
+    exploration_width_ablation,
+    processor_order_ablation,
+    selection_rule_ablation,
+)
+from .failure import FailureThreshold, failure_threshold_table, failure_thresholds
+from .report import (
+    render_ablation,
+    render_failure_table,
+    render_failure_thresholds,
+    render_sweep,
+)
+from .runner import (
+    AggregateStats,
+    InstanceRun,
+    aggregate_runs,
+    reference_latency_range,
+    reference_period_range,
+    run_heuristic,
+)
+from .sweep import HeuristicCurve, SweepPoint, SweepResult, run_sweep
+
+__all__ = [
+    "InstanceRun",
+    "AggregateStats",
+    "run_heuristic",
+    "aggregate_runs",
+    "reference_period_range",
+    "reference_latency_range",
+    "SweepPoint",
+    "HeuristicCurve",
+    "SweepResult",
+    "run_sweep",
+    "FailureThreshold",
+    "failure_thresholds",
+    "failure_threshold_table",
+    "AblationRow",
+    "selection_rule_ablation",
+    "exploration_width_ablation",
+    "processor_order_ablation",
+    "render_sweep",
+    "render_failure_thresholds",
+    "render_failure_table",
+    "render_ablation",
+]

@@ -1,0 +1,117 @@
+"""Failure thresholds of the heuristics (Table 1 of the paper).
+
+The paper defines the *failure threshold* of a heuristic as the largest value
+of the fixed period (resp. fixed latency) for which the heuristic is **not**
+able to find a solution.  Both families admit a closed form per instance:
+
+* fixed-period heuristics stop splitting as soon as the prescribed period is
+  reached, so they succeed exactly for thresholds at or above the period they
+  reach with an unreachable bound — running them once with a near-zero bound
+  yields the per-instance failure threshold;
+* fixed-latency heuristics start from the latency-optimal mapping (Lemma 1),
+  so they succeed exactly for thresholds at or above the optimal latency.
+  This is why ``Sp mono L`` and ``Sp bi L`` share identical thresholds in the
+  paper's Table 1.
+
+:func:`failure_thresholds` averages the per-instance values over an instance
+stream, producing one Table 1 cell; :func:`failure_threshold_table` assembles
+the full table for a list of stage counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.costs import optimal_latency
+from ..generators.experiments import ExperimentConfig, Instance, generate_instances
+from ..heuristics.base import Objective, PipelineHeuristic
+from ..heuristics.registry import resolve_heuristics
+
+__all__ = ["FailureThreshold", "failure_thresholds", "failure_threshold_table"]
+
+#: period bound used to probe the best reachable period of a heuristic
+_UNREACHABLE_PERIOD = 1e-9
+
+
+@dataclass(frozen=True)
+class FailureThreshold:
+    """Average failure threshold of one heuristic on one instance stream."""
+
+    heuristic: str
+    key: str
+    objective: str
+    mean_threshold: float
+    std_threshold: float
+    per_instance: tuple[float, ...]
+
+
+def _instance_failure_threshold(
+    heuristic: PipelineHeuristic, instance: Instance
+) -> float:
+    app, platform = instance.application, instance.platform
+    if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+        result = heuristic.run(app, platform, period_bound=_UNREACHABLE_PERIOD)
+        return result.period
+    return optimal_latency(app, platform)
+
+
+def failure_thresholds(
+    config: ExperimentConfig,
+    heuristics: Sequence[PipelineHeuristic] | Sequence[str] | None = None,
+    seed: int | None = 0,
+    instances: Sequence[Instance] | None = None,
+) -> list[FailureThreshold]:
+    """Average failure thresholds of the heuristics for one experimental point."""
+    if instances is None:
+        instances = generate_instances(config, seed=seed)
+    resolved = (
+        resolve_heuristics(None)
+        if heuristics is None
+        else [
+            h if isinstance(h, PipelineHeuristic) else resolve_heuristics([h])[0]
+            for h in heuristics
+        ]
+    )
+    rows: list[FailureThreshold] = []
+    for heuristic in resolved:
+        values = np.array(
+            [_instance_failure_threshold(heuristic, inst) for inst in instances],
+            dtype=float,
+        )
+        rows.append(
+            FailureThreshold(
+                heuristic=heuristic.name,
+                key=heuristic.key,
+                objective=heuristic.objective,
+                mean_threshold=float(values.mean()),
+                std_threshold=float(values.std()),
+                per_instance=tuple(float(v) for v in values),
+            )
+        )
+    return rows
+
+
+def failure_threshold_table(
+    family: str,
+    stage_counts: Sequence[int] = (5, 10, 20, 40),
+    n_processors: int = 10,
+    n_instances: int = 50,
+    heuristics: Sequence[PipelineHeuristic] | Sequence[str] | None = None,
+    seed: int | None = 0,
+) -> dict[str, dict[int, float]]:
+    """One quadrant of Table 1: heuristic key -> {stage count -> threshold}.
+
+    The paper's Table 1 reports, for each experiment family, the failure
+    thresholds of H1–H6 for ``n in {5, 10, 20, 40}`` stages and 10 processors.
+    """
+    from ..generators.experiments import experiment_config
+
+    table: dict[str, dict[int, float]] = {}
+    for n_stages in stage_counts:
+        config = experiment_config(family, n_stages, n_processors, n_instances)
+        for row in failure_thresholds(config, heuristics=heuristics, seed=seed):
+            table.setdefault(row.key, {})[n_stages] = row.mean_threshold
+    return table

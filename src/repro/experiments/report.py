@@ -1,0 +1,77 @@
+"""Text reports mirroring the paper's figures and tables.
+
+The environment is offline and headless, so instead of plots the benchmark
+harness prints the same information as aligned text: one series per heuristic
+for the latency-versus-period figures, and one aligned table for the failure
+thresholds (Table 1) and the ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..utils.tables import format_series, format_table
+from .ablation import AblationRow
+from .failure import FailureThreshold
+from .sweep import SweepResult
+
+__all__ = [
+    "render_sweep",
+    "render_failure_thresholds",
+    "render_failure_table",
+    "render_ablation",
+]
+
+
+def render_sweep(result: SweepResult, title: str | None = None) -> str:
+    """Render one figure panel (averaged latency-versus-period curves)."""
+    config = result.config
+    header = title or (
+        f"{config.family} ({config.description}) — {config.n_stages} stages, "
+        f"{config.n_processors} processors, {config.n_instances} instances"
+    )
+    return format_series(result.series(), title=header)
+
+
+def render_failure_thresholds(
+    rows: Sequence[FailureThreshold], title: str | None = None
+) -> str:
+    """Render the failure thresholds of one experimental point."""
+    table_rows = [
+        (row.key, row.heuristic, row.mean_threshold, row.std_threshold)
+        for row in rows
+    ]
+    return format_table(
+        ["key", "heuristic", "mean failure threshold", "std"],
+        table_rows,
+        precision=2,
+        title=title,
+    )
+
+
+def render_failure_table(
+    table: Mapping[str, Mapping[int, float]],
+    stage_counts: Sequence[int] = (5, 10, 20, 40),
+    title: str | None = None,
+) -> str:
+    """Render one quadrant of Table 1 (heuristics x stage counts)."""
+    rows = []
+    for key in sorted(table):
+        per_stage = table[key]
+        rows.append([key] + [per_stage.get(n, float("nan")) for n in stage_counts])
+    return format_table(
+        ["heuristic"] + [f"n={n}" for n in stage_counts],
+        rows,
+        precision=1,
+        title=title,
+    )
+
+
+def render_ablation(rows: Sequence[AblationRow], title: str | None = None) -> str:
+    """Render an ablation study as a table."""
+    return format_table(
+        ["variant", "mean best period", "mean latency", "mean splits"],
+        [row.as_tuple() for row in rows],
+        precision=2,
+        title=title,
+    )

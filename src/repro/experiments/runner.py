@@ -1,0 +1,162 @@
+"""Low-level experiment runner: apply heuristics to instance streams.
+
+The runner turns an instance stream (from :mod:`repro.generators`) and a list
+of heuristics into per-instance :class:`~repro.heuristics.base.HeuristicResult`
+records and aggregated statistics.  The higher-level sweep (figures) and
+failure-threshold (Table 1) drivers are built on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.costs import interval_cycle_time, optimal_latency
+from ..core.mapping import Interval
+from ..generators.experiments import Instance
+from ..heuristics.base import HeuristicResult, Objective, PipelineHeuristic
+
+__all__ = [
+    "InstanceRun",
+    "AggregateStats",
+    "run_heuristic",
+    "aggregate_runs",
+    "reference_period_range",
+    "reference_latency_range",
+]
+
+
+@dataclass(frozen=True)
+class InstanceRun:
+    """Result of one heuristic on one instance at one threshold."""
+
+    instance_index: int
+    heuristic: str
+    threshold: float
+    result: HeuristicResult
+
+    @property
+    def feasible(self) -> bool:
+        return self.result.feasible
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Aggregate of a heuristic over an instance stream at one threshold."""
+
+    heuristic: str
+    threshold: float
+    n_instances: int
+    n_feasible: int
+    mean_period: float
+    mean_latency: float
+    std_period: float
+    std_latency: float
+
+    @property
+    def feasible_fraction(self) -> float:
+        return self.n_feasible / self.n_instances if self.n_instances else 0.0
+
+    @property
+    def point(self) -> tuple[float, float]:
+        """Mean (period, latency) over the feasible instances."""
+        return (self.mean_period, self.mean_latency)
+
+
+def run_heuristic(
+    heuristic: PipelineHeuristic,
+    instances: Sequence[Instance],
+    threshold: float,
+) -> list[InstanceRun]:
+    """Run one heuristic on every instance with the given threshold.
+
+    The threshold is interpreted according to the heuristic's objective
+    (period bound for the fixed-period family, latency bound otherwise).
+    """
+    runs: list[InstanceRun] = []
+    for instance in instances:
+        if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+            result = heuristic.run(
+                instance.application, instance.platform, period_bound=threshold
+            )
+        else:
+            result = heuristic.run(
+                instance.application, instance.platform, latency_bound=threshold
+            )
+        runs.append(
+            InstanceRun(
+                instance_index=instance.index,
+                heuristic=heuristic.name,
+                threshold=threshold,
+                result=result,
+            )
+        )
+    return runs
+
+
+def aggregate_runs(runs: Sequence[InstanceRun]) -> AggregateStats:
+    """Average the feasible runs of one heuristic at one threshold."""
+    if not runs:
+        raise ValueError("cannot aggregate an empty run list")
+    heuristic = runs[0].heuristic
+    threshold = runs[0].threshold
+    feasible = [r for r in runs if r.feasible]
+    periods = np.array([r.result.period for r in feasible], dtype=float)
+    latencies = np.array([r.result.latency for r in feasible], dtype=float)
+    return AggregateStats(
+        heuristic=heuristic,
+        threshold=threshold,
+        n_instances=len(runs),
+        n_feasible=len(feasible),
+        mean_period=float(periods.mean()) if feasible else float("nan"),
+        mean_latency=float(latencies.mean()) if feasible else float("nan"),
+        std_period=float(periods.std()) if feasible else float("nan"),
+        std_latency=float(latencies.std()) if feasible else float("nan"),
+    )
+
+
+def reference_period_range(instances: Sequence[Instance]) -> tuple[float, float]:
+    """Period range covered by the threshold sweep of an instance stream.
+
+    The upper end is the mean single-fastest-processor period (always
+    achievable); the lower end is the mean period reached by unconstrained
+    mono-criterion splitting (what the simplest heuristic can hope for).
+    """
+    # import here to avoid a circular import at module load time
+    from ..heuristics.splitting import SplittingMonoPeriod
+
+    h1 = SplittingMonoPeriod()
+    los, his = [], []
+    for instance in instances:
+        app, platform = instance.application, instance.platform
+        whole = Interval(0, app.n_stages - 1)
+        his.append(
+            interval_cycle_time(app, platform, whole, platform.fastest_processor)
+        )
+        best = h1.run(app, platform, period_bound=1e-9)
+        los.append(best.period)
+    return float(np.mean(los)), float(np.mean(his))
+
+
+def reference_latency_range(instances: Sequence[Instance]) -> tuple[float, float]:
+    """Latency range covered by the threshold sweep of an instance stream.
+
+    The lower end is the mean optimal latency (Lemma 1); the upper end the
+    mean latency reached by unconstrained mono-criterion splitting (i.e. the
+    latency price of chasing the best period).
+    """
+    from ..heuristics.splitting import SplittingMonoPeriod
+
+    h1 = SplittingMonoPeriod()
+    los, his = [], []
+    for instance in instances:
+        app, platform = instance.application, instance.platform
+        los.append(optimal_latency(app, platform))
+        best = h1.run(app, platform, period_bound=1e-9)
+        his.append(best.latency)
+    lo, hi = float(np.mean(los)), float(np.mean(his))
+    if hi <= lo:
+        hi = lo * 1.5 + 1e-9
+    return lo, hi

@@ -1,0 +1,167 @@
+"""Threshold sweeps reproducing the latency-versus-period figures (Figs. 2–7).
+
+Each figure of the paper plots, for one experiment family, stage count and
+processor count, the average latency against the average period of the six
+heuristics as the prescribed threshold varies.  :func:`run_sweep` reproduces
+that protocol:
+
+1. generate the instance stream of the experimental point (Section 5.1);
+2. build a common threshold grid — period thresholds for the fixed-period
+   heuristics, latency thresholds for the fixed-latency ones — spanning the
+   achievable range of the instance stream;
+3. run every heuristic on every instance at every threshold and average the
+   achieved ``(period, latency)`` over the instances where the heuristic
+   found a feasible mapping.
+
+The result is a set of named curves directly comparable (in shape) to the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..generators.experiments import ExperimentConfig, Instance, generate_instances
+from ..heuristics.base import Objective, PipelineHeuristic
+from ..heuristics.registry import resolve_heuristics
+from .runner import (
+    AggregateStats,
+    aggregate_runs,
+    reference_latency_range,
+    reference_period_range,
+    run_heuristic,
+)
+
+__all__ = ["SweepPoint", "HeuristicCurve", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One averaged point of a heuristic curve."""
+
+    threshold: float
+    n_feasible: int
+    n_instances: int
+    mean_period: float
+    mean_latency: float
+
+    @property
+    def point(self) -> tuple[float, float]:
+        return (self.mean_period, self.mean_latency)
+
+
+@dataclass
+class HeuristicCurve:
+    """The averaged latency-versus-period curve of one heuristic."""
+
+    heuristic: str
+    key: str
+    objective: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def as_series(self) -> list[tuple[float, float]]:
+        """(period, latency) pairs of the points with at least one feasible run."""
+        return [p.point for p in self.points if p.n_feasible > 0]
+
+    @property
+    def best_period(self) -> float:
+        series = self.as_series()
+        return min((p for p, _ in series), default=float("nan"))
+
+    @property
+    def best_latency(self) -> float:
+        series = self.as_series()
+        return min((l for _, l in series), default=float("nan"))
+
+
+@dataclass
+class SweepResult:
+    """All heuristic curves of one experimental point."""
+
+    config: ExperimentConfig
+    period_thresholds: list[float]
+    latency_thresholds: list[float]
+    curves: dict[str, HeuristicCurve] = field(default_factory=dict)
+
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """Curve name -> (period, latency) series, for the text reports."""
+        return {name: curve.as_series() for name, curve in self.curves.items()}
+
+
+def _threshold_grid(lo: float, hi: float, n_points: int) -> list[float]:
+    if hi <= lo:
+        hi = lo * 1.1 + 1e-9
+    return [float(x) for x in np.linspace(lo, hi, n_points)]
+
+
+def run_sweep(
+    config: ExperimentConfig,
+    heuristics: Sequence[PipelineHeuristic] | Sequence[str] | None = None,
+    n_thresholds: int = 10,
+    seed: int | None = 0,
+    instances: Sequence[Instance] | None = None,
+) -> SweepResult:
+    """Reproduce one latency-versus-period figure panel.
+
+    Parameters
+    ----------
+    config:
+        The experimental point (family, stage count, processor count,
+        instance count).
+    heuristics:
+        Heuristic instances or names; defaults to the six heuristics of the
+        paper.
+    n_thresholds:
+        Number of threshold values per family (grid resolution of the curve).
+    seed:
+        Seed of the instance stream (ignored when ``instances`` is given).
+    instances:
+        Pre-generated instances, to share a stream across several sweeps
+        (e.g. the ablation study).
+    """
+    if instances is None:
+        instances = generate_instances(config, seed=seed)
+    resolved: list[PipelineHeuristic]
+    if heuristics is None:
+        resolved = resolve_heuristics(None)
+    else:
+        resolved = [
+            h if isinstance(h, PipelineHeuristic) else resolve_heuristics([h])[0]
+            for h in heuristics
+        ]
+
+    period_lo, period_hi = reference_period_range(instances)
+    latency_lo, latency_hi = reference_latency_range(instances)
+    period_thresholds = _threshold_grid(period_lo, period_hi, n_thresholds)
+    latency_thresholds = _threshold_grid(latency_lo, latency_hi, n_thresholds)
+
+    result = SweepResult(
+        config=config,
+        period_thresholds=period_thresholds,
+        latency_thresholds=latency_thresholds,
+    )
+    for heuristic in resolved:
+        if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+            thresholds = period_thresholds
+        else:
+            thresholds = latency_thresholds
+        curve = HeuristicCurve(
+            heuristic=heuristic.name, key=heuristic.key, objective=heuristic.objective
+        )
+        for threshold in thresholds:
+            runs = run_heuristic(heuristic, instances, threshold)
+            stats: AggregateStats = aggregate_runs(runs)
+            curve.points.append(
+                SweepPoint(
+                    threshold=threshold,
+                    n_feasible=stats.n_feasible,
+                    n_instances=stats.n_instances,
+                    mean_period=stats.mean_period,
+                    mean_latency=stats.mean_latency,
+                )
+            )
+        result.curves[heuristic.name] = curve
+    return result

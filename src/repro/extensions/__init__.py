@@ -1,0 +1,21 @@
+"""Extensions beyond the paper's core setting (Section 7 future work)."""
+
+from .heterogeneous_links import HeterogeneousSplittingPeriod
+from .replication import (
+    ReplicatedEvaluation,
+    ReplicatedInterval,
+    ReplicatedMapping,
+    evaluate_replicated,
+    from_interval_mapping,
+    greedy_replication,
+)
+
+__all__ = [
+    "ReplicatedInterval",
+    "ReplicatedMapping",
+    "ReplicatedEvaluation",
+    "evaluate_replicated",
+    "from_interval_mapping",
+    "greedy_replication",
+    "HeterogeneousSplittingPeriod",
+]

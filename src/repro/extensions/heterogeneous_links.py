@@ -1,0 +1,94 @@
+"""Fully heterogeneous platforms (Section 7, future work).
+
+The paper restricts its heuristics to communication-homogeneous platforms and
+leaves fully heterogeneous platforms (per-link bandwidths) as future work.
+The analytical cost model of :mod:`repro.core.costs` already supports
+heterogeneous links — the input/output bandwidth of an interval is the one of
+the link connecting it to the neighbouring interval's processor — so this
+module only needs to provide a mapping heuristic that is *aware* of the
+per-link bandwidths.
+
+:class:`HeterogeneousSplittingPeriod` mirrors ``Sp mono P``: it repeatedly
+splits the bottleneck interval and hands part of it to an unused processor,
+but candidates are scored with the full cost model (which accounts for the
+bandwidths of the links actually used) and every unused processor is
+considered as the recipient, not only the next fastest one, because raw speed
+is no longer a total order of desirability when links differ.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from ..core.application import PipelineApplication
+from ..core.costs import evaluate
+from ..core.mapping import IntervalMapping
+from ..core.platform import Platform
+from ..heuristics.base import FixedPeriodHeuristic, HeuristicResult
+
+__all__ = ["HeterogeneousSplittingPeriod"]
+
+
+class HeterogeneousSplittingPeriod(FixedPeriodHeuristic):
+    """Splitting heuristic for fully heterogeneous platforms (fixed period).
+
+    Works on any platform (on communication-homogeneous ones it behaves like a
+    slightly more exhaustive ``Sp mono P``); complexity is
+    ``O(p^2 * n^2)`` evaluations in the worst case, acceptable for the
+    moderate platform sizes of the extension experiments.
+    """
+
+    name: ClassVar[str] = "Hetero Sp P"
+    key: ClassVar[str] = "X1"
+
+    #: cap on the number of candidate recipient processors examined per step
+    max_candidate_processors: ClassVar[int] = 16
+
+    def _solve(
+        self, app: PipelineApplication, platform: Platform, bound: float
+    ) -> HeuristicResult:
+        order = platform.processors_by_speed(descending=True)
+        mapping = IntervalMapping.single_processor(app.n_stages, order[0])
+        used = {order[0]}
+        current = evaluate(app, platform, mapping)
+        history = [(current.period, current.latency)]
+        n_splits = 0
+
+        while current.period > bound * (1 + 1e-9):
+            unused = [u for u in order if u not in used]
+            if not unused:
+                break
+            unused = unused[: self.max_candidate_processors]
+            # bottleneck interval
+            j = current.bottleneck_interval
+            interval = mapping.interval(j)
+            if interval.n_stages < 2:
+                break
+            proc_j = mapping.processor_of_interval(j)
+
+            best_mapping: IntervalMapping | None = None
+            best_eval = None
+            for new_proc in unused:
+                for cut in range(interval.start, interval.end):
+                    for procs in ((proc_j, new_proc), (new_proc, proc_j)):
+                        candidate = mapping.replace(
+                            j,
+                            [(interval.start, cut), (cut + 1, interval.end)],
+                            procs,
+                        )
+                        cand_eval = evaluate(app, platform, candidate)
+                        if cand_eval.period >= current.period - 1e-12:
+                            continue
+                        if best_eval is None or (
+                            cand_eval.period,
+                            cand_eval.latency,
+                        ) < (best_eval.period, best_eval.latency):
+                            best_mapping, best_eval = candidate, cand_eval
+            if best_mapping is None:
+                break
+            mapping, current = best_mapping, best_eval
+            used = set(mapping.used_processors)
+            n_splits += 1
+            history.append((current.period, current.latency))
+
+        return self._make_result(app, platform, mapping, bound, n_splits, history)

@@ -1,0 +1,32 @@
+"""Random instance generators for the paper's experiments (Section 5.1)."""
+
+from .applications import random_pipeline, uniform_pipeline
+from .experiments import (
+    EXPERIMENT_FAMILIES,
+    PAPER_PROCESSOR_COUNTS,
+    PAPER_STAGE_COUNTS,
+    ExperimentConfig,
+    Instance,
+    experiment_config,
+    generate_instances,
+    iter_paper_configs,
+)
+from .platforms import (
+    random_comm_homogeneous_platform,
+    random_fully_heterogeneous_platform,
+)
+
+__all__ = [
+    "random_pipeline",
+    "uniform_pipeline",
+    "random_comm_homogeneous_platform",
+    "random_fully_heterogeneous_platform",
+    "ExperimentConfig",
+    "Instance",
+    "EXPERIMENT_FAMILIES",
+    "PAPER_STAGE_COUNTS",
+    "PAPER_PROCESSOR_COUNTS",
+    "experiment_config",
+    "generate_instances",
+    "iter_paper_configs",
+]

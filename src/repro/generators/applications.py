@@ -1,0 +1,81 @@
+"""Random pipeline application generators (Section 5.1 of the paper).
+
+The experiments draw stage computation amounts ``w`` and communication sizes
+``delta`` uniformly from experiment-specific ranges (or use a fixed ``delta``
+for the homogeneous-communication experiment E1).  These helpers expose the
+generation primitives so that new experiment families can be assembled from
+the same building blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.application import PipelineApplication
+from ..utils.rng import ensure_rng
+from ..utils.validation import check_positive
+
+__all__ = ["random_pipeline", "uniform_pipeline"]
+
+
+def _draw(
+    rng: np.random.Generator,
+    size: int,
+    value_range: tuple[float, float],
+    integer: bool,
+) -> np.ndarray:
+    low, high = float(value_range[0]), float(value_range[1])
+    if low > high:
+        raise ValueError(f"invalid range ({low}, {high})")
+    if integer:
+        return rng.integers(int(round(low)), int(round(high)) + 1, size=size).astype(float)
+    return rng.uniform(low, high, size=size)
+
+
+def random_pipeline(
+    n_stages: int,
+    work_range: tuple[float, float],
+    comm_range: tuple[float, float] | None = None,
+    comm_fixed: float | None = None,
+    integer_works: bool = False,
+    integer_comms: bool = False,
+    seed: int | np.random.Generator | None = None,
+    name: str = "random-pipeline",
+) -> PipelineApplication:
+    """Generate a random pipeline application.
+
+    Parameters
+    ----------
+    n_stages:
+        Number of stages ``n``.
+    work_range:
+        Inclusive range from which each ``w_k`` is drawn.
+    comm_range / comm_fixed:
+        Either a range from which each ``delta_k`` (``k = 0 .. n``) is drawn,
+        or a single fixed value (experiment E1 uses ``delta = 10``).  Exactly
+        one of the two must be provided.
+    integer_works / integer_comms:
+        Draw integer values instead of uniform reals (the paper's ranges are
+        integer bounds; both choices preserve the experiment's balance).
+    seed:
+        Seed or generator for reproducibility.
+    """
+    if n_stages <= 0:
+        raise ValueError("n_stages must be positive")
+    if (comm_range is None) == (comm_fixed is None):
+        raise ValueError("provide exactly one of comm_range or comm_fixed")
+    rng = ensure_rng(seed)
+    works = _draw(rng, n_stages, work_range, integer_works)
+    if comm_fixed is not None:
+        check_positive(comm_fixed, "comm_fixed")
+        comms = np.full(n_stages + 1, float(comm_fixed))
+    else:
+        comms = _draw(rng, n_stages + 1, comm_range, integer_comms)
+    return PipelineApplication(works, comms, name=name)
+
+
+def uniform_pipeline(
+    n_stages: int, work: float = 10.0, comm: float = 10.0, name: str = "uniform-pipeline"
+) -> PipelineApplication:
+    """Deterministic pipeline with identical stages (useful in examples/tests)."""
+    return PipelineApplication.homogeneous(n_stages, work=work, comm=comm, name=name)

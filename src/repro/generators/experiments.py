@@ -1,0 +1,204 @@
+"""Experiment families E1–E4 of Section 5.1, as declarative configurations.
+
+All four experiments share the platform parameters (``b = 10``, processor
+speeds drawn as integers in ``[1, 20]``) and differ in the application
+parameter ranges:
+
+* **E1** — balanced communication/computation, homogeneous communications:
+  ``delta = 10`` fixed, ``w`` in ``[1, 20]``;
+* **E2** — balanced, heterogeneous communications: ``delta`` in ``[1, 100]``,
+  ``w`` in ``[1, 20]``;
+* **E3** — large computations: ``delta`` in ``[1, 20]``, ``w`` in
+  ``[10, 1000]``;
+* **E4** — small computations: ``delta`` in ``[1, 20]``, ``w`` in
+  ``[0.01, 10]``.
+
+Each experimental point of the paper averages over 50 random
+application/platform pairs; :func:`generate_instances` reproduces that
+instance stream from a single seed, with independent sub-streams per instance
+so that enlarging the instance count never perturbs existing instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.application import PipelineApplication
+from ..core.exceptions import ConfigurationError
+from ..core.platform import Platform
+from ..utils.rng import spawn_rngs
+from .applications import random_pipeline
+from .platforms import random_comm_homogeneous_platform
+
+__all__ = [
+    "ExperimentConfig",
+    "Instance",
+    "EXPERIMENT_FAMILIES",
+    "experiment_config",
+    "generate_instances",
+    "PAPER_STAGE_COUNTS",
+    "PAPER_PROCESSOR_COUNTS",
+]
+
+#: stage counts used by the paper's experiments
+PAPER_STAGE_COUNTS: tuple[int, ...] = (5, 10, 20, 40)
+#: processor counts used by the paper's experiments
+PAPER_PROCESSOR_COUNTS: tuple[int, ...] = (10, 100)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one experimental point (family, n_stages, p)."""
+
+    family: str
+    description: str
+    n_stages: int
+    n_processors: int
+    work_range: tuple[float, float]
+    comm_range: tuple[float, float] | None = None
+    comm_fixed: float | None = None
+    speed_range: tuple[int, int] = (1, 20)
+    bandwidth: float = 10.0
+    n_instances: int = 50
+    integer_works: bool = False
+    integer_comms: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_stages <= 0 or self.n_processors <= 0:
+            raise ConfigurationError("n_stages and n_processors must be positive")
+        if self.n_instances <= 0:
+            raise ConfigurationError("n_instances must be positive")
+        if (self.comm_range is None) == (self.comm_fixed is None):
+            raise ConfigurationError(
+                "provide exactly one of comm_range or comm_fixed"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"{self.family}-n{self.n_stages}-p{self.n_processors}"
+
+    def with_sizes(
+        self, n_stages: int | None = None, n_processors: int | None = None,
+        n_instances: int | None = None,
+    ) -> "ExperimentConfig":
+        """Copy of the configuration with different problem sizes."""
+        return replace(
+            self,
+            n_stages=self.n_stages if n_stages is None else n_stages,
+            n_processors=self.n_processors if n_processors is None else n_processors,
+            n_instances=self.n_instances if n_instances is None else n_instances,
+        )
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One random application/platform pair of an experiment."""
+
+    index: int
+    application: PipelineApplication
+    platform: Platform
+    config: ExperimentConfig = field(repr=False)
+
+
+#: the four experiment families, keyed by their paper name
+EXPERIMENT_FAMILIES: dict[str, dict] = {
+    "E1": dict(
+        description="balanced communications/computations, homogeneous communications",
+        work_range=(1.0, 20.0),
+        comm_fixed=10.0,
+    ),
+    "E2": dict(
+        description="balanced communications/computations, heterogeneous communications",
+        work_range=(1.0, 20.0),
+        comm_range=(1.0, 100.0),
+    ),
+    "E3": dict(
+        description="large computations (communications negligible)",
+        work_range=(10.0, 1000.0),
+        comm_range=(1.0, 20.0),
+    ),
+    "E4": dict(
+        description="small computations (communications dominate)",
+        work_range=(0.01, 10.0),
+        comm_range=(1.0, 20.0),
+    ),
+}
+
+
+def experiment_config(
+    family: str,
+    n_stages: int,
+    n_processors: int,
+    n_instances: int = 50,
+) -> ExperimentConfig:
+    """Configuration of one experimental point of the paper.
+
+    ``family`` is one of ``"E1" .. "E4"``; stage and processor counts are free
+    (the paper uses ``n in {5, 10, 20, 40}`` and ``p in {10, 100}``).
+    """
+    key = family.upper()
+    if key not in EXPERIMENT_FAMILIES:
+        raise ConfigurationError(
+            f"unknown experiment family {family!r}; expected one of "
+            f"{sorted(EXPERIMENT_FAMILIES)}"
+        )
+    params = EXPERIMENT_FAMILIES[key]
+    return ExperimentConfig(
+        family=key,
+        description=params["description"],
+        n_stages=n_stages,
+        n_processors=n_processors,
+        work_range=params["work_range"],
+        comm_range=params.get("comm_range"),
+        comm_fixed=params.get("comm_fixed"),
+        n_instances=n_instances,
+    )
+
+
+def generate_instances(
+    config: ExperimentConfig,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Instance]:
+    """Generate the instance stream of one experimental point.
+
+    Each instance gets an independent RNG sub-stream derived from ``seed``, so
+    instance ``i`` is identical whether 10 or 1000 instances are requested.
+    """
+    rngs = spawn_rngs(seed, config.n_instances)
+    instances: list[Instance] = []
+    for index, rng in enumerate(rngs):
+        app = random_pipeline(
+            config.n_stages,
+            work_range=config.work_range,
+            comm_range=config.comm_range,
+            comm_fixed=config.comm_fixed,
+            integer_works=config.integer_works,
+            integer_comms=config.integer_comms,
+            seed=rng,
+            name=f"{config.label}-app{index}",
+        )
+        platform = random_comm_homogeneous_platform(
+            config.n_processors,
+            speed_range=config.speed_range,
+            bandwidth=config.bandwidth,
+            seed=rng,
+            name=f"{config.label}-platform{index}",
+        )
+        instances.append(Instance(index=index, application=app, platform=platform, config=config))
+    return instances
+
+
+def iter_paper_configs(
+    families: Sequence[str] = ("E1", "E2", "E3", "E4"),
+    stage_counts: Sequence[int] = PAPER_STAGE_COUNTS,
+    processor_counts: Sequence[int] = PAPER_PROCESSOR_COUNTS,
+    n_instances: int = 50,
+) -> Iterator[ExperimentConfig]:
+    """Iterate over every experimental point of the paper's evaluation."""
+    for family in families:
+        for p in processor_counts:
+            for n in stage_counts:
+                yield experiment_config(family, n, p, n_instances=n_instances)

@@ -1,0 +1,73 @@
+"""Random platform generators (Section 5.1 of the paper).
+
+The paper's experiments use communication-homogeneous platforms with link
+bandwidth ``b = 10`` and processor speeds drawn as integers in ``[1, 20]``.
+A fully heterogeneous generator is also provided for the extension modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..utils.rng import ensure_rng
+from ..utils.validation import check_positive
+
+__all__ = [
+    "random_comm_homogeneous_platform",
+    "random_fully_heterogeneous_platform",
+]
+
+
+def random_comm_homogeneous_platform(
+    n_processors: int,
+    speed_range: tuple[int, int] = (1, 20),
+    bandwidth: float = 10.0,
+    seed: int | np.random.Generator | None = None,
+    name: str = "random-platform",
+) -> Platform:
+    """Random communication-homogeneous platform (the paper's target class).
+
+    Speeds are integers drawn uniformly from ``speed_range`` (inclusive), the
+    link bandwidth is the same for every processor pair.
+    """
+    if n_processors <= 0:
+        raise ValueError("n_processors must be positive")
+    check_positive(bandwidth, "bandwidth")
+    low, high = int(speed_range[0]), int(speed_range[1])
+    if low <= 0 or high < low:
+        raise ValueError(f"invalid speed range {speed_range}")
+    rng = ensure_rng(seed)
+    speeds = rng.integers(low, high + 1, size=n_processors).astype(float)
+    return Platform.communication_homogeneous(speeds, bandwidth=bandwidth, name=name)
+
+
+def random_fully_heterogeneous_platform(
+    n_processors: int,
+    speed_range: tuple[int, int] = (1, 20),
+    bandwidth_range: tuple[float, float] = (1.0, 20.0),
+    seed: int | np.random.Generator | None = None,
+    name: str = "random-heterogeneous-platform",
+) -> Platform:
+    """Random platform with heterogeneous links (Section 7 extension).
+
+    Link bandwidths are drawn uniformly from ``bandwidth_range`` and
+    symmetrised; the input/output bandwidths are drawn from the same range.
+    """
+    if n_processors <= 0:
+        raise ValueError("n_processors must be positive")
+    low, high = float(bandwidth_range[0]), float(bandwidth_range[1])
+    if low <= 0 or high < low:
+        raise ValueError(f"invalid bandwidth range {bandwidth_range}")
+    rng = ensure_rng(seed)
+    speeds = rng.integers(int(speed_range[0]), int(speed_range[1]) + 1, size=n_processors)
+    raw = rng.uniform(low, high, size=(n_processors, n_processors))
+    matrix = (raw + raw.T) / 2.0
+    np.fill_diagonal(matrix, high)
+    return Platform.fully_heterogeneous(
+        speeds.astype(float),
+        matrix,
+        input_bandwidth=float(rng.uniform(low, high)),
+        output_bandwidth=float(rng.uniform(low, high)),
+        name=name,
+    )

@@ -1,0 +1,419 @@
+"""Shared splitting engine used by every heuristic of Section 4.
+
+All six heuristics of the paper work on the same internal state:
+
+* processors are sorted by non-increasing speed;
+* initially the whole pipeline is mapped onto the fastest processor;
+* at each step the interval of the *bottleneck* processor (largest cycle
+  time) is split, handing part of it to the next fastest processor(s) not yet
+  used;
+* candidate splits are scored either by the **mono-criterion** rule (the new
+  ``max`` cycle time of the touched processors) or by the **bi-criteria**
+  rule (the ``Δlatency / Δperiod`` ratio), possibly under a latency cap.
+
+The engine below maintains that state incrementally (cycle time and latency
+contribution per interval) and evaluates *all* candidate cuts of a step with
+vectorised NumPy computations, which keeps the experiment harness (hundreds of
+thousands of heuristic runs for the figures) fast.
+
+The engine assumes a communication-homogeneous platform, as in the paper; the
+fully heterogeneous extension lives in :mod:`repro.extensions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Sequence
+
+import numpy as np
+
+from ..core.application import PipelineApplication
+from ..core.exceptions import InvalidPlatformError
+from ..core.mapping import Interval, IntervalMapping
+from ..core.platform import Platform
+
+__all__ = ["SelectionRule", "SplitCandidate", "SplittingState"]
+
+_EPS = 1e-12
+
+
+class SelectionRule:
+    """Names of the two candidate-selection rules of the paper."""
+
+    #: minimise ``max`` of the new cycle times (mono-criterion heuristics)
+    MONO = "mono"
+    #: minimise ``max_i Δlatency / Δperiod(i)`` (bi-criteria heuristics)
+    RATIO = "ratio"
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """One evaluated way of splitting the bottleneck interval.
+
+    ``new_*`` fields describe the intervals replacing interval
+    ``interval_index`` of the state; global metrics (``new_period``,
+    ``new_latency``) account for the untouched intervals.
+    """
+
+    interval_index: int
+    new_intervals: tuple[Interval, ...]
+    new_processors: tuple[int, ...]
+    new_cycles: tuple[float, ...]
+    new_contributions: tuple[float, ...]
+    new_period: float
+    new_latency: float
+    old_cycle: float
+    old_latency: float
+    score: float
+
+    @property
+    def local_max_cycle(self) -> float:
+        """Largest cycle time among the intervals touched by the split."""
+        return max(self.new_cycles)
+
+    @property
+    def delta_latency(self) -> float:
+        """Latency increase caused by the split (usually non-negative)."""
+        return self.new_latency - self.old_latency
+
+    @property
+    def improves_period(self) -> bool:
+        """Whether the touched processors all beat the previous bottleneck."""
+        return self.local_max_cycle < self.old_cycle - _EPS * (1.0 + self.old_cycle)
+
+
+class SplittingState:
+    """Mutable mapping state shared by the splitting/exploration heuristics."""
+
+    def __init__(
+        self,
+        app: PipelineApplication,
+        platform: Platform,
+        processor_order: Sequence[int] | None = None,
+    ) -> None:
+        """Initialise the state with the whole pipeline on the first processor.
+
+        ``processor_order`` overrides the order in which processors are
+        consumed (default: non-increasing speed, as in the paper); it is used
+        by the ablation study to quantify how much the speed sort matters.
+        """
+        if not platform.is_communication_homogeneous:
+            raise InvalidPlatformError(
+                "the Section 4 heuristics target communication-homogeneous "
+                "platforms; use repro.extensions for heterogeneous links"
+            )
+        self.app = app
+        self.platform = platform
+        self._n = app.n_stages
+        self._b = platform.uniform_bandwidth
+        self._b_in = platform.input_bandwidth
+        self._b_out = platform.output_bandwidth
+        self._speeds = platform.speeds
+        self._comm = app.comm_sizes
+        self._prefix = np.concatenate(([0.0], np.cumsum(app.works)))
+        self._tail = float(self._comm[self._n]) / self._b_out
+
+        if processor_order is None:
+            order = platform.processors_by_speed(descending=True)
+        else:
+            order = [int(u) for u in processor_order]
+            if sorted(order) != sorted(set(order)) or any(
+                not 0 <= u < platform.n_processors for u in order
+            ):
+                raise InvalidPlatformError(
+                    "processor_order must list distinct valid processor indices"
+                )
+        fastest = order[0]
+        self.intervals: list[Interval] = [Interval(0, self._n - 1)]
+        self.processors: list[int] = [fastest]
+        self._unused: list[int] = list(order[1:])
+        cycle, contrib = self._interval_metrics(0, self._n - 1, fastest)
+        self._cycles: list[float] = [cycle]
+        self._contribs: list[float] = [contrib]
+
+    # ------------------------------------------------------------------ #
+    # metric helpers
+    # ------------------------------------------------------------------ #
+    def _in_bw(self, d: int) -> float:
+        return self._b_in if d == 0 else self._b
+
+    def _out_bw(self, e: int) -> float:
+        return self._b_out if e == self._n - 1 else self._b
+
+    def _interval_metrics(self, d: int, e: int, proc: int) -> tuple[float, float]:
+        """Cycle time and latency contribution of interval ``[d, e]`` on ``proc``."""
+        speed = float(self._speeds[proc])
+        input_time = float(self._comm[d]) / self._in_bw(d)
+        output_time = float(self._comm[e + 1]) / self._out_bw(e)
+        work_time = float(self._prefix[e + 1] - self._prefix[d]) / speed
+        return input_time + work_time + output_time, input_time + work_time
+
+    # ------------------------------------------------------------------ #
+    # state queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_intervals(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def period(self) -> float:
+        """Current period (max cycle time over all intervals)."""
+        return max(self._cycles)
+
+    @property
+    def latency(self) -> float:
+        """Current latency (sum of contributions plus final output)."""
+        return sum(self._contribs) + self._tail
+
+    @property
+    def bottleneck_index(self) -> int:
+        """Index of the interval with the largest cycle time (ties: first)."""
+        return int(np.argmax(self._cycles))
+
+    def cycle(self, j: int) -> float:
+        return self._cycles[j]
+
+    def next_unused(self, count: int = 1) -> list[int]:
+        """The next ``count`` fastest processors not yet enrolled (may be fewer)."""
+        return list(self._unused[:count])
+
+    @property
+    def n_unused(self) -> int:
+        return len(self._unused)
+
+    def mapping(self) -> IntervalMapping:
+        """Snapshot of the current state as an :class:`IntervalMapping`."""
+        return IntervalMapping(list(self.intervals), list(self.processors))
+
+    def point(self) -> tuple[float, float]:
+        """Current ``(period, latency)`` objective point."""
+        return (self.period, self.latency)
+
+    # ------------------------------------------------------------------ #
+    # candidate generation
+    # ------------------------------------------------------------------ #
+    def _other_max_cycle(self, j: int) -> float:
+        return max(
+            (c for k, c in enumerate(self._cycles) if k != j), default=0.0
+        )
+
+    def _base_latency_without(self, j: int) -> float:
+        return sum(self._contribs) - self._contribs[j] + self._tail
+
+    def _select(
+        self,
+        j: int,
+        pieces: list[dict[str, np.ndarray | tuple[int, ...] | list[Interval]]],
+        rule: str,
+        latency_cap: float | None,
+        require_improvement: bool,
+    ) -> SplitCandidate | None:
+        """Pick the best candidate among vectorised blocks of candidates.
+
+        Each entry of ``pieces`` describes one *assignment pattern* (an
+        orientation of a 2-way split or a processor permutation of a 3-way
+        split) with per-cut arrays of cycle times and latency contributions.
+        """
+        old_cycle = self._cycles[j]
+        old_latency = self.latency
+        other_max = self._other_max_cycle(j)
+        base_latency = self._base_latency_without(j)
+
+        best: SplitCandidate | None = None
+        best_rank: tuple[float, float, float] | None = None
+        improvement_margin = _EPS * (1.0 + old_cycle)
+        cap = None
+        if latency_cap is not None:
+            cap = latency_cap * (1 + 1e-9) + 1e-12
+
+        for piece in pieces:
+            cycles = np.vstack(piece["cycles"])  # shape (n_parts, n_cuts)
+            contribs = np.vstack(piece["contribs"])
+            local_max = cycles.max(axis=0)
+            new_latency = base_latency + contribs.sum(axis=0)
+
+            mask = np.ones(local_max.shape, dtype=bool)
+            if require_improvement:
+                mask &= local_max < old_cycle - improvement_margin
+            if cap is not None:
+                mask &= new_latency <= cap
+            if not mask.any():
+                continue
+
+            if rule == SelectionRule.MONO:
+                score = local_max
+            elif rule == SelectionRule.RATIO:
+                delta_lat = new_latency - old_latency
+                delta_per = old_cycle - cycles  # per part
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ratios = np.where(
+                        delta_per > improvement_margin,
+                        delta_lat[np.newaxis, :] / delta_per,
+                        np.inf,
+                    )
+                score = ratios.max(axis=0)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown selection rule {rule!r}")
+
+            candidate_indices = np.nonzero(mask)[0]
+            sub_rank = np.lexsort(
+                (
+                    new_latency[candidate_indices],
+                    local_max[candidate_indices],
+                    score[candidate_indices],
+                )
+            )
+            idx = int(candidate_indices[sub_rank[0]])
+            rank = (
+                float(score[idx]),
+                float(local_max[idx]),
+                float(new_latency[idx]),
+            )
+            if best_rank is None or rank < best_rank:
+                intervals = piece["interval_builder"](idx)
+                procs = piece["processors"]
+                best = SplitCandidate(
+                    interval_index=j,
+                    new_intervals=tuple(intervals),
+                    new_processors=tuple(procs),
+                    new_cycles=tuple(float(cycles[k, idx]) for k in range(cycles.shape[0])),
+                    new_contributions=tuple(
+                        float(contribs[k, idx]) for k in range(contribs.shape[0])
+                    ),
+                    new_period=float(max(other_max, local_max[idx])),
+                    new_latency=float(new_latency[idx]),
+                    old_cycle=float(old_cycle),
+                    old_latency=float(old_latency),
+                    score=float(score[idx]),
+                )
+                best_rank = rank
+        return best
+
+    def best_two_way_split(
+        self,
+        j: int,
+        new_proc: int,
+        rule: str = SelectionRule.MONO,
+        latency_cap: float | None = None,
+        require_improvement: bool = True,
+    ) -> SplitCandidate | None:
+        """Best way to split interval ``j`` between its processor and ``new_proc``.
+
+        All cut positions and both orientations (first part kept on the
+        current processor, or given to the new one) are evaluated; ``None`` is
+        returned when the interval is a single stage or no candidate passes
+        the filters (improvement / latency cap).
+        """
+        iv = self.intervals[j]
+        d, e = iv.start, iv.end
+        if e == d:
+            return None
+        proc_j = self.processors[j]
+        s_j = float(self._speeds[proc_j])
+        s_q = float(self._speeds[new_proc])
+
+        cuts = np.arange(d, e)  # first part is [d, cut], second is [cut+1, e]
+        in1 = float(self._comm[d]) / self._in_bw(d)
+        out2 = float(self._comm[e + 1]) / self._out_bw(e)
+        mid = np.asarray(self._comm[cuts + 1], dtype=float) / self._b
+        w1 = self._prefix[cuts + 1] - self._prefix[d]
+        w2 = self._prefix[e + 1] - self._prefix[cuts + 1]
+
+        def builder(idx: int) -> list[Interval]:
+            cut = int(cuts[idx])
+            return [Interval(d, cut), Interval(cut + 1, e)]
+
+        pieces = []
+        for first_speed, second_speed, procs in (
+            (s_j, s_q, (proc_j, new_proc)),
+            (s_q, s_j, (new_proc, proc_j)),
+        ):
+            cycle1 = in1 + w1 / first_speed + mid
+            cycle2 = mid + w2 / second_speed + out2
+            contrib1 = in1 + w1 / first_speed
+            contrib2 = mid + w2 / second_speed
+            pieces.append(
+                {
+                    "cycles": [cycle1, cycle2],
+                    "contribs": [contrib1, contrib2],
+                    "processors": procs,
+                    "interval_builder": builder,
+                }
+            )
+        return self._select(j, pieces, rule, latency_cap, require_improvement)
+
+    def best_three_way_split(
+        self,
+        j: int,
+        new_procs: Sequence[int],
+        rule: str = SelectionRule.MONO,
+        latency_cap: float | None = None,
+        require_improvement: bool = True,
+    ) -> SplitCandidate | None:
+        """Best 3-way split of interval ``j`` using two additional processors.
+
+        All pairs of cut positions and all ``3!`` assignments of the three
+        parts to ``{current processor} ∪ new_procs`` are evaluated.  ``None``
+        when the interval has fewer than three stages or no candidate passes
+        the filters.
+        """
+        if len(new_procs) != 2:
+            raise ValueError("best_three_way_split needs exactly two new processors")
+        iv = self.intervals[j]
+        d, e = iv.start, iv.end
+        if e - d < 2:
+            return None
+        proc_j = self.processors[j]
+        procs_all = (proc_j, int(new_procs[0]), int(new_procs[1]))
+
+        n_cut_positions = e - d  # cuts in [d, e-1]
+        rel1, rel2 = np.triu_indices(n_cut_positions, k=1)
+        cut1 = d + rel1
+        cut2 = d + rel2
+
+        in1 = float(self._comm[d]) / self._in_bw(d)
+        out3 = float(self._comm[e + 1]) / self._out_bw(e)
+        mid12 = np.asarray(self._comm[cut1 + 1], dtype=float) / self._b
+        mid23 = np.asarray(self._comm[cut2 + 1], dtype=float) / self._b
+        w1 = self._prefix[cut1 + 1] - self._prefix[d]
+        w2 = self._prefix[cut2 + 1] - self._prefix[cut1 + 1]
+        w3 = self._prefix[e + 1] - self._prefix[cut2 + 1]
+
+        def builder(idx: int) -> list[Interval]:
+            c1, c2 = int(cut1[idx]), int(cut2[idx])
+            return [Interval(d, c1), Interval(c1 + 1, c2), Interval(c2 + 1, e)]
+
+        pieces = []
+        for perm in permutations(procs_all):
+            s1, s2, s3 = (float(self._speeds[u]) for u in perm)
+            cycle1 = in1 + w1 / s1 + mid12
+            cycle2 = mid12 + w2 / s2 + mid23
+            cycle3 = mid23 + w3 / s3 + out3
+            contrib1 = in1 + w1 / s1
+            contrib2 = mid12 + w2 / s2
+            contrib3 = mid23 + w3 / s3
+            pieces.append(
+                {
+                    "cycles": [cycle1, cycle2, cycle3],
+                    "contribs": [contrib1, contrib2, contrib3],
+                    "processors": perm,
+                    "interval_builder": builder,
+                }
+            )
+        return self._select(j, pieces, rule, latency_cap, require_improvement)
+
+    # ------------------------------------------------------------------ #
+    # state mutation
+    # ------------------------------------------------------------------ #
+    def apply(self, candidate: SplitCandidate) -> None:
+        """Apply a split candidate, enrolling its new processors."""
+        j = candidate.interval_index
+        if not 0 <= j < self.n_intervals:
+            raise ValueError(f"candidate refers to stale interval index {j}")
+        self.intervals[j : j + 1] = list(candidate.new_intervals)
+        self.processors[j : j + 1] = list(candidate.new_processors)
+        self._cycles[j : j + 1] = list(candidate.new_cycles)
+        self._contribs[j : j + 1] = list(candidate.new_contributions)
+        used = set(candidate.new_processors)
+        self._unused = [u for u in self._unused if u not in used]

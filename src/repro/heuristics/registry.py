@@ -1,0 +1,96 @@
+"""Registry of the six heuristics of Section 4.
+
+Heuristics can be looked up by their paper name (``"Sp mono P"``), by their
+Table 1 key (``"H1"``) or by a normalised slug (``"sp-mono-p"``).  The
+registry is what the experiment harness, the CLI and the benchmarks iterate
+over, so adding a new heuristic only requires registering it here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Type
+
+from .base import Objective, PipelineHeuristic
+from .binary_search import SplittingBiPeriod
+from .exploration import ThreeExploBi, ThreeExploMono
+from .splitting import SplittingBiLatency, SplittingMonoLatency, SplittingMonoPeriod
+
+__all__ = [
+    "HEURISTIC_CLASSES",
+    "all_heuristics",
+    "fixed_period_heuristics",
+    "fixed_latency_heuristics",
+    "get_heuristic",
+    "heuristic_names",
+]
+
+#: The six heuristics of the paper, in Table 1 order.
+HEURISTIC_CLASSES: tuple[Type[PipelineHeuristic], ...] = (
+    SplittingMonoPeriod,  # H1  Sp mono P
+    ThreeExploMono,       # H2  3-Explo mono
+    ThreeExploBi,         # H3  3-Explo bi
+    SplittingBiPeriod,    # H4  Sp bi P
+    SplittingMonoLatency, # H5  Sp mono L
+    SplittingBiLatency,   # H6  Sp bi L
+)
+
+
+def _normalise(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+_LOOKUP: dict[str, Type[PipelineHeuristic]] = {}
+for cls in HEURISTIC_CLASSES:
+    _LOOKUP[_normalise(cls.name)] = cls
+    _LOOKUP[_normalise(cls.key)] = cls
+    _LOOKUP[_normalise(cls.__name__)] = cls
+
+
+def all_heuristics() -> list[PipelineHeuristic]:
+    """Fresh instances of the six heuristics, in Table 1 order."""
+    return [cls() for cls in HEURISTIC_CLASSES]
+
+
+def fixed_period_heuristics() -> list[PipelineHeuristic]:
+    """The heuristics that take a fixed period (minimise latency)."""
+    return [
+        cls()
+        for cls in HEURISTIC_CLASSES
+        if cls.objective == Objective.MIN_LATENCY_FOR_PERIOD
+    ]
+
+
+def fixed_latency_heuristics() -> list[PipelineHeuristic]:
+    """The heuristics that take a fixed latency (minimise period)."""
+    return [
+        cls()
+        for cls in HEURISTIC_CLASSES
+        if cls.objective == Objective.MIN_PERIOD_FOR_LATENCY
+    ]
+
+
+def heuristic_names() -> list[str]:
+    """Paper names of the registered heuristics, in Table 1 order."""
+    return [cls.name for cls in HEURISTIC_CLASSES]
+
+
+def get_heuristic(name: str) -> PipelineHeuristic:
+    """Instantiate a heuristic by paper name, Table 1 key or class name.
+
+    >>> get_heuristic("H1").name
+    'Sp mono P'
+    >>> get_heuristic("sp bi l").key
+    'H6'
+    """
+    key = _normalise(name)
+    if key not in _LOOKUP:
+        known = ", ".join(sorted({cls.name for cls in HEURISTIC_CLASSES}))
+        raise KeyError(f"unknown heuristic {name!r}; known heuristics: {known}")
+    return _LOOKUP[key]()
+
+
+def resolve_heuristics(names: Iterable[str] | None) -> list[PipelineHeuristic]:
+    """Resolve a list of heuristic names (``None`` means all six)."""
+    if names is None:
+        return all_heuristics()
+    return [get_heuristic(n) for n in names]

@@ -1,0 +1,16 @@
+"""Pipeline execution simulators validating the analytical cost model."""
+
+from .event_driven import simulate_mapping
+from .synchronous import synchronous_schedule
+from .trace import EventKind, SimulationTrace, TraceEvent
+from .validate import ModelValidation, validate_mapping
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "SimulationTrace",
+    "simulate_mapping",
+    "synchronous_schedule",
+    "ModelValidation",
+    "validate_mapping",
+]

@@ -1,0 +1,232 @@
+"""Execution traces produced by the pipeline simulators.
+
+A trace is a list of :class:`TraceEvent` records — one per elementary
+operation (receive / compute / send) of an interval processing a data set —
+plus helpers to derive the measured metrics the paper reasons about:
+
+* the *measured period*: steady-state interval between consecutive data-set
+  completions;
+* the *measured latency*: per data-set response time (the maximum over data
+  sets is the paper's latency).
+
+Traces also power the Gantt-style text rendering used by the examples and the
+one-port/ordering invariant checks used by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["EventKind", "TraceEvent", "SimulationTrace"]
+
+
+class EventKind:
+    """Kinds of elementary operations appearing in a trace."""
+
+    RECEIVE = "receive"
+    COMPUTE = "compute"
+    SEND = "send"
+
+    ALL = (RECEIVE, COMPUTE, SEND)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One elementary operation of the simulated schedule.
+
+    Attributes
+    ----------
+    processor:
+        Processor index executing the operation.
+    interval_index:
+        Index of the mapped interval the operation belongs to.
+    dataset:
+        Index of the data set being processed.
+    kind:
+        One of :class:`EventKind`.
+    start / end:
+        Time window of the operation (``end >= start``; zero-length events are
+        emitted for empty communications so the trace stays self-describing).
+    peer:
+        For communications, the processor on the other side of the transfer
+        (``None`` for the outside world).
+    """
+
+    processor: int
+    interval_index: int
+    dataset: int
+    kind: str
+    start: float
+    end: float
+    peer: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EventKind.ALL:
+            raise SimulationError(f"unknown event kind {self.kind!r}")
+        if self.end < self.start - 1e-12:
+            raise SimulationError(
+                f"event ends before it starts: {self.start} > {self.end}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationTrace:
+    """A complete simulated schedule.
+
+    ``completion_times[k]`` is the time data set ``k`` leaves the platform
+    (final output transfer done); ``injection_times[k]`` the time its first
+    input transfer started.
+    """
+
+    events: list[TraceEvent] = field(default_factory=list)
+    n_datasets: int = 0
+    injection_times: list[float] = field(default_factory=list)
+    completion_times: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def add(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Time at which the last event of the schedule finishes."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def latency_of(self, dataset: int) -> float:
+        """Response time of one data set (completion minus injection)."""
+        return self.completion_times[dataset] - self.injection_times[dataset]
+
+    @property
+    def max_latency(self) -> float:
+        """Maximum response time over all data sets (the paper's latency)."""
+        if not self.completion_times:
+            return 0.0
+        return max(self.latency_of(k) for k in range(self.n_datasets))
+
+    @property
+    def first_latency(self) -> float:
+        """Response time of the first data set (no pipeline contention yet)."""
+        if not self.completion_times:
+            return 0.0
+        return self.latency_of(0)
+
+    def measured_period(self, warmup_fraction: float = 0.5) -> float:
+        """Steady-state period: mean completion gap after a warm-up prefix.
+
+        The first ``warmup_fraction`` of the data sets is discarded so the
+        pipeline fill phase does not bias the estimate.  With fewer than two
+        completions after warm-up the overall mean gap is returned.
+        """
+        times = self.completion_times
+        if len(times) < 2:
+            return 0.0
+        start_index = int(len(times) * warmup_fraction)
+        start_index = min(start_index, len(times) - 2)
+        gaps = [
+            times[k + 1] - times[k] for k in range(start_index, len(times) - 1)
+        ]
+        return sum(gaps) / len(gaps)
+
+    def max_completion_gap(self, warmup_fraction: float = 0.5) -> float:
+        """Largest completion gap after warm-up (a conservative period estimate)."""
+        times = self.completion_times
+        if len(times) < 2:
+            return 0.0
+        start_index = min(int(len(times) * warmup_fraction), len(times) - 2)
+        return max(times[k + 1] - times[k] for k in range(start_index, len(times) - 1))
+
+    # ------------------------------------------------------------------ #
+    # structural checks (used by the tests)
+    # ------------------------------------------------------------------ #
+    def events_for_processor(self, processor: int) -> list[TraceEvent]:
+        """Events executed by one processor, sorted by start time."""
+        return sorted(
+            (e for e in self.events if e.processor == processor),
+            key=lambda e: (e.start, e.end),
+        )
+
+    def processors(self) -> list[int]:
+        return sorted({e.processor for e in self.events})
+
+    def check_no_overlap(self, tol: float = 1e-9) -> None:
+        """Verify no processor executes two operations at the same time.
+
+        A shared communication (send on one side, receive on the other) is a
+        single time window counted once per endpoint, so this check enforces
+        both the sequential-execution and one-port constraints of the model.
+        Raises :class:`SimulationError` on violation.
+        """
+        for proc in self.processors():
+            previous_end = -float("inf")
+            for event in self.events_for_processor(proc):
+                if event.duration <= tol:
+                    continue
+                if event.start < previous_end - tol:
+                    raise SimulationError(
+                        f"processor {proc} has overlapping operations near "
+                        f"t={event.start:.6g}"
+                    )
+                previous_end = max(previous_end, event.end)
+
+    def check_dataset_order(self, tol: float = 1e-9) -> None:
+        """Verify every interval processes data sets in increasing order."""
+        by_interval: dict[int, list[TraceEvent]] = {}
+        for event in self.events:
+            if event.kind == EventKind.COMPUTE:
+                by_interval.setdefault(event.interval_index, []).append(event)
+        for interval_index, events in by_interval.items():
+            events.sort(key=lambda e: e.start)
+            datasets = [e.dataset for e in events]
+            if datasets != sorted(datasets):
+                raise SimulationError(
+                    f"interval {interval_index} processes data sets out of order"
+                )
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def gantt(self, time_scale: float = 1.0, width: int = 80) -> str:
+        """Coarse ASCII Gantt chart (one line per processor).
+
+        Each character covers ``makespan / width`` time units (or
+        ``time_scale`` when given); ``r``/``c``/``s`` mark receive, compute and
+        send operations, ``.`` idle time.
+        """
+        makespan = self.makespan
+        if makespan <= 0:
+            return "(empty trace)"
+        step = makespan / width if time_scale == 1.0 else time_scale
+        lines = []
+        symbols = {EventKind.RECEIVE: "r", EventKind.COMPUTE: "c", EventKind.SEND: "s"}
+        for proc in self.processors():
+            row = ["."] * width
+            for event in self.events_for_processor(proc):
+                first = int(event.start / step)
+                last = max(first, int(max(event.end - 1e-12, event.start) / step))
+                for pos in range(first, min(last + 1, width)):
+                    row[pos] = symbols[event.kind]
+            lines.append(f"P{proc + 1:<3d} |" + "".join(row) + "|")
+        return "\n".join(lines)
+
+
+def merge_traces(traces: Iterable[SimulationTrace]) -> SimulationTrace:
+    """Concatenate traces of independent simulations (for reporting only)."""
+    merged = SimulationTrace()
+    for trace in traces:
+        merged.events.extend(trace.events)
+        merged.injection_times.extend(trace.injection_times)
+        merged.completion_times.extend(trace.completion_times)
+        merged.n_datasets += trace.n_datasets
+    return merged

@@ -1,0 +1,97 @@
+"""Cross-validation of the analytical cost model against simulated schedules.
+
+For any mapping, three sources of (period, latency) numbers exist:
+
+1. the analytical formulas of Section 2 (eqs. 1 and 2);
+2. the constructive synchronous schedule (exactly matches the formulas by
+   design, but the construction itself could be buggy — the checks here and
+   in the tests catch that);
+3. the greedy event-driven schedule under the one-port model (what an actual
+   runtime would do without global clock synchronisation).
+
+:func:`validate_mapping` runs all three and reports the relative deviations;
+the model-validation benchmark aggregates these deviations over E1–E4
+instances to show that the analytical model the heuristics optimise is
+faithful to an executable schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.application import PipelineApplication
+from ..core.costs import evaluate
+from ..core.mapping import IntervalMapping
+from ..core.platform import Platform
+from .event_driven import simulate_mapping
+from .synchronous import synchronous_schedule
+
+__all__ = ["ModelValidation", "validate_mapping"]
+
+
+@dataclass(frozen=True)
+class ModelValidation:
+    """Comparison of analytical and simulated metrics for one mapping."""
+
+    analytical_period: float
+    analytical_latency: float
+    synchronous_period: float
+    synchronous_latency: float
+    event_driven_period: float
+    event_driven_first_latency: float
+    event_driven_max_latency: float
+    n_datasets: int
+
+    @property
+    def period_relative_error(self) -> float:
+        """Relative deviation of the event-driven period from the model."""
+        if self.analytical_period == 0:
+            return 0.0
+        return (
+            abs(self.event_driven_period - self.analytical_period)
+            / self.analytical_period
+        )
+
+    @property
+    def latency_relative_error(self) -> float:
+        """Relative deviation of the first-data-set latency from the model."""
+        if self.analytical_latency == 0:
+            return 0.0
+        return (
+            abs(self.event_driven_first_latency - self.analytical_latency)
+            / self.analytical_latency
+        )
+
+    @property
+    def consistent(self) -> bool:
+        """Loose sanity flag: simulation within 5% of the analytical model."""
+        return self.period_relative_error <= 0.05 and self.latency_relative_error <= 0.05
+
+
+def validate_mapping(
+    app: PipelineApplication,
+    platform: Platform,
+    mapping: IntervalMapping,
+    n_datasets: int = 50,
+) -> ModelValidation:
+    """Run both simulators on a mapping and compare with the analytical model."""
+    analytical = evaluate(app, platform, mapping)
+
+    sync_trace = synchronous_schedule(app, platform, mapping, n_datasets=n_datasets)
+    sync_trace.check_no_overlap()
+    sync_trace.check_dataset_order()
+
+    event_trace = simulate_mapping(app, platform, mapping, n_datasets=n_datasets)
+    event_trace.check_no_overlap()
+    event_trace.check_dataset_order()
+
+    return ModelValidation(
+        analytical_period=float(analytical.period),
+        analytical_latency=float(analytical.latency),
+        synchronous_period=float(sync_trace.measured_period()),
+        synchronous_latency=float(sync_trace.max_latency),
+        event_driven_period=float(event_trace.measured_period()),
+        event_driven_first_latency=float(event_trace.first_latency),
+        event_driven_max_latency=float(event_trace.max_latency),
+        n_datasets=n_datasets,
+    )

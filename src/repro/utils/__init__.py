@@ -1,0 +1,15 @@
+"""Small shared utilities: RNG handling, validation helpers, text tables."""
+
+from .rng import ensure_rng, spawn_rngs
+from .tables import format_table, format_series
+from .validation import check_positive, check_non_negative, check_probability
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_series",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+]

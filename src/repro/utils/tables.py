@@ -1,0 +1,71 @@
+"""Plain-text table and series formatting for experiment reports.
+
+The benchmark harness prints the same rows/series as the paper's tables and
+figures; these helpers keep that output readable without pulling in a plotting
+dependency (the environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned ASCII table.
+
+    Floats are formatted with ``precision`` decimals; all other values use
+    ``str``.  Column widths adapt to the widest cell.
+    """
+    rendered_rows = [[_fmt_cell(c, precision) for c in row] for row in rows]
+    all_rows = [list(map(str, headers))] + rendered_rows
+    widths = [max(len(row[i]) for row in all_rows) for i in range(len(headers))]
+
+    def render_row(row: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(map(str, headers))))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "period",
+    y_label: str = "latency",
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render named (x, y) series — one block per heuristic curve.
+
+    This is the textual analogue of the paper's latency-versus-period figures:
+    each block lists the averaged points of one heuristic.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    for name in series:
+        lines.append(f"[{name}]  ({x_label}, {y_label})")
+        points = series[name]
+        if not points:
+            lines.append("    (no feasible points)")
+            continue
+        for x, y in points:
+            lines.append(f"    ({x:.{precision}f}, {y:.{precision}f})")
+    return "\n".join(lines)

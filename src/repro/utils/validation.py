@@ -1,0 +1,31 @@
+"""Scalar validation helpers shared by generators and experiment configurations."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["check_positive", "check_non_negative", "check_probability"]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite strictly positive number, else raise."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is a finite non-negative number, else raise."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in ``[0, 1]``, else raise."""
+    value = float(value)
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value

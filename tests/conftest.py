@@ -1,0 +1,72 @@
+"""Shared pytest fixtures.
+
+The ``src`` directory is added to ``sys.path`` as a fallback so the test
+suite runs even when the package has not been installed (offline environments
+without the ``wheel`` package cannot always run ``pip install -e .``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+import pytest
+
+from repro.core.application import PipelineApplication
+from repro.core.mapping import IntervalMapping
+from repro.core.platform import Platform
+from repro.generators.experiments import experiment_config, generate_instances
+
+
+@pytest.fixture
+def small_app() -> PipelineApplication:
+    """A 4-stage pipeline with hand-checkable numbers."""
+    return PipelineApplication(
+        works=[4.0, 2.0, 6.0, 8.0], comm_sizes=[10.0, 4.0, 6.0, 2.0, 10.0]
+    )
+
+
+@pytest.fixture
+def small_platform() -> Platform:
+    """A 3-processor communication-homogeneous platform (b = 10)."""
+    return Platform.communication_homogeneous([4.0, 2.0, 1.0], bandwidth=10.0)
+
+
+@pytest.fixture
+def single_interval_mapping(small_app, small_platform) -> IntervalMapping:
+    """Everything on the fastest processor (the Lemma 1 mapping)."""
+    return IntervalMapping.single_processor(
+        small_app.n_stages, small_platform.fastest_processor
+    )
+
+
+@pytest.fixture
+def two_interval_mapping() -> IntervalMapping:
+    """Stages [0,1] on P1 and [2,3] on P2 (for the small_app fixture)."""
+    return IntervalMapping([(0, 1), (2, 3)], [0, 1])
+
+
+@pytest.fixture
+def medium_instance():
+    """One deterministic E1-style instance (10 stages, 10 processors)."""
+    config = experiment_config("E1", 10, 10, n_instances=1)
+    return generate_instances(config, seed=42)[0]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_instance(
+    n_stages: int, n_processors: int, seed: int, family: str = "E2"
+) -> tuple[PipelineApplication, Platform]:
+    """Helper used by several test modules to get a random instance."""
+    config = experiment_config(family, n_stages, n_processors, n_instances=1)
+    instance = generate_instances(config, seed=seed)[0]
+    return instance.application, instance.platform

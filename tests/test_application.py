@@ -1,0 +1,176 @@
+"""Unit tests for :mod:`repro.core.application`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.application import PipelineApplication, Stage
+from repro.core.exceptions import InvalidApplicationError
+
+
+class TestStage:
+    def test_default_name_is_one_based(self):
+        stage = Stage(index=0, work=3.0, input_size=1.0, output_size=2.0)
+        assert stage.name == "S1"
+        assert stage.label == "S1"
+
+    def test_explicit_name_is_kept(self):
+        stage = Stage(index=2, work=3.0, input_size=1.0, output_size=2.0, name="decode")
+        assert stage.name == "decode"
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        app = PipelineApplication([1, 2, 3], [10, 20, 30, 40])
+        assert app.n_stages == 3
+        assert len(app) == 3
+        assert app.total_work == 6.0
+        assert app.total_comm == 100.0
+
+    def test_empty_works_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication([], [1.0])
+
+    def test_wrong_comm_length_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication([1, 2], [1, 2])
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication([1, 2], [1, 2, 3, 4])
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication([1, -2], [1, 1, 1])
+
+    def test_negative_comm_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication([1, 2], [1, -1, 1])
+
+    def test_non_finite_values_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication([1, float("nan")], [1, 1, 1])
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication([1, 2], [1, float("inf"), 1])
+
+    def test_zero_work_is_allowed(self):
+        app = PipelineApplication([0.0, 1.0], [1, 1, 1])
+        assert app.work(0) == 0.0
+
+    def test_arrays_are_read_only(self):
+        app = PipelineApplication([1, 2], [1, 1, 1])
+        with pytest.raises(ValueError):
+            app.works[0] = 5.0
+        with pytest.raises(ValueError):
+            app.comm_sizes[0] = 5.0
+
+
+class TestAccessors:
+    def test_work_and_comm_lookup(self, small_app):
+        assert small_app.work(0) == 4.0
+        assert small_app.work(3) == 8.0
+        assert small_app.comm(0) == 10.0
+        assert small_app.comm(4) == 10.0
+        assert small_app.input_size(2) == 6.0
+        assert small_app.output_size(2) == 2.0
+
+    def test_out_of_range_stage(self, small_app):
+        with pytest.raises(InvalidApplicationError):
+            small_app.work(4)
+        with pytest.raises(InvalidApplicationError):
+            small_app.work(-1)
+        with pytest.raises(InvalidApplicationError):
+            small_app.comm(5)
+
+    def test_non_integer_index_rejected(self, small_app):
+        with pytest.raises(InvalidApplicationError):
+            small_app.work(1.5)  # type: ignore[arg-type]
+
+    def test_stage_records(self, small_app):
+        stages = list(small_app.stages())
+        assert len(stages) == 4
+        assert stages[1].work == 2.0
+        assert stages[1].input_size == 4.0
+        assert stages[1].output_size == 6.0
+        assert [s.name for s in stages] == ["S1", "S2", "S3", "S4"]
+
+    def test_iteration_matches_stages(self, small_app):
+        assert [s.index for s in small_app] == [0, 1, 2, 3]
+
+
+class TestAggregates:
+    def test_work_sum_full_range(self, small_app):
+        assert small_app.work_sum(0, 3) == small_app.total_work == 20.0
+
+    def test_work_sum_sub_intervals(self, small_app):
+        assert small_app.work_sum(1, 2) == 8.0
+        assert small_app.work_sum(2, 2) == 6.0
+
+    def test_work_sum_matches_numpy(self, rng):
+        works = rng.uniform(0.1, 10, size=25)
+        app = PipelineApplication(works, np.ones(26))
+        for _ in range(20):
+            d = int(rng.integers(0, 25))
+            e = int(rng.integers(d, 25))
+            assert app.work_sum(d, e) == pytest.approx(works[d : e + 1].sum())
+
+    def test_work_sum_empty_interval_rejected(self, small_app):
+        with pytest.raises(InvalidApplicationError):
+            small_app.work_sum(2, 1)
+
+    def test_comm_to_work_ratio(self):
+        app = PipelineApplication([10.0], [5.0, 5.0])
+        assert app.comm_to_work_ratio == pytest.approx(1.0)
+        zero_work = PipelineApplication([0.0], [5.0, 5.0])
+        assert zero_work.comm_to_work_ratio == float("inf")
+
+
+class TestConstructors:
+    def test_homogeneous_constructor(self):
+        app = PipelineApplication.homogeneous(5, work=2.0, comm=3.0)
+        assert app.n_stages == 5
+        assert np.all(app.works == 2.0)
+        assert np.all(app.comm_sizes == 3.0)
+
+    def test_homogeneous_rejects_zero_stages(self):
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication.homogeneous(0)
+
+    def test_from_stages_round_trip(self, small_app):
+        rebuilt = PipelineApplication.from_stages(
+            small_app.stages(), final_output=small_app.comm(small_app.n_stages)
+        )
+        assert rebuilt == small_app
+
+    def test_from_stages_mismatched_sizes_rejected(self):
+        stages = [
+            Stage(index=0, work=1.0, input_size=1.0, output_size=2.0),
+            Stage(index=1, work=1.0, input_size=3.0, output_size=4.0),
+        ]
+        with pytest.raises(InvalidApplicationError):
+            PipelineApplication.from_stages(stages, final_output=4.0)
+
+    def test_subchain(self, small_app):
+        sub = small_app.subchain(1, 2)
+        assert sub.n_stages == 2
+        assert list(sub.works) == [2.0, 6.0]
+        assert list(sub.comm_sizes) == [4.0, 6.0, 2.0]
+
+    def test_subchain_invalid_interval(self, small_app):
+        with pytest.raises(InvalidApplicationError):
+            small_app.subchain(3, 1)
+
+
+class TestEqualityAndRepr:
+    def test_equality_and_hash(self):
+        a = PipelineApplication([1, 2], [1, 2, 3])
+        b = PipelineApplication([1, 2], [1, 2, 3])
+        c = PipelineApplication([1, 3], [1, 2, 3])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not an app"
+
+    def test_repr_and_describe(self, small_app):
+        assert "n_stages=4" in repr(small_app)
+        described = small_app.describe()
+        assert "S1" in described and "S4" in described

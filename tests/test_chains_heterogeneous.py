@@ -1,0 +1,151 @@
+"""Unit tests for Hetero-1D-Partition solvers (Section 3 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains.heterogeneous import (
+    hetero_best_of_orders,
+    hetero_exact_bisect,
+    hetero_exact_dp,
+    hetero_fixed_order,
+    hetero_lower_bound,
+    normalized_bottleneck,
+)
+from repro.chains.homogeneous import dp_optimal
+
+
+class TestNormalizedBottleneck:
+    def test_hand_computed(self):
+        value = normalized_bottleneck(
+            [4, 4, 2], [2, 1], intervals=[(0, 1), (2, 2)], processors=[0, 1]
+        )
+        assert value == pytest.approx(max(8 / 2, 2 / 1))
+
+    def test_lower_bound_below_exact(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 8))
+            p = int(rng.integers(1, 4))
+            values = rng.integers(1, 10, size=n).astype(float)
+            speeds = rng.integers(1, 5, size=p).astype(float)
+            exact = hetero_exact_dp(values, speeds)
+            assert hetero_lower_bound(values, speeds) <= exact.bottleneck + 1e-9
+
+    def test_lower_bound_empty(self):
+        assert hetero_lower_bound([], [1.0]) == 0.0
+
+
+class TestExactDp:
+    def test_simple_instance(self):
+        # values [6, 2], speeds [3, 1]: put 6 on the fast one and 2 on the slow
+        result = hetero_exact_dp([6, 2], [3, 1])
+        assert result.bottleneck == pytest.approx(2.0)
+        assert result.covers(2)
+
+    def test_single_processor(self):
+        result = hetero_exact_dp([1, 2, 3], [2])
+        assert result.bottleneck == pytest.approx(3.0)
+
+    def test_reduces_to_homogeneous_with_unit_speeds(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 9))
+            p = int(rng.integers(1, 4))
+            values = rng.integers(1, 10, size=n).astype(float)
+            hom = dp_optimal(values, p)
+            het = hetero_exact_dp(values, np.ones(p))
+            assert het.bottleneck == pytest.approx(hom.bottleneck)
+
+    def test_assignment_is_valid(self, rng):
+        values = rng.integers(1, 10, size=7).astype(float)
+        speeds = rng.integers(1, 6, size=3).astype(float)
+        result = hetero_exact_dp(values, speeds)
+        assert result.covers(7)
+        assert result.processors is not None
+        assert len(set(result.processors)) == len(result.processors)
+        assert normalized_bottleneck(
+            values, speeds, result.intervals, result.processors
+        ) == pytest.approx(result.bottleneck)
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            hetero_exact_dp([1], [])
+        with pytest.raises(ValueError):
+            hetero_exact_dp([1], np.ones(25))
+        assert hetero_exact_dp([], [1.0]).bottleneck == 0.0
+
+
+class TestExactBisect:
+    def test_matches_exact_dp(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(2, 10))
+            p = int(rng.integers(1, 5))
+            values = rng.integers(1, 12, size=n).astype(float)
+            speeds = rng.integers(1, 6, size=p).astype(float)
+            dp = hetero_exact_dp(values, speeds)
+            bis = hetero_exact_bisect(values, speeds)
+            assert bis.bottleneck == pytest.approx(dp.bottleneck, rel=1e-6)
+            assert bis.covers(n)
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            hetero_exact_bisect([1], [])
+        assert hetero_exact_bisect([], [1.0]).bottleneck == 0.0
+
+
+class TestFixedOrderHeuristic:
+    def test_valid_solution(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(1, 20))
+            p = int(rng.integers(1, 6))
+            values = rng.uniform(0.5, 10.0, size=n)
+            speeds = rng.integers(1, 20, size=p).astype(float)
+            result = hetero_fixed_order(values, speeds)
+            assert result.covers(n)
+            assert result.processors is not None
+            assert normalized_bottleneck(
+                values, speeds, result.intervals, result.processors
+            ) == pytest.approx(result.bottleneck)
+
+    def test_never_beats_exact(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 9))
+            p = int(rng.integers(1, 4))
+            values = rng.integers(1, 10, size=n).astype(float)
+            speeds = rng.integers(1, 6, size=p).astype(float)
+            exact = hetero_exact_dp(values, speeds)
+            heuristic = hetero_fixed_order(values, speeds)
+            assert heuristic.bottleneck >= exact.bottleneck - 1e-9
+
+    def test_explicit_order_is_respected(self):
+        values = [4.0, 4.0]
+        speeds = [4.0, 1.0]
+        fast_first = hetero_fixed_order(values, speeds, order=[0, 1])
+        slow_first = hetero_fixed_order(values, speeds, order=[1, 0])
+        assert fast_first.bottleneck <= slow_first.bottleneck + 1e-9
+
+    def test_empty_values(self):
+        assert hetero_fixed_order([], [1.0, 2.0]).bottleneck == 0.0
+
+    def test_no_speeds_rejected(self):
+        with pytest.raises(ValueError):
+            hetero_fixed_order([1.0], [])
+
+
+class TestBestOfOrders:
+    def test_at_least_as_good_as_descending(self, rng):
+        for _ in range(8):
+            n = int(rng.integers(2, 15))
+            values = rng.uniform(0.5, 10.0, size=n)
+            speeds = rng.integers(1, 20, size=4).astype(float)
+            single = hetero_fixed_order(values, speeds)
+            multi = hetero_best_of_orders(values, speeds, n_random_orders=3, seed=0)
+            assert multi.bottleneck <= single.bottleneck + 1e-9
+
+    def test_custom_orders(self):
+        result = hetero_best_of_orders([3.0, 1.0], [1.0, 3.0], orders=[[1, 0]])
+        assert result.bottleneck == pytest.approx(1.0)
+
+    def test_empty_orders_rejected(self):
+        with pytest.raises(ValueError):
+            hetero_best_of_orders([1.0], [1.0], orders=[])

@@ -1,0 +1,166 @@
+"""Unit tests for the homogeneous chains-to-chains solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains.homogeneous import (
+    PartitionResult,
+    bisect_optimal,
+    bottleneck_lower_bound,
+    dp_optimal,
+    greedy_partition,
+    interval_sums,
+    nicol_optimal,
+)
+
+
+def brute_force_bottleneck(values: np.ndarray, p: int) -> float:
+    """Exhaustive optimum used as ground truth on small arrays."""
+    from itertools import combinations
+
+    n = len(values)
+    best = float("inf")
+    for m in range(1, min(p, n) + 1):
+        for cuts in combinations(range(1, n), m - 1):
+            bounds = [0, *cuts, n]
+            sums = [values[bounds[i]: bounds[i + 1]].sum() for i in range(len(bounds) - 1)]
+            best = min(best, max(sums))
+    return float(best)
+
+
+class TestDpOptimal:
+    def test_simple_case(self):
+        result = dp_optimal([1, 2, 3, 4, 5], 2)
+        assert result.bottleneck == pytest.approx(9.0)  # [1,2,3] | [4,5]
+        assert result.covers(5)
+
+    def test_single_processor(self):
+        result = dp_optimal([3, 1, 4], 1)
+        assert result.bottleneck == pytest.approx(8.0)
+        assert result.intervals == ((0, 2),)
+
+    def test_more_processors_than_elements(self):
+        result = dp_optimal([5, 1], 10)
+        assert result.bottleneck == pytest.approx(5.0)
+        assert result.covers(2)
+
+    def test_empty_array(self):
+        assert dp_optimal([], 3).bottleneck == 0.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            dp_optimal([1], 0)
+
+    def test_matches_bruteforce(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(2, 9))
+            p = int(rng.integers(1, 5))
+            values = rng.integers(1, 20, size=n).astype(float)
+            assert dp_optimal(values, p).bottleneck == pytest.approx(
+                brute_force_bottleneck(values, p)
+            )
+
+    def test_partition_bottleneck_is_consistent(self, rng):
+        values = rng.uniform(0.1, 10.0, size=30)
+        result = dp_optimal(values, 4)
+        sums = interval_sums(values, result.intervals)
+        assert max(sums) == pytest.approx(result.bottleneck)
+        assert result.covers(30)
+
+
+class TestNicolOptimal:
+    def test_matches_dp(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(2, 40))
+            p = int(rng.integers(1, 8))
+            values = rng.uniform(0.1, 10.0, size=n)
+            dp = dp_optimal(values, p)
+            nicol = nicol_optimal(values, p)
+            assert nicol.bottleneck == pytest.approx(dp.bottleneck, rel=1e-9)
+            assert nicol.covers(n)
+
+    def test_handles_integer_weights(self, rng):
+        values = rng.integers(1, 50, size=60).astype(float)
+        dp = dp_optimal(values, 6)
+        nicol = nicol_optimal(values, 6)
+        assert nicol.bottleneck == pytest.approx(dp.bottleneck)
+
+    def test_empty_and_errors(self):
+        assert nicol_optimal([], 2).bottleneck == 0.0
+        with pytest.raises(ValueError):
+            nicol_optimal([1.0], 0)
+
+
+class TestBisectOptimal:
+    def test_matches_dp_within_tolerance(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(2, 60))
+            p = int(rng.integers(1, 9))
+            values = rng.uniform(0.1, 10.0, size=n)
+            dp = dp_optimal(values, p)
+            bis = bisect_optimal(values, p)
+            assert bis.bottleneck <= dp.bottleneck * (1 + 1e-6) + 1e-9
+            assert bis.bottleneck >= dp.bottleneck - 1e-9
+            assert bis.covers(n)
+
+    def test_trivial_cases(self):
+        assert bisect_optimal([], 3).bottleneck == 0.0
+        assert bisect_optimal([7.0], 1).bottleneck == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            bisect_optimal([1.0], 0)
+
+
+class TestGreedyPartition:
+    def test_produces_valid_partition(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 50))
+            p = int(rng.integers(1, 10))
+            values = rng.uniform(0.1, 10.0, size=n)
+            result = greedy_partition(values, p)
+            assert result.covers(n)
+            assert result.n_intervals <= p
+            sums = interval_sums(values, result.intervals)
+            assert max(sums) == pytest.approx(result.bottleneck)
+
+    def test_never_beats_the_optimum(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(2, 25))
+            p = int(rng.integers(1, 6))
+            values = rng.uniform(0.1, 10.0, size=n)
+            assert greedy_partition(values, p).bottleneck >= (
+                dp_optimal(values, p).bottleneck - 1e-9
+            )
+
+    def test_uniform_load_is_balanced(self):
+        result = greedy_partition([1.0] * 12, 4)
+        assert result.n_intervals == 4
+        assert result.bottleneck == pytest.approx(3.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            greedy_partition([1.0], -1)
+
+
+class TestLowerBound:
+    def test_bound_below_optimum(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(1, 20))
+            p = int(rng.integers(1, 6))
+            values = rng.uniform(0.1, 10.0, size=n)
+            assert bottleneck_lower_bound(values, p) <= dp_optimal(values, p).bottleneck + 1e-9
+
+    def test_empty_and_degenerate(self):
+        assert bottleneck_lower_bound([], 3) == 0.0
+        assert bottleneck_lower_bound([1.0], 0) == float("inf")
+
+
+class TestPartitionResult:
+    def test_covers_detects_gaps(self):
+        good = PartitionResult(1.0, ((0, 1), (2, 3)))
+        assert good.covers(4)
+        assert not good.covers(5)
+        gap = PartitionResult(1.0, ((0, 1), (3, 4)))
+        assert not gap.covers(5)
+        assert PartitionResult(0.0, ()).covers(0)

@@ -1,0 +1,118 @@
+"""Unit tests for the greedy probes of :mod:`repro.chains.probe`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chains.probe import (
+    ProbeResult,
+    prefix_sums,
+    probe_heterogeneous,
+    probe_homogeneous,
+)
+
+
+class TestPrefixSums:
+    def test_values(self):
+        assert list(prefix_sums([1, 2, 3])) == [0, 1, 3, 6]
+
+    def test_empty(self):
+        assert list(prefix_sums([])) == [0]
+
+
+class TestHomogeneousProbe:
+    def test_feasible_partition(self):
+        result = probe_homogeneous([2, 2, 2, 2], 2, 4.0)
+        assert result.feasible
+        assert result.as_interval_list() == [(0, 1), (2, 3)]
+        assert result.intervals_used == 2
+
+    def test_infeasible_when_bottleneck_too_small(self):
+        assert not probe_homogeneous([5, 5, 5], 2, 6.0).feasible
+
+    def test_single_element_exceeding_bottleneck(self):
+        assert not probe_homogeneous([10, 1], 5, 9.0).feasible
+
+    def test_greedy_uses_fewest_intervals(self):
+        result = probe_homogeneous([1, 1, 1, 1], 4, 10.0)
+        assert result.feasible
+        assert result.intervals_used == 1
+
+    def test_zero_intervals_infeasible(self):
+        assert not probe_homogeneous([1], 0, 10.0).feasible
+
+    def test_empty_array_is_feasible(self):
+        result = probe_homogeneous([], 3, 1.0)
+        assert result.feasible
+        assert result.intervals_used == 0
+
+    def test_negative_bottleneck_infeasible(self):
+        assert not probe_homogeneous([1], 1, -1.0).feasible
+
+    def test_exact_boundary_value(self):
+        # sums exactly equal to the bottleneck are allowed
+        assert probe_homogeneous([3, 3, 3], 3, 3.0).feasible
+
+    def test_probe_matches_bruteforce_feasibility(self, rng):
+        """The greedy probe decides feasibility exactly (vs exhaustive search)."""
+        from itertools import combinations
+
+        for _ in range(30):
+            n = int(rng.integers(3, 8))
+            p = int(rng.integers(1, 4))
+            values = rng.integers(1, 10, size=n).astype(float)
+            bottleneck = float(rng.uniform(values.max() * 0.8, values.sum()))
+
+            def exhaustive_feasible() -> bool:
+                for m in range(1, p + 1):
+                    for cuts in combinations(range(1, n), m - 1):
+                        bounds = [0, *cuts, n]
+                        sums = [
+                            values[bounds[i] : bounds[i + 1]].sum()
+                            for i in range(len(bounds) - 1)
+                        ]
+                        if max(sums) <= bottleneck + 1e-9:
+                            return True
+                return False
+
+            assert probe_homogeneous(values, p, bottleneck).feasible == exhaustive_feasible()
+
+
+class TestHeterogeneousProbe:
+    def test_fixed_order_feasible(self):
+        # speeds 4 then 1 with bottleneck 1: capacities 4 and 1
+        result = probe_heterogeneous([2, 2, 1], [4, 1], 1.0)
+        assert result.feasible
+        assert result.as_interval_list() == [(0, 1), (2, 2)]
+
+    def test_fixed_order_infeasible_other_order(self):
+        # slow processor first cannot take the first heavy element
+        result = probe_heterogeneous([2, 2, 1], [1, 4], 1.0)
+        assert not result.feasible
+
+    def test_processor_skipped_when_too_slow(self):
+        # the middle processor cannot even take one element and is skipped
+        result = probe_heterogeneous([5, 5], [5, 1, 5], 1.0)
+        assert result.feasible
+        interval_list = result.as_interval_list()
+        assert interval_list == [(0, 0), (1, 1)]
+
+    def test_empty_values_feasible(self):
+        assert probe_heterogeneous([], [1, 2], 1.0).feasible
+
+    def test_no_speeds_infeasible(self):
+        assert not probe_heterogeneous([1], [], 1.0).feasible
+
+    def test_result_type(self):
+        assert isinstance(probe_heterogeneous([1], [2], 1.0), ProbeResult)
+
+    def test_homogeneous_speeds_match_homogeneous_probe(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 12))
+            p = int(rng.integers(1, 5))
+            values = rng.uniform(0.5, 5.0, size=n)
+            bottleneck = float(rng.uniform(0.5, values.sum()))
+            hom = probe_homogeneous(values, p, bottleneck)
+            het = probe_heterogeneous(values, np.ones(p), bottleneck)
+            assert hom.feasible == het.feasible

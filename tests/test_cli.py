@@ -1,0 +1,119 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "solve",
+                "--works", "1", "2",
+                "--comms", "1", "1", "1",
+                "--speeds", "2", "1",
+                "--heuristic", "H1",
+                "--period", "5",
+            ]
+        )
+        assert args.command == "solve"
+        assert args.works == [1.0, 2.0]
+
+
+class TestSolveCommand:
+    def test_solve_fixed_period(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3", "8", "2",
+                "--comms", "10", "4", "6", "2", "10",
+                "--speeds", "4", "2", "1",
+                "--bandwidth", "10",
+                "--heuristic", "H1",
+                "--period", "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Sp mono P" in out
+        assert "period" in out
+
+    def test_solve_fixed_latency(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3",
+                "--comms", "1", "1", "1",
+                "--speeds", "4", "2",
+                "--heuristic", "H5",
+                "--latency", "10",
+            ]
+        )
+        assert rc == 0
+        assert "Sp mono L" in capsys.readouterr().out
+
+    def test_solve_missing_bound_errors(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3",
+                "--comms", "1", "1", "1",
+                "--speeds", "4", "2",
+                "--heuristic", "H1",
+            ]
+        )
+        assert rc == 2
+        assert "needs --period" in capsys.readouterr().err
+
+
+class TestExperimentCommands:
+    def test_sweep_command(self, capsys):
+        rc = main(
+            [
+                "sweep", "--family", "E1", "--stages", "6", "--processors", "5",
+                "--instances", "3", "--thresholds", "3", "--seed", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Sp mono P" in out and "E1" in out
+
+    def test_failure_command(self, capsys):
+        rc = main(
+            [
+                "failure", "--family", "E2", "--stages", "5", "8",
+                "--processors", "5", "--instances", "3", "--seed", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "H1" in out and "n=8" in out
+
+    def test_ablation_command(self, capsys):
+        rc = main(
+            [
+                "ablation", "--family", "E1", "--stages", "6", "--processors", "5",
+                "--instances", "2", "--study", "selection-rule",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Ablation" in out
+
+    def test_validate_command(self, capsys):
+        rc = main(
+            [
+                "validate", "--family", "E1", "--stages", "5", "--processors", "4",
+                "--instances", "2", "--datasets", "20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rel. error" in out

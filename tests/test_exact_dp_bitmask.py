@@ -1,0 +1,85 @@
+"""Unit tests for the exact bitmask dynamic program."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import random_instance
+from repro.core.costs import evaluate, optimal_latency
+from repro.core.exceptions import InfeasibleError
+from repro.core.platform import Platform
+from repro.exact.brute_force import brute_force_min_latency, brute_force_min_period
+from repro.exact.dp_bitmask import dp_min_latency_for_period, dp_min_period_for_latency
+
+
+class TestMinLatencyForPeriod:
+    def test_matches_brute_force(self, small_app, small_platform):
+        _, best = brute_force_min_period(small_app, small_platform)
+        for factor in (1.0, 1.2, 1.5, 3.0):
+            bound = best.period * factor
+            bf_mapping, bf_ev = brute_force_min_latency(
+                small_app, small_platform, period_bound=bound
+            )
+            dp_mapping, dp_latency = dp_min_latency_for_period(
+                small_app, small_platform, bound
+            )
+            assert dp_latency == pytest.approx(bf_ev.latency, rel=1e-9)
+            assert evaluate(small_app, small_platform, dp_mapping).period <= bound + 1e-9
+
+    def test_matches_brute_force_on_random_instances(self):
+        for seed in range(4):
+            app, platform = random_instance(6, 4, seed=seed)
+            _, best = brute_force_min_period(app, platform)
+            bound = best.period * 1.3
+            _, bf_ev = brute_force_min_latency(app, platform, period_bound=bound)
+            _, dp_latency = dp_min_latency_for_period(app, platform, bound)
+            assert dp_latency == pytest.approx(bf_ev.latency, rel=1e-9)
+
+    def test_infeasible_bound_raises(self, small_app, small_platform):
+        with pytest.raises(InfeasibleError):
+            dp_min_latency_for_period(small_app, small_platform, 1e-9)
+
+    def test_large_bound_gives_lemma1(self, small_app, small_platform):
+        _, latency = dp_min_latency_for_period(small_app, small_platform, 1e9)
+        assert latency == pytest.approx(optimal_latency(small_app, small_platform))
+
+    def test_guards(self, small_app):
+        too_many = Platform.fully_homogeneous(20)
+        with pytest.raises(ValueError):
+            dp_min_latency_for_period(small_app, too_many, 10.0)
+        hetero = Platform.fully_heterogeneous(
+            [1.0, 2.0], [[0.0, 3.0], [3.0, 0.0]]
+        )
+        # make it genuinely heterogeneous in links
+        hetero_links = Platform.fully_heterogeneous(
+            [1.0, 2.0, 3.0],
+            [[0.0, 3.0, 1.0], [3.0, 0.0, 2.0], [1.0, 2.0, 0.0]],
+        )
+        with pytest.raises(ValueError):
+            dp_min_latency_for_period(small_app, hetero_links, 10.0)
+        del hetero
+
+
+class TestMinPeriodForLatency:
+    def test_matches_brute_force(self, small_app, small_platform):
+        base = optimal_latency(small_app, small_platform)
+        for factor in (1.0, 1.3, 2.0):
+            bound = base * factor
+            _, bf_ev = brute_force_min_period(
+                small_app, small_platform, latency_bound=bound
+            )
+            dp_mapping, dp_period = dp_min_period_for_latency(
+                small_app, small_platform, bound, rel_tol=1e-7
+            )
+            assert dp_period == pytest.approx(bf_ev.period, rel=1e-4)
+            assert evaluate(small_app, small_platform, dp_mapping).latency <= bound + 1e-9
+
+    def test_infeasible_latency_bound(self, small_app, small_platform):
+        with pytest.raises(InfeasibleError):
+            dp_min_period_for_latency(small_app, small_platform, 0.1)
+
+    def test_monotone_in_bound(self, small_app, small_platform):
+        base = optimal_latency(small_app, small_platform)
+        _, tight = dp_min_period_for_latency(small_app, small_platform, base)
+        _, loose = dp_min_period_for_latency(small_app, small_platform, base * 3)
+        assert loose <= tight + 1e-9

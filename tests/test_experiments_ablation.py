@@ -1,0 +1,78 @@
+"""Tests of the ablation studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    exploration_width_ablation,
+    processor_order_ablation,
+    selection_rule_ablation,
+)
+from repro.experiments.report import render_ablation
+from repro.generators.experiments import experiment_config, generate_instances
+
+
+@pytest.fixture(scope="module")
+def config():
+    return experiment_config("E2", 10, 8, n_instances=6)
+
+
+@pytest.fixture(scope="module")
+def instances(config):
+    return generate_instances(config, seed=4)
+
+
+class TestSelectionRuleAblation:
+    def test_two_variants(self, config, instances):
+        rows = selection_rule_ablation(config, instances=instances)
+        assert len(rows) == 2
+        assert any("mono" in r.variant for r in rows)
+        assert any("ratio" in r.variant for r in rows)
+        for row in rows:
+            assert row.mean_best_period > 0
+            assert row.mean_latency_at_best > 0
+            assert row.mean_splits >= 0
+
+
+class TestExplorationWidthAblation:
+    def test_four_variants(self, config, instances):
+        rows = exploration_width_ablation(config, instances=instances)
+        assert len(rows) == 4
+        variants = [r.variant for r in rows]
+        assert any("H1" in v for v in variants)
+        assert any("H2" in v for v in variants)
+
+    def test_three_way_never_uses_more_splits_than_processors(self, config, instances):
+        rows = exploration_width_ablation(config, instances=instances)
+        p = config.n_processors
+        for row in rows:
+            assert row.mean_splits <= p
+
+
+class TestProcessorOrderAblation:
+    def test_three_orders(self, config, instances):
+        rows = processor_order_ablation(config, instances=instances)
+        assert [r.variant for r in rows] == [
+            "speed order: descending",
+            "speed order: ascending",
+            "speed order: random",
+        ]
+
+    def test_descending_order_is_best_on_average(self, config, instances):
+        """Sorting processors by decreasing speed (the paper's choice) reaches a
+        period at least as good as the ascending order."""
+        rows = processor_order_ablation(config, instances=instances)
+        by_variant = {r.variant: r for r in rows}
+        assert (
+            by_variant["speed order: descending"].mean_best_period
+            <= by_variant["speed order: ascending"].mean_best_period + 1e-9
+        )
+
+
+class TestRendering:
+    def test_render_ablation(self, config, instances):
+        rows = selection_rule_ablation(config, instances=instances)
+        text = render_ablation(rows, title="selection rule")
+        assert "selection rule" in text
+        assert "mean best period" in text

@@ -1,0 +1,87 @@
+"""Tests of the failure-threshold driver (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import optimal_latency
+from repro.experiments.failure import failure_threshold_table, failure_thresholds
+from repro.experiments.report import render_failure_table, render_failure_thresholds
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import get_heuristic
+
+
+@pytest.fixture(scope="module")
+def config():
+    return experiment_config("E1", 10, 10, n_instances=8)
+
+
+@pytest.fixture(scope="module")
+def rows(config):
+    return failure_thresholds(config, seed=0)
+
+
+class TestFailureThresholds:
+    def test_one_row_per_heuristic(self, rows):
+        assert [r.key for r in rows] == ["H1", "H2", "H3", "H4", "H5", "H6"]
+
+    def test_per_instance_values_positive(self, rows, config):
+        for row in rows:
+            assert len(row.per_instance) == config.n_instances
+            assert all(v > 0 for v in row.per_instance)
+            assert row.mean_threshold == pytest.approx(
+                sum(row.per_instance) / len(row.per_instance)
+            )
+
+    def test_fixed_latency_thresholds_equal_optimal_latency(self, config):
+        """H5 and H6 fail exactly below the Lemma 1 latency (paper Table 1 remark)."""
+        instances = generate_instances(config, seed=0)
+        rows = failure_thresholds(config, instances=instances)
+        by_key = {r.key: r for r in rows}
+        expected = [optimal_latency(i.application, i.platform) for i in instances]
+        for key in ("H5", "H6"):
+            assert list(by_key[key].per_instance) == pytest.approx(expected)
+        assert by_key["H5"].per_instance == by_key["H6"].per_instance
+
+    def test_threshold_is_the_feasibility_frontier(self, config):
+        """Just above the reported threshold the heuristic succeeds, just below
+        it fails (checked per instance for H1)."""
+        instances = generate_instances(config, seed=0)
+        rows = failure_thresholds(config, instances=instances)
+        h1_row = next(r for r in rows if r.key == "H1")
+        h1 = get_heuristic("H1")
+        for instance, threshold in zip(instances, h1_row.per_instance):
+            app, platform = instance.application, instance.platform
+            assert h1.run(app, platform, period_bound=threshold * 1.01).feasible
+            assert not h1.run(app, platform, period_bound=threshold * 0.9).feasible
+
+    def test_sp_mono_p_has_smallest_fixed_period_threshold(self, rows):
+        """Paper: Sp mono P has the smallest failure thresholds (fixed period)."""
+        by_key = {r.key: r.mean_threshold for r in rows}
+        assert by_key["H1"] <= by_key["H2"] + 1e-9
+        assert by_key["H1"] <= by_key["H3"] + 1e-9
+
+    def test_heuristic_subset(self, config):
+        rows = failure_thresholds(config, heuristics=["H1", "H5"], seed=0)
+        assert [r.key for r in rows] == ["H1", "H5"]
+
+
+class TestFailureTable:
+    def test_table_structure_and_growth(self):
+        table = failure_threshold_table(
+            "E1", stage_counts=(5, 10), n_processors=8, n_instances=5, seed=0
+        )
+        assert set(table) == {"H1", "H2", "H3", "H4", "H5", "H6"}
+        for key, per_stage in table.items():
+            assert set(per_stage) == {5, 10}
+            # thresholds grow with the number of stages (more work to place)
+            assert per_stage[10] >= per_stage[5] * 0.8
+
+    def test_render_table(self):
+        table = {"H1": {5: 3.0, 10: 3.3}, "H5": {5: 4.5, 10: 6.0}}
+        text = render_failure_table(table, stage_counts=(5, 10), title="demo")
+        assert "demo" in text and "H1" in text and "n=10" in text
+
+    def test_render_rows(self, rows):
+        text = render_failure_thresholds(rows, title="E1")
+        assert "Sp mono P" in text and "H6" in text

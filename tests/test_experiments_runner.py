@@ -1,0 +1,79 @@
+"""Tests of the low-level experiment runner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.runner import (
+    aggregate_runs,
+    reference_latency_range,
+    reference_period_range,
+    run_heuristic,
+)
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import get_heuristic
+
+
+@pytest.fixture(scope="module")
+def instances():
+    cfg = experiment_config("E1", 8, 6, n_instances=6)
+    return generate_instances(cfg, seed=0)
+
+
+class TestRunHeuristic:
+    def test_fixed_period_runs(self, instances):
+        runs = run_heuristic(get_heuristic("H1"), instances, threshold=5.0)
+        assert len(runs) == len(instances)
+        for run in runs:
+            assert run.heuristic == "Sp mono P"
+            assert run.threshold == 5.0
+            assert run.feasible == run.result.feasible
+
+    def test_fixed_latency_runs(self, instances):
+        runs = run_heuristic(get_heuristic("H5"), instances, threshold=50.0)
+        for run in runs:
+            assert run.result.objective.endswith("fixed-latency")
+
+    def test_instance_indices_preserved(self, instances):
+        runs = run_heuristic(get_heuristic("H1"), instances, threshold=5.0)
+        assert [r.instance_index for r in runs] == [i.index for i in instances]
+
+
+class TestAggregation:
+    def test_aggregate_counts_and_means(self, instances):
+        runs = run_heuristic(get_heuristic("H1"), instances, threshold=8.0)
+        stats = aggregate_runs(runs)
+        assert stats.n_instances == len(instances)
+        assert 0 <= stats.n_feasible <= stats.n_instances
+        assert 0.0 <= stats.feasible_fraction <= 1.0
+        if stats.n_feasible:
+            feasible = [r.result for r in runs if r.feasible]
+            expected_period = sum(r.period for r in feasible) / len(feasible)
+            assert stats.mean_period == pytest.approx(expected_period)
+
+    def test_aggregate_all_infeasible_gives_nan(self, instances):
+        runs = run_heuristic(get_heuristic("H1"), instances, threshold=1e-9)
+        stats = aggregate_runs(runs)
+        assert stats.n_feasible == 0
+        assert math.isnan(stats.mean_period)
+        assert stats.feasible_fraction == 0.0
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+
+class TestReferenceRanges:
+    def test_period_range_is_ordered_and_positive(self, instances):
+        lo, hi = reference_period_range(instances)
+        assert 0 < lo <= hi
+
+    def test_latency_range_is_ordered_and_contains_opt(self, instances):
+        lo, hi = reference_latency_range(instances)
+        assert 0 < lo < hi
+        # the low end is the average optimal latency: every heuristic run with
+        # that bound must be feasible on at least one instance
+        runs = run_heuristic(get_heuristic("H5"), instances, threshold=hi)
+        assert any(r.feasible for r in runs)

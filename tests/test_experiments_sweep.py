@@ -1,0 +1,91 @@
+"""Tests of the figure-sweep driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import render_sweep
+from repro.experiments.sweep import run_sweep
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import heuristic_names
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    cfg = experiment_config("E1", 8, 6, n_instances=5)
+    return run_sweep(cfg, n_thresholds=5, seed=1)
+
+
+class TestSweepStructure:
+    def test_all_heuristics_present(self, small_sweep):
+        assert set(small_sweep.curves) == set(heuristic_names())
+
+    def test_threshold_grids(self, small_sweep):
+        assert len(small_sweep.period_thresholds) == 5
+        assert len(small_sweep.latency_thresholds) == 5
+        assert small_sweep.period_thresholds == sorted(small_sweep.period_thresholds)
+        assert small_sweep.latency_thresholds == sorted(small_sweep.latency_thresholds)
+
+    def test_points_counts(self, small_sweep):
+        for curve in small_sweep.curves.values():
+            assert len(curve.points) == 5
+            for point in curve.points:
+                assert point.n_instances == 5
+                assert 0 <= point.n_feasible <= 5
+
+    def test_feasibility_increases_with_threshold(self, small_sweep):
+        for curve in small_sweep.curves.values():
+            feasible_counts = [p.n_feasible for p in curve.points]
+            assert all(
+                b >= a for a, b in zip(feasible_counts, feasible_counts[1:])
+            ), f"feasibility not monotone for {curve.heuristic}"
+
+    def test_series_only_contains_feasible_points(self, small_sweep):
+        for curve in small_sweep.curves.values():
+            assert len(curve.as_series()) == sum(
+                1 for p in curve.points if p.n_feasible > 0
+            )
+
+
+class TestSweepSemantics:
+    def test_fixed_period_curves_respect_thresholds(self, small_sweep):
+        """Averaged achieved periods never exceed the sweep threshold."""
+        for curve in small_sweep.curves.values():
+            if not curve.objective.endswith("fixed-period"):
+                continue
+            for point in curve.points:
+                if point.n_feasible > 0:
+                    assert point.mean_period <= point.threshold * (1 + 1e-9)
+
+    def test_fixed_latency_curves_respect_thresholds(self, small_sweep):
+        for curve in small_sweep.curves.values():
+            if not curve.objective.endswith("fixed-latency"):
+                continue
+            for point in curve.points:
+                if point.n_feasible > 0:
+                    assert point.mean_latency <= point.threshold * (1 + 1e-9)
+
+    def test_tradeoff_shape_for_h1(self, small_sweep):
+        """Along H1's curve, smaller periods come with larger latencies."""
+        series = small_sweep.curves["Sp mono P"].as_series()
+        assert len(series) >= 2
+        periods = [p for p, _ in series]
+        latencies = [l for _, l in series]
+        assert periods[0] <= periods[-1] + 1e-9
+        assert latencies[0] >= latencies[-1] - 1e-9
+
+    def test_explicit_instances_and_heuristic_subset(self):
+        cfg = experiment_config("E2", 6, 5, n_instances=4)
+        instances = generate_instances(cfg, seed=9)
+        result = run_sweep(
+            cfg, heuristics=["H1", "H5"], n_thresholds=4, instances=instances
+        )
+        assert set(result.curves) == {"Sp mono P", "Sp mono L"}
+
+
+class TestRendering:
+    def test_render_sweep_mentions_heuristics(self, small_sweep):
+        text = render_sweep(small_sweep)
+        assert "Sp mono P" in text
+        assert "E1" in text
+        assert "(" in text and ")" in text

@@ -1,0 +1,135 @@
+"""Tests of the deal-skeleton (replication) extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import evaluate
+from repro.core.exceptions import InvalidMappingError
+from repro.core.mapping import Interval, IntervalMapping
+from repro.extensions.replication import (
+    ReplicatedInterval,
+    ReplicatedMapping,
+    evaluate_replicated,
+    from_interval_mapping,
+    greedy_replication,
+)
+from repro.heuristics import get_heuristic
+from tests.conftest import random_instance
+
+
+class TestContainers:
+    def test_replicated_interval_validation(self):
+        with pytest.raises(InvalidMappingError):
+            ReplicatedInterval(Interval(0, 1), processors=())
+        with pytest.raises(InvalidMappingError):
+            ReplicatedInterval(Interval(0, 1), processors=(1, 1))
+        assert ReplicatedInterval(Interval(0, 1), (0, 2)).replication_factor == 2
+
+    def test_replicated_mapping_validation(self):
+        good = ReplicatedMapping(
+            (
+                ReplicatedInterval(Interval(0, 1), (0,)),
+                ReplicatedInterval(Interval(2, 3), (1, 2)),
+            )
+        )
+        assert good.n_stages == 4
+        assert good.used_processors == {0, 1, 2}
+        with pytest.raises(InvalidMappingError):
+            ReplicatedMapping(
+                (
+                    ReplicatedInterval(Interval(0, 1), (0,)),
+                    ReplicatedInterval(Interval(3, 4), (1,)),
+                )
+            )
+        with pytest.raises(InvalidMappingError):
+            ReplicatedMapping(
+                (
+                    ReplicatedInterval(Interval(0, 1), (0,)),
+                    ReplicatedInterval(Interval(2, 3), (0,)),
+                )
+            )
+
+    def test_from_interval_mapping_round_trip(self, small_app, small_platform):
+        mapping = IntervalMapping([(0, 1), (2, 3)], [0, 1])
+        lifted = from_interval_mapping(mapping)
+        assert lifted.n_intervals == 2
+        assert all(item.replication_factor == 1 for item in lifted.assignments)
+
+
+class TestCostModel:
+    def test_degenerate_replication_matches_plain_costs(self, small_app, small_platform):
+        """Replication factor 1 must reproduce eqs. (1) and (2) exactly."""
+        mapping = IntervalMapping([(0, 1), (2, 3)], [0, 1])
+        plain = evaluate(small_app, small_platform, mapping)
+        lifted = evaluate_replicated(
+            small_app, small_platform, from_interval_mapping(mapping)
+        )
+        assert lifted.period == pytest.approx(plain.period)
+        assert lifted.latency == pytest.approx(plain.latency)
+
+    def test_replication_divides_interval_period(self, small_app, small_platform):
+        single = ReplicatedMapping((ReplicatedInterval(Interval(0, 3), (0,)),))
+        duo = ReplicatedMapping((ReplicatedInterval(Interval(0, 3), (0, 1)),))
+        ev_single = evaluate_replicated(small_app, small_platform, single)
+        ev_duo = evaluate_replicated(small_app, small_platform, duo)
+        # two replicas: the slower one (speed 2) bounds the cycle, divided by 2
+        assert ev_duo.period == pytest.approx(
+            (10 / 10 + 20 / 2.0 + 10 / 10) / 2
+        )
+        assert ev_single.period == pytest.approx(7.0)
+
+    def test_replication_latency_uses_slowest_replica(self, small_app, small_platform):
+        duo = ReplicatedMapping((ReplicatedInterval(Interval(0, 3), (0, 2)),))
+        ev = evaluate_replicated(small_app, small_platform, duo)
+        # slowest replica has speed 1
+        assert ev.latency == pytest.approx(10 / 10 + 20 / 1.0 + 10 / 10)
+
+    def test_validation_against_instance(self, small_app, small_platform):
+        with pytest.raises(InvalidMappingError):
+            evaluate_replicated(
+                small_app,
+                small_platform,
+                ReplicatedMapping((ReplicatedInterval(Interval(0, 2), (0,)),)),
+            )
+        with pytest.raises(InvalidMappingError):
+            evaluate_replicated(
+                small_app,
+                small_platform,
+                ReplicatedMapping((ReplicatedInterval(Interval(0, 3), (9,)),)),
+            )
+
+
+class TestGreedyReplication:
+    def test_replication_never_hurts_the_period(self):
+        for seed in range(4):
+            app, platform = random_instance(8, 8, seed=seed, family="E3")
+            base = get_heuristic("H1").run(app, platform, period_bound=1e-9)
+            replicated, ev = greedy_replication(app, platform, base.mapping)
+            assert ev.period <= base.period + 1e-9
+
+    def test_period_bound_stops_early(self):
+        app, platform = random_instance(8, 8, seed=1, family="E3")
+        base = get_heuristic("H1").run(app, platform, period_bound=1e-9)
+        loose_bound = base.period  # already satisfied: no replication needed
+        replicated, ev = greedy_replication(
+            app, platform, base.mapping, period_bound=loose_bound
+        )
+        assert all(item.replication_factor == 1 for item in replicated.assignments)
+
+    def test_max_replicas_cap(self):
+        app, platform = random_instance(4, 8, seed=2, family="E3")
+        base_mapping = IntervalMapping.single_processor(
+            app.n_stages, platform.fastest_processor
+        )
+        replicated, _ = greedy_replication(
+            app, platform, base_mapping, max_replicas=2
+        )
+        assert max(i.replication_factor for i in replicated.assignments) <= 2
+
+    def test_uses_only_unused_processors(self):
+        app, platform = random_instance(8, 6, seed=3, family="E3")
+        base = get_heuristic("H1").run(app, platform, period_bound=1e-9)
+        replicated, _ = greedy_replication(app, platform, base.mapping)
+        all_procs = [u for item in replicated.assignments for u in item.processors]
+        assert len(all_procs) == len(set(all_procs))

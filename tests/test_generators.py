@@ -1,0 +1,183 @@
+"""Tests of the random instance generators (Section 5.1 parameters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.platform import PlatformClass
+from repro.generators.applications import random_pipeline, uniform_pipeline
+from repro.generators.experiments import (
+    EXPERIMENT_FAMILIES,
+    ExperimentConfig,
+    experiment_config,
+    generate_instances,
+    iter_paper_configs,
+)
+from repro.generators.platforms import (
+    random_comm_homogeneous_platform,
+    random_fully_heterogeneous_platform,
+)
+
+
+class TestApplicationGenerator:
+    def test_dimensions_and_ranges(self):
+        app = random_pipeline(12, work_range=(1, 20), comm_range=(1, 100), seed=0)
+        assert app.n_stages == 12
+        assert len(app.comm_sizes) == 13
+        assert np.all(app.works >= 1) and np.all(app.works <= 20)
+        assert np.all(app.comm_sizes >= 1) and np.all(app.comm_sizes <= 100)
+
+    def test_fixed_communications(self):
+        app = random_pipeline(5, work_range=(1, 20), comm_fixed=10.0, seed=1)
+        assert np.all(app.comm_sizes == 10.0)
+
+    def test_integer_draws(self):
+        app = random_pipeline(
+            50, work_range=(1, 20), comm_range=(1, 100),
+            integer_works=True, integer_comms=True, seed=2,
+        )
+        assert np.all(app.works == np.round(app.works))
+        assert np.all(app.comm_sizes == np.round(app.comm_sizes))
+
+    def test_reproducibility(self):
+        a = random_pipeline(8, work_range=(1, 20), comm_range=(1, 100), seed=7)
+        b = random_pipeline(8, work_range=(1, 20), comm_range=(1, 100), seed=7)
+        assert a == b
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            random_pipeline(0, work_range=(1, 2), comm_fixed=1.0)
+        with pytest.raises(ValueError):
+            random_pipeline(3, work_range=(1, 2))
+        with pytest.raises(ValueError):
+            random_pipeline(3, work_range=(1, 2), comm_range=(1, 2), comm_fixed=3.0)
+        with pytest.raises(ValueError):
+            random_pipeline(3, work_range=(5, 1), comm_fixed=1.0)
+
+    def test_uniform_pipeline(self):
+        app = uniform_pipeline(4, work=2.0, comm=3.0)
+        assert np.all(app.works == 2.0) and np.all(app.comm_sizes == 3.0)
+
+
+class TestPlatformGenerator:
+    def test_comm_homogeneous_properties(self):
+        platform = random_comm_homogeneous_platform(20, seed=0)
+        assert platform.n_processors == 20
+        assert platform.platform_class in (
+            PlatformClass.COMMUNICATION_HOMOGENEOUS,
+            PlatformClass.FULLY_HOMOGENEOUS,
+        )
+        assert platform.uniform_bandwidth == 10.0
+        assert np.all(platform.speeds >= 1) and np.all(platform.speeds <= 20)
+        assert np.all(platform.speeds == np.round(platform.speeds))
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            random_comm_homogeneous_platform(0)
+        with pytest.raises(ValueError):
+            random_comm_homogeneous_platform(3, speed_range=(5, 1))
+        with pytest.raises(ValueError):
+            random_comm_homogeneous_platform(3, bandwidth=0.0)
+
+    def test_fully_heterogeneous_platform(self):
+        platform = random_fully_heterogeneous_platform(6, seed=3)
+        assert platform.n_processors == 6
+        mat = platform.bandwidth_matrix()
+        assert np.allclose(mat, mat.T)
+
+    def test_heterogeneous_argument_validation(self):
+        with pytest.raises(ValueError):
+            random_fully_heterogeneous_platform(0)
+        with pytest.raises(ValueError):
+            random_fully_heterogeneous_platform(3, bandwidth_range=(5, 1))
+
+
+class TestExperimentConfig:
+    def test_all_four_families_exist(self):
+        assert set(EXPERIMENT_FAMILIES) == {"E1", "E2", "E3", "E4"}
+
+    def test_family_parameters_match_paper(self):
+        e1 = experiment_config("E1", 10, 10)
+        assert e1.comm_fixed == 10.0 and e1.work_range == (1.0, 20.0)
+        e2 = experiment_config("E2", 10, 10)
+        assert e2.comm_range == (1.0, 100.0)
+        e3 = experiment_config("E3", 10, 10)
+        assert e3.work_range == (10.0, 1000.0) and e3.comm_range == (1.0, 20.0)
+        e4 = experiment_config("E4", 10, 10)
+        assert e4.work_range == (0.01, 10.0)
+        for cfg in (e1, e2, e3, e4):
+            assert cfg.bandwidth == 10.0
+            assert cfg.speed_range == (1, 20)
+            assert cfg.n_instances == 50
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            experiment_config("E9", 10, 10)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            experiment_config("E1", 0, 10)
+        with pytest.raises(ConfigurationError):
+            experiment_config("E1", 10, 10, n_instances=0)
+
+    def test_with_sizes_copy(self):
+        cfg = experiment_config("E1", 10, 10).with_sizes(n_stages=20, n_instances=5)
+        assert cfg.n_stages == 20 and cfg.n_instances == 5 and cfg.n_processors == 10
+
+    def test_config_requires_exactly_one_comm_spec(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(
+                family="X",
+                description="bad",
+                n_stages=5,
+                n_processors=5,
+                work_range=(1, 2),
+            )
+
+    def test_iter_paper_configs_covers_grid(self):
+        configs = list(iter_paper_configs())
+        assert len(configs) == 4 * 2 * 4  # families x processor counts x stage counts
+        labels = {c.label for c in configs}
+        assert "E3-n20-p100" in labels
+
+
+class TestInstanceGeneration:
+    def test_counts_and_determinism(self):
+        cfg = experiment_config("E2", 10, 10, n_instances=5)
+        first = generate_instances(cfg, seed=3)
+        second = generate_instances(cfg, seed=3)
+        assert len(first) == 5
+        for a, b in zip(first, second):
+            assert a.application == b.application
+            assert np.array_equal(a.platform.speeds, b.platform.speeds)
+
+    def test_prefix_stability_when_extending(self):
+        cfg_small = experiment_config("E2", 10, 10, n_instances=3)
+        cfg_large = experiment_config("E2", 10, 10, n_instances=6)
+        small = generate_instances(cfg_small, seed=5)
+        large = generate_instances(cfg_large, seed=5)
+        for a, b in zip(small, large[:3]):
+            assert a.application == b.application
+
+    def test_instances_match_config(self):
+        cfg = experiment_config("E3", 20, 100, n_instances=4)
+        for inst in generate_instances(cfg, seed=0):
+            assert inst.application.n_stages == 20
+            assert inst.platform.n_processors == 100
+            assert inst.config is cfg
+
+    def test_different_seeds_differ(self):
+        cfg = experiment_config("E1", 10, 10, n_instances=2)
+        a = generate_instances(cfg, seed=1)[0]
+        b = generate_instances(cfg, seed=2)[0]
+        assert a.application != b.application
+
+    def test_e3_is_computation_dominated_and_e4_communication_dominated(self):
+        e3 = generate_instances(experiment_config("E3", 20, 10, n_instances=10), seed=0)
+        e4 = generate_instances(experiment_config("E4", 20, 10, n_instances=10), seed=0)
+        mean_ratio_e3 = np.mean([i.application.comm_to_work_ratio for i in e3])
+        mean_ratio_e4 = np.mean([i.application.comm_to_work_ratio for i in e4])
+        assert mean_ratio_e3 < 0.2
+        assert mean_ratio_e4 > 1.0

@@ -1,0 +1,88 @@
+"""Tests of the heuristic registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heuristics import (
+    HEURISTIC_CLASSES,
+    Objective,
+    all_heuristics,
+    fixed_latency_heuristics,
+    fixed_period_heuristics,
+    get_heuristic,
+    heuristic_names,
+)
+from repro.heuristics.registry import resolve_heuristics
+
+
+class TestRegistryContents:
+    def test_six_heuristics_registered(self):
+        assert len(HEURISTIC_CLASSES) == 6
+        assert len(all_heuristics()) == 6
+
+    def test_table1_keys_in_order(self):
+        assert [cls.key for cls in HEURISTIC_CLASSES] == [
+            "H1",
+            "H2",
+            "H3",
+            "H4",
+            "H5",
+            "H6",
+        ]
+
+    def test_paper_names(self):
+        assert heuristic_names() == [
+            "Sp mono P",
+            "3-Explo mono",
+            "3-Explo bi",
+            "Sp bi P",
+            "Sp mono L",
+            "Sp bi L",
+        ]
+
+    def test_objective_split(self):
+        assert len(fixed_period_heuristics()) == 4
+        assert len(fixed_latency_heuristics()) == 2
+        for h in fixed_period_heuristics():
+            assert h.objective == Objective.MIN_LATENCY_FOR_PERIOD
+        for h in fixed_latency_heuristics():
+            assert h.objective == Objective.MIN_PERIOD_FOR_LATENCY
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "query,expected_key",
+        [
+            ("H1", "H1"),
+            ("h3", "H3"),
+            ("Sp mono P", "H1"),
+            ("sp-mono-p", "H1"),
+            ("SP BI L", "H6"),
+            ("3-Explo mono", "H2"),
+            ("3explo bi", "H3"),
+            ("SplittingBiPeriod", "H4"),
+        ],
+    )
+    def test_lookup_variants(self, query, expected_key):
+        assert get_heuristic(query).key == expected_key
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_heuristic("does-not-exist")
+
+    def test_instances_are_fresh(self):
+        assert get_heuristic("H1") is not get_heuristic("H1")
+
+    def test_resolve_none_gives_all(self):
+        assert [h.key for h in resolve_heuristics(None)] == [
+            "H1",
+            "H2",
+            "H3",
+            "H4",
+            "H5",
+            "H6",
+        ]
+
+    def test_resolve_explicit_list(self):
+        assert [h.key for h in resolve_heuristics(["H6", "H1"])] == ["H6", "H1"]

@@ -1,0 +1,103 @@
+"""Cross-validation of the heuristics against the exact solvers.
+
+Heuristics can never beat the exact optimum; these tests quantify and bound
+the optimality gap on small instances and check the structural relations the
+theory imposes (Lemma 1, NP-hard period minimisation, homogeneous special
+case).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import PipelineApplication
+from repro.core.costs import optimal_latency
+from repro.core.exceptions import InfeasibleError
+from repro.core.platform import Platform
+from repro.exact.brute_force import brute_force_min_latency, brute_force_min_period
+from repro.exact.dp_bitmask import dp_min_latency_for_period
+from repro.exact.homogeneous_dp import homogeneous_min_period
+from repro.heuristics import all_heuristics, fixed_period_heuristics, get_heuristic
+from tests.conftest import random_instance
+
+
+class TestAgainstBruteForce:
+    def test_fixed_period_heuristics_never_beat_optimal_latency(self):
+        """At any feasible threshold the heuristic latency >= exact optimum."""
+        for seed in range(4):
+            app, platform = random_instance(7, 4, seed=seed)
+            _, best = brute_force_min_period(app, platform)
+            bound = best.period * 1.4
+            for heuristic in fixed_period_heuristics():
+                result = heuristic.run(app, platform, period_bound=bound)
+                if not result.feasible:
+                    continue
+                try:
+                    _, exact = brute_force_min_latency(app, platform, period_bound=bound)
+                except InfeasibleError:  # pragma: no cover
+                    continue
+                assert result.latency >= exact.latency - 1e-9
+
+    def test_fixed_latency_heuristics_never_beat_optimal_period(self):
+        for seed in range(4):
+            app, platform = random_instance(7, 4, seed=seed)
+            bound = optimal_latency(app, platform) * 1.6
+            _, exact = brute_force_min_period(app, platform, latency_bound=bound)
+            for key in ("H5", "H6"):
+                result = get_heuristic(key).run(app, platform, latency_bound=bound)
+                assert result.feasible
+                assert result.period >= exact.period - 1e-9
+
+    def test_heuristic_best_period_never_below_exact_best_period(self):
+        for seed in range(4):
+            app, platform = random_instance(7, 4, seed=seed)
+            _, exact = brute_force_min_period(app, platform)
+            for heuristic in fixed_period_heuristics():
+                reachable = heuristic.run(app, platform, period_bound=1e-9).period
+                assert reachable >= exact.period - 1e-9
+
+
+class TestAgainstBitmaskDp:
+    def test_optimality_gap_is_bounded_on_small_instances(self):
+        """On small E2 instances H1's latency stays within a small factor of
+        the exact optimum under the same period bound (sanity of the gap)."""
+        gaps = []
+        for seed in range(6):
+            app, platform = random_instance(8, 5, seed=seed)
+            h1 = get_heuristic("H1")
+            reachable = h1.run(app, platform, period_bound=1e-9).period
+            bound = reachable * 1.2
+            result = h1.run(app, platform, period_bound=bound)
+            if not result.feasible:
+                continue
+            _, exact_latency = dp_min_latency_for_period(app, platform, bound)
+            assert result.latency >= exact_latency - 1e-9
+            gaps.append(result.latency / exact_latency)
+        assert gaps, "no feasible instance collected"
+        assert max(gaps) < 3.0  # loose sanity bound on the optimality gap
+
+
+class TestHomogeneousSpecialCase:
+    def test_heuristics_match_dp_bound_on_homogeneous_platform(self):
+        """On identical processors the heuristics cannot beat the polynomial DP."""
+        app = PipelineApplication(
+            [5.0, 3.0, 8.0, 2.0, 7.0, 4.0], [10, 4, 6, 2, 3, 5, 10]
+        )
+        platform = Platform.fully_homogeneous(4, speed=3.0, bandwidth=10.0)
+        _, optimal_period = homogeneous_min_period(app, platform)
+        for heuristic in fixed_period_heuristics():
+            reachable = heuristic.run(app, platform, period_bound=1e-9).period
+            assert reachable >= optimal_period - 1e-9
+
+
+class TestLemma1Consistency:
+    def test_every_heuristic_latency_at_least_lemma1(self):
+        for seed in range(3):
+            app, platform = random_instance(9, 6, seed=seed)
+            opt = optimal_latency(app, platform)
+            for heuristic in all_heuristics():
+                if heuristic.objective.endswith("fixed-period"):
+                    result = heuristic.run(app, platform, period_bound=2.0)
+                else:
+                    result = heuristic.run(app, platform, latency_bound=opt * 2)
+                assert result.latency >= opt - 1e-9

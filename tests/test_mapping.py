@@ -1,0 +1,215 @@
+"""Unit tests for :mod:`repro.core.mapping`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import InvalidMappingError
+from repro.core.mapping import Interval, IntervalMapping
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(2, 5)
+        assert iv.n_stages == 4
+        assert len(iv) == 4
+        assert 3 in iv and 6 not in iv
+        assert list(iv.stages()) == [2, 3, 4, 5]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(InvalidMappingError):
+            Interval(3, 2)
+        with pytest.raises(InvalidMappingError):
+            Interval(-1, 2)
+
+    def test_split(self):
+        left, right = Interval(1, 5).split(3)
+        assert (left.start, left.end) == (1, 3)
+        assert (right.start, right.end) == (4, 5)
+
+    def test_split_bounds(self):
+        with pytest.raises(InvalidMappingError):
+            Interval(1, 5).split(5)
+        with pytest.raises(InvalidMappingError):
+            Interval(1, 5).split(0)
+        with pytest.raises(InvalidMappingError):
+            Interval(2, 2).split(2)
+
+    def test_split3(self):
+        a, b, c = Interval(0, 5).split3(1, 3)
+        assert (a.start, a.end) == (0, 1)
+        assert (b.start, b.end) == (2, 3)
+        assert (c.start, c.end) == (4, 5)
+
+    def test_split3_invalid_cuts(self):
+        with pytest.raises(InvalidMappingError):
+            Interval(0, 5).split3(3, 3)
+        with pytest.raises(InvalidMappingError):
+            Interval(0, 5).split3(4, 5)
+
+
+class TestMappingConstruction:
+    def test_valid_mapping(self):
+        mapping = IntervalMapping([(0, 1), (2, 4)], [3, 1])
+        assert mapping.n_intervals == 2
+        assert mapping.n_stages == 5
+        assert mapping.used_processors == {1, 3}
+
+    def test_first_interval_must_start_at_zero(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(1, 2)], [0])
+
+    def test_intervals_must_be_consecutive(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(0, 1), (3, 4)], [0, 1])
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(0, 2), (2, 4)], [0, 1])
+
+    def test_distinct_processors_required(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(0, 1), (2, 3)], [0, 0])
+
+    def test_processor_count_must_match(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(0, 1), (2, 3)], [0])
+
+    def test_negative_processor_rejected(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(0, 1)], [-1])
+
+    def test_n_stages_check(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(0, 2)], [0], n_stages=4)
+
+    def test_n_processors_check(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([(0, 2)], [5], n_processors=3)
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping([], [])
+
+
+class TestMappingNavigation:
+    def test_interval_of_stage(self):
+        mapping = IntervalMapping([(0, 2), (3, 3), (4, 7)], [0, 1, 2])
+        assert mapping.interval_of_stage(0) == 0
+        assert mapping.interval_of_stage(2) == 0
+        assert mapping.interval_of_stage(3) == 1
+        assert mapping.interval_of_stage(7) == 2
+
+    def test_interval_of_stage_out_of_range(self):
+        mapping = IntervalMapping([(0, 2)], [0])
+        with pytest.raises(InvalidMappingError):
+            mapping.interval_of_stage(3)
+
+    def test_processor_of_stage(self):
+        mapping = IntervalMapping([(0, 2), (3, 5)], [4, 2])
+        assert mapping.processor_of_stage(1) == 4
+        assert mapping.processor_of_stage(5) == 2
+
+    def test_items_and_iteration(self):
+        mapping = IntervalMapping([(0, 0), (1, 2)], [1, 0])
+        items = list(mapping)
+        assert len(items) == len(mapping) == 2
+        assert items[0][1] == 1
+
+    def test_is_one_to_one(self):
+        assert IntervalMapping([(0, 0), (1, 1)], [0, 1]).is_one_to_one
+        assert not IntervalMapping([(0, 1)], [0]).is_one_to_one
+
+
+class TestMappingFactories:
+    def test_single_processor(self):
+        mapping = IntervalMapping.single_processor(5, 2)
+        assert mapping.n_intervals == 1
+        assert mapping.n_stages == 5
+        assert mapping.processors == (2,)
+
+    def test_single_processor_invalid(self):
+        with pytest.raises(InvalidMappingError):
+            IntervalMapping.single_processor(0, 0)
+
+    def test_one_to_one(self):
+        mapping = IntervalMapping.one_to_one([3, 1, 2])
+        assert mapping.n_stages == 3
+        assert mapping.is_one_to_one
+        assert mapping.processors == (3, 1, 2)
+
+    def test_from_boundaries_and_back(self):
+        mapping = IntervalMapping.from_boundaries([1, 3], [0, 1, 2], n_stages=6)
+        assert [(iv.start, iv.end) for iv in mapping.intervals] == [
+            (0, 1),
+            (2, 3),
+            (4, 5),
+        ]
+        assert mapping.boundaries() == [1, 3]
+
+
+class TestReplace:
+    def test_replace_splits_interval(self):
+        mapping = IntervalMapping([(0, 3)], [0])
+        new = mapping.replace(0, [(0, 1), (2, 3)], [0, 1])
+        assert new.n_intervals == 2
+        assert new.processors == (0, 1)
+        # original is unchanged
+        assert mapping.n_intervals == 1
+
+    def test_replace_must_cover_interval(self):
+        mapping = IntervalMapping([(0, 3)], [0])
+        with pytest.raises(InvalidMappingError):
+            mapping.replace(0, [(0, 1), (2, 2)], [0, 1])
+
+    def test_replace_middle_interval(self):
+        mapping = IntervalMapping([(0, 1), (2, 5), (6, 7)], [0, 1, 2])
+        new = mapping.replace(1, [(2, 3), (4, 5)], [1, 3])
+        assert [(iv.start, iv.end) for iv in new.intervals] == [
+            (0, 1),
+            (2, 3),
+            (4, 5),
+            (6, 7),
+        ]
+        assert new.processors == (0, 1, 3, 2)
+
+    def test_replace_cannot_reuse_processor(self):
+        mapping = IntervalMapping([(0, 1), (2, 5)], [0, 1])
+        with pytest.raises(InvalidMappingError):
+            mapping.replace(1, [(2, 3), (4, 5)], [1, 0])
+
+
+class TestValidationAgainstInstances(object):
+    def test_validate_ok(self, small_app, small_platform, two_interval_mapping):
+        two_interval_mapping.validate(small_app, small_platform)
+
+    def test_validate_wrong_stage_count(self, small_app, small_platform):
+        mapping = IntervalMapping([(0, 2)], [0])
+        with pytest.raises(InvalidMappingError):
+            mapping.validate(small_app, small_platform)
+
+    def test_validate_too_many_processors(self, small_app):
+        from repro.core.platform import Platform
+
+        tiny = Platform([1.0], 10.0)
+        mapping = IntervalMapping([(0, 1), (2, 3)], [0, 1])
+        with pytest.raises(InvalidMappingError):
+            mapping.validate(small_app, tiny)
+
+    def test_validate_processor_out_of_range(self, small_app, small_platform):
+        mapping = IntervalMapping([(0, 3)], [7])
+        with pytest.raises(InvalidMappingError):
+            mapping.validate(small_app, small_platform)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = IntervalMapping([(0, 1), (2, 3)], [0, 1])
+        b = IntervalMapping([(0, 1), (2, 3)], [0, 1])
+        c = IntervalMapping([(0, 2), (3, 3)], [0, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_and_describe(self):
+        mapping = IntervalMapping([(0, 1), (2, 3)], [0, 1])
+        assert "P1" in repr(mapping)
+        text = mapping.describe()
+        assert "I1" in text and "S3" in text

@@ -1,0 +1,103 @@
+"""Unit tests for the NMWTS problem container and brute-force solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.nmwts import (
+    NMWTSInstance,
+    NMWTSSolution,
+    solve_nmwts_bruteforce,
+    verify_nmwts,
+)
+
+
+def yes_instance() -> NMWTSInstance:
+    """x_i + y_i = z_i with the identity permutations (an easy YES instance)."""
+    return NMWTSInstance.from_lists([1, 2, 3], [2, 3, 1], [3, 5, 4])
+
+
+def shuffled_yes_instance() -> NMWTSInstance:
+    """YES instance requiring non-identity permutations."""
+    # x = [1, 2], y = [5, 1], z = [3, 6]: 1+5=6, 2+1=3
+    return NMWTSInstance.from_lists([1, 2], [5, 1], [3, 6])
+
+
+def no_instance() -> NMWTSInstance:
+    """Sums match but no perfect matching exists."""
+    # x = [0, 0], y = [1, 3], z = [0, 4]: need 0+y=z pairs; {1,3} vs {0,4} fails
+    return NMWTSInstance.from_lists([0, 0], [1, 3], [0, 4])
+
+
+class TestInstance:
+    def test_basic_properties(self):
+        inst = yes_instance()
+        assert inst.m == 3
+        assert inst.max_value == 5
+        assert inst.sums_match
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            NMWTSInstance.from_lists([1], [1, 2], [2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NMWTSInstance.from_lists([], [], [])
+
+    def test_sums_match_detects_mismatch(self):
+        inst = NMWTSInstance.from_lists([1], [1], [5])
+        assert not inst.sums_match
+
+
+class TestVerify:
+    def test_valid_solution(self):
+        inst = yes_instance()
+        solution = NMWTSSolution(sigma1=(0, 1, 2), sigma2=(0, 1, 2))
+        assert verify_nmwts(inst, solution)
+
+    def test_invalid_pairing_rejected(self):
+        inst = yes_instance()
+        solution = NMWTSSolution(sigma1=(1, 0, 2), sigma2=(0, 1, 2))
+        assert not verify_nmwts(inst, solution)
+
+    def test_non_permutation_rejected(self):
+        inst = yes_instance()
+        assert not verify_nmwts(inst, NMWTSSolution((0, 0, 1), (0, 1, 2)))
+        assert not verify_nmwts(inst, NMWTSSolution((0, 1), (0, 1)))
+
+
+class TestBruteForce:
+    def test_solves_yes_instance(self):
+        inst = yes_instance()
+        solution = solve_nmwts_bruteforce(inst)
+        assert solution is not None
+        assert verify_nmwts(inst, solution)
+
+    def test_solves_shuffled_yes_instance(self):
+        inst = shuffled_yes_instance()
+        solution = solve_nmwts_bruteforce(inst)
+        assert solution is not None
+        assert verify_nmwts(inst, solution)
+
+    def test_detects_no_instance(self):
+        assert solve_nmwts_bruteforce(no_instance()) is None
+
+    def test_detects_sum_mismatch_quickly(self):
+        inst = NMWTSInstance.from_lists([1, 1], [1, 1], [10, 10])
+        assert solve_nmwts_bruteforce(inst) is None
+
+    def test_random_yes_instances(self, rng):
+        """Instances built from a hidden matching are always solved."""
+        for _ in range(10):
+            m = int(rng.integers(1, 6))
+            x = rng.integers(0, 6, size=m)
+            y = rng.integers(0, 6, size=m)
+            perm1 = rng.permutation(m)
+            perm2 = rng.permutation(m)
+            z = [0] * m
+            for i in range(m):
+                z[perm2[i]] = int(x[i] + y[perm1[i]])
+            inst = NMWTSInstance.from_lists(list(x), list(y), z)
+            solution = solve_nmwts_bruteforce(inst)
+            assert solution is not None
+            assert verify_nmwts(inst, solution)

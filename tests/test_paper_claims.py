@@ -1,0 +1,136 @@
+"""Integration tests checking the paper's qualitative claims (Section 5.2/5.3).
+
+These are slower, coarse-grained tests working on reduced instance counts.
+They assert the *shape* of the results — who wins, in which regime — rather
+than absolute values, which depend on the random instance streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.failure import failure_thresholds
+from repro.experiments.sweep import run_sweep
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import get_heuristic
+
+
+@pytest.fixture(scope="module")
+def e1_small_cluster():
+    """E1, 20 stages, 10 processors — the paper's small-cluster regime."""
+    return experiment_config("E1", 20, 10, n_instances=12)
+
+
+@pytest.fixture(scope="module")
+def e1_large_cluster():
+    """E1, 20 stages, 100 processors — the paper's large-cluster regime."""
+    return experiment_config("E1", 20, 100, n_instances=8)
+
+
+class TestSmallClusterClaims:
+    def test_sp_mono_p_reaches_the_best_periods(self, e1_small_cluster):
+        """Section 5.2.1: with p=10 the simple splitting heuristics achieve the
+        smallest periods among the fixed-period heuristics."""
+        instances = generate_instances(e1_small_cluster, seed=0)
+        best_periods = {}
+        for key in ("H1", "H2", "H3"):
+            heuristic = get_heuristic(key)
+            values = [
+                heuristic.run(i.application, i.platform, period_bound=1e-9).period
+                for i in instances
+            ]
+            best_periods[key] = float(np.mean(values))
+        assert best_periods["H1"] <= best_periods["H2"] + 1e-9
+        assert best_periods["H1"] <= best_periods["H3"] + 1e-9
+
+    def test_sp_bi_p_achieves_low_latency_at_relaxed_periods(self, e1_small_cluster):
+        """Section 5.2.1: Sp bi P minimises latency with competitive periods."""
+        instances = generate_instances(e1_small_cluster, seed=0)
+        h1, h4 = get_heuristic("H1"), get_heuristic("H4")
+        h1_latencies, h4_latencies = [], []
+        for inst in instances:
+            app, platform = inst.application, inst.platform
+            reachable = h1.run(app, platform, period_bound=1e-9).period
+            bound = reachable * 1.5
+            r1 = h1.run(app, platform, period_bound=bound)
+            r4 = h4.run(app, platform, period_bound=bound)
+            if r1.feasible and r4.feasible:
+                h1_latencies.append(r1.latency)
+                h4_latencies.append(r4.latency)
+        assert h1_latencies
+        assert np.mean(h4_latencies) <= np.mean(h1_latencies) * 1.05
+
+    def test_failure_threshold_ordering(self, e1_small_cluster):
+        """Table 1: Sp mono P has the smallest failure thresholds; the
+        fixed-latency heuristics share theirs (and they equal Lemma 1)."""
+        rows = failure_thresholds(e1_small_cluster, seed=0)
+        by_key = {r.key: r for r in rows}
+        assert by_key["H1"].mean_threshold <= by_key["H2"].mean_threshold + 1e-9
+        assert by_key["H1"].mean_threshold <= by_key["H3"].mean_threshold + 1e-9
+        assert by_key["H5"].per_instance == by_key["H6"].per_instance
+
+
+class TestLargeClusterClaims:
+    def test_more_processors_reduce_period_and_latency(
+        self, e1_small_cluster, e1_large_cluster
+    ):
+        """Section 5.2.2: both periods and latencies drop when p grows."""
+        small = generate_instances(e1_small_cluster.with_sizes(n_instances=8), seed=1)
+        large = generate_instances(e1_large_cluster, seed=1)
+        h1 = get_heuristic("H1")
+        small_periods = [
+            h1.run(i.application, i.platform, period_bound=1e-9).period for i in small
+        ]
+        large_periods = [
+            h1.run(i.application, i.platform, period_bound=1e-9).period for i in large
+        ]
+        assert np.mean(large_periods) < np.mean(small_periods)
+
+    def test_three_explo_is_competitive_with_many_processors(self):
+        """Section 5.2.2/5.3: with p=100 the 3-exploration heuristic produces
+        adequate results — its best reachable period stays within a modest
+        factor of Sp mono P's (it consumes processors two at a time but fast
+        pairs remain available much longer on a large cluster)."""
+        cfg = experiment_config("E1", 20, 100, n_instances=6)
+        instances = generate_instances(cfg, seed=2)
+        gaps = []
+        for inst in instances:
+            app, platform = inst.application, inst.platform
+            h1 = get_heuristic("H1").run(app, platform, period_bound=1e-9).period
+            h2 = get_heuristic("H2").run(app, platform, period_bound=1e-9).period
+            gaps.append(h2 / h1)
+        assert float(np.mean(gaps)) <= 1.5
+
+
+class TestSweepShape:
+    def test_latency_period_tradeoff_curves(self):
+        """The splitting heuristics trace a decreasing latency as the allowed
+        period grows (the defining shape of Figures 2-7).  Only thresholds at
+        which *every* instance is feasible are compared, because averaging over
+        a feasible subset introduces selection bias at the tight end."""
+        cfg = experiment_config("E2", 10, 10, n_instances=8)
+        sweep = run_sweep(cfg, n_thresholds=6, seed=3)
+        for name in ("Sp mono P", "3-Explo mono", "3-Explo bi"):
+            curve = sweep.curves[name]
+            full = [p for p in curve.points if p.n_feasible == p.n_instances]
+            if len(full) < 2:
+                continue
+            latencies = [p.mean_latency for p in full]
+            assert all(
+                b <= a + 1e-6 for a, b in zip(latencies, latencies[1:])
+            ), name
+
+    def test_fixed_latency_and_fixed_period_families_cover_both_ends(self):
+        """Fixed-latency heuristics reach the latency optimum end of the
+        trade-off; fixed-period heuristics reach the period optimum end."""
+        cfg = experiment_config("E1", 10, 10, n_instances=8)
+        sweep = run_sweep(cfg, n_thresholds=6, seed=4)
+        h1 = sweep.curves["Sp mono P"]
+        h5 = sweep.curves["Sp mono L"]
+        assert min(p for p, _ in h1.as_series()) <= min(
+            p for p, _ in h5.as_series()
+        ) + 1e-9
+        assert min(l for _, l in h5.as_series()) <= min(
+            l for _, l in h1.as_series()
+        ) + 1e-9

@@ -1,0 +1,127 @@
+"""Unit tests for :mod:`repro.core.pareto`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pareto import (
+    BicriteriaPoint,
+    best_by_weighted_sum,
+    dominates,
+    hypervolume_2d,
+    ideal_point,
+    nadir_point,
+    pareto_front,
+    weighted_sum,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 2.0), (2.0, 3.0))
+        assert dominates((1.0, 3.0), (2.0, 3.0))
+        assert not dominates((2.0, 3.0), (1.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable_points(self):
+        assert not dominates((1.0, 5.0), (2.0, 1.0))
+        assert not dominates((2.0, 1.0), (1.0, 5.0))
+
+    def test_point_objects(self):
+        a = BicriteriaPoint(1.0, 2.0, label="a")
+        b = BicriteriaPoint(3.0, 4.0, label="b")
+        assert a.dominates(b)
+        assert tuple(a) == (1.0, 2.0)
+
+
+class TestParetoFront:
+    def test_front_of_simple_set(self):
+        pts = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (3.0, 3.0)]
+        front = pareto_front(pts)
+        assert [(p.period, p.latency) for p in front] == [
+            (1.0, 3.0),
+            (2.0, 2.0),
+            (3.0, 1.0),
+        ]
+
+    def test_dominated_points_removed(self):
+        pts = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)]
+        front = pareto_front(pts)
+        assert (2.0, 2.0) not in [(p.period, p.latency) for p in front]
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_duplicates_collapse(self):
+        front = pareto_front([(1.0, 1.0), (1.0, 1.0)])
+        assert len(front) == 1
+
+    def test_front_is_mutually_non_dominated(self, rng):
+        pts = [(float(x), float(y)) for x, y in rng.uniform(0, 10, size=(100, 2))]
+        front = pareto_front(pts)
+        for i, a in enumerate(front):
+            for j, b in enumerate(front):
+                if i != j:
+                    assert not a.dominates(b)
+
+    def test_every_point_dominated_or_on_front(self, rng):
+        pts = [(float(x), float(y)) for x, y in rng.uniform(0, 10, size=(60, 2))]
+        front = pareto_front(pts)
+        front_tuples = {(p.period, p.latency) for p in front}
+        for pt in pts:
+            on_front = pt in front_tuples
+            dominated = any(dominates(f, pt) for f in front)
+            duplicated = any(
+                f.period <= pt[0] + 1e-12 and f.latency <= pt[1] + 1e-12 for f in front
+            )
+            assert on_front or dominated or duplicated
+
+
+class TestIndicators:
+    def test_ideal_and_nadir(self):
+        pts = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0)]
+        assert ideal_point(pts) == (1.0, 1.0)
+        assert nadir_point(pts) == (3.0, 3.0)
+
+    def test_ideal_empty_raises(self):
+        with pytest.raises(ValueError):
+            ideal_point([])
+        with pytest.raises(ValueError):
+            nadir_point([])
+
+    def test_hypervolume_simple(self):
+        # single point (1, 1) with reference (3, 3): dominated area is 2 x 2
+        assert hypervolume_2d([(1.0, 1.0)], (3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_hypervolume_two_points(self):
+        pts = [(1.0, 2.0), (2.0, 1.0)]
+        # area = (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3
+        assert hypervolume_2d(pts, (3.0, 3.0)) == pytest.approx(3.0)
+
+    def test_hypervolume_ignores_points_beyond_reference(self):
+        assert hypervolume_2d([(5.0, 5.0)], (3.0, 3.0)) == 0.0
+
+    def test_hypervolume_monotone_in_points(self, rng):
+        pts = [(float(x), float(y)) for x, y in rng.uniform(0, 5, size=(20, 2))]
+        hv_all = hypervolume_2d(pts, (6.0, 6.0))
+        hv_half = hypervolume_2d(pts[:10], (6.0, 6.0))
+        assert hv_all >= hv_half - 1e-12
+
+
+class TestScalarisation:
+    def test_weighted_sum(self):
+        assert weighted_sum((2.0, 4.0)) == pytest.approx(3.0)
+        assert weighted_sum((2.0, 4.0), 1.0, 0.0) == pytest.approx(2.0)
+
+    def test_best_by_weighted_sum(self):
+        pts = [(1.0, 10.0), (5.0, 5.0), (10.0, 1.0)]
+        best_period = best_by_weighted_sum(pts, period_weight=1.0, latency_weight=0.0)
+        assert best_period.period == 1.0
+        best_latency = best_by_weighted_sum(pts, period_weight=0.0, latency_weight=1.0)
+        assert best_latency.latency == 1.0
+
+    def test_best_by_weighted_sum_empty(self):
+        with pytest.raises(ValueError):
+            best_by_weighted_sum([])

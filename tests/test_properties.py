@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on the core invariants of the library.
+
+The properties mirror the paper's structural facts:
+
+* eq. (1)/(2) invariants of the cost model (positivity, Lemma 1 bound,
+  single-interval degeneracy);
+* exactness of the chains-to-chains probe and the dominance relation between
+  the 1-D partitioning solvers;
+* feasibility semantics of the heuristics (thresholds, monotonicity,
+  structural validity of the produced mappings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.chains.homogeneous import bisect_optimal, dp_optimal, greedy_partition, nicol_optimal
+from repro.chains.probe import probe_homogeneous
+from repro.core.application import PipelineApplication
+from repro.core.costs import evaluate, latency, optimal_latency, period, period_lower_bound
+from repro.core.mapping import IntervalMapping
+from repro.core.pareto import pareto_front
+from repro.core.platform import Platform
+from repro.heuristics import SplittingMonoLatency, SplittingMonoPeriod
+
+# ----------------------------------------------------------------------------- #
+# strategies
+# ----------------------------------------------------------------------------- #
+positive_floats = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+sizes = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def applications(draw, min_stages: int = 1, max_stages: int = 12):
+    n = draw(st.integers(min_value=min_stages, max_value=max_stages))
+    works = draw(
+        st.lists(positive_floats, min_size=n, max_size=n)
+    )
+    comms = draw(st.lists(sizes, min_size=n + 1, max_size=n + 1))
+    return PipelineApplication(works, comms)
+
+
+@st.composite
+def platforms(draw, min_procs: int = 1, max_procs: int = 8):
+    p = draw(st.integers(min_value=min_procs, max_value=max_procs))
+    speeds = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=20), min_size=p, max_size=p
+        )
+    )
+    bandwidth = draw(st.floats(min_value=1.0, max_value=50.0))
+    return Platform.communication_homogeneous([float(s) for s in speeds], bandwidth)
+
+
+@st.composite
+def instances(draw):
+    return draw(applications()), draw(platforms())
+
+
+@st.composite
+def weight_arrays(draw, max_size: int = 30):
+    return np.asarray(
+        draw(st.lists(positive_floats, min_size=1, max_size=max_size)), dtype=float
+    )
+
+
+# ----------------------------------------------------------------------------- #
+# cost model properties
+# ----------------------------------------------------------------------------- #
+class TestCostModelProperties:
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_lemma1_mapping_is_a_latency_lower_bound(self, instance):
+        app, platform = instance
+        opt = optimal_latency(app, platform)
+        mapping = IntervalMapping.single_processor(app.n_stages, platform.fastest_processor)
+        assert latency(app, platform, mapping) == opt
+        # splitting off the first stage (when possible) can never reduce latency
+        if app.n_stages >= 2 and platform.n_processors >= 2:
+            order = platform.processors_by_speed()
+            split = IntervalMapping(
+                [(0, 0), (1, app.n_stages - 1)], [order[1], order[0]]
+            )
+            assert latency(app, platform, split) >= opt - 1e-9
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_single_interval_period_equals_latency(self, instance):
+        app, platform = instance
+        mapping = IntervalMapping.single_processor(app.n_stages, platform.fastest_processor)
+        ev = evaluate(app, platform, mapping)
+        assert ev.period == ev.latency
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_period_lower_bound_holds_for_lemma1_mapping(self, instance):
+        app, platform = instance
+        mapping = IntervalMapping.single_processor(app.n_stages, platform.fastest_processor)
+        assert period(app, platform, mapping) >= period_lower_bound(app, platform) - 1e-9
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_latency_at_least_period_for_any_interval_count(self, instance):
+        """For any mapping produced by H1, latency >= period (a data set spends
+        at least one full bottleneck cycle in the pipeline)."""
+        app, platform = instance
+        result = SplittingMonoPeriod().run(app, platform, period_bound=1e-9)
+        assert result.latency >= result.period - 1e-9
+
+
+# ----------------------------------------------------------------------------- #
+# chains-to-chains properties
+# ----------------------------------------------------------------------------- #
+class TestChainsProperties:
+    @given(weight_arrays(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_probe_feasibility_matches_dp_optimum(self, values, p):
+        optimum = dp_optimal(values, p).bottleneck
+        assert probe_homogeneous(values, p, optimum).feasible
+        if optimum > 1e-6:
+            assert not probe_homogeneous(values, p, optimum * 0.99 - 1e-9).feasible
+
+    @given(weight_arrays(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_solver_dominance_chain(self, values, p):
+        """greedy >= bisect ~= nicol == dp (all valid partitions)."""
+        dp = dp_optimal(values, p)
+        nicol = nicol_optimal(values, p)
+        bisect = bisect_optimal(values, p)
+        greedy = greedy_partition(values, p)
+        assert nicol.bottleneck <= dp.bottleneck * (1 + 1e-9)
+        assert nicol.bottleneck >= dp.bottleneck * (1 - 1e-9)
+        assert bisect.bottleneck >= dp.bottleneck * (1 - 1e-9)
+        assert greedy.bottleneck >= dp.bottleneck * (1 - 1e-9)
+        n = len(values)
+        for result in (dp, nicol, bisect, greedy):
+            assert result.covers(n)
+            assert result.n_intervals <= p
+
+    @given(weight_arrays(max_size=20), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_is_monotone_in_processor_count(self, values, p):
+        more = dp_optimal(values, p + 1).bottleneck
+        fewer = dp_optimal(values, p).bottleneck
+        assert more <= fewer * (1 + 1e-12) + 1e-12
+
+
+# ----------------------------------------------------------------------------- #
+# heuristic properties
+# ----------------------------------------------------------------------------- #
+class TestHeuristicProperties:
+    @given(instances(), st.floats(min_value=0.5, max_value=50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_h1_feasibility_flag_is_truthful(self, instance, bound):
+        app, platform = instance
+        result = SplittingMonoPeriod().run(app, platform, period_bound=bound)
+        assert result.feasible == (result.period <= bound * (1 + 1e-9) + 1e-12)
+        result.mapping.validate(app, platform)
+
+    @given(instances(), st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_h5_respects_latency_budget(self, instance, factor):
+        app, platform = instance
+        bound = optimal_latency(app, platform) * factor
+        result = SplittingMonoLatency().run(app, platform, latency_bound=bound)
+        assert result.feasible
+        assert result.latency <= bound * (1 + 1e-9) + 1e-12
+        assert result.period <= result.history[0][0] + 1e-9
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_h1_history_is_pareto_consistent(self, instance):
+        """Along H1's trajectory the period decreases monotonically."""
+        app, platform = instance
+        result = SplittingMonoPeriod().run(app, platform, period_bound=1e-9)
+        periods = [p for p, _ in result.history]
+        assert all(b <= a + 1e-9 for a, b in zip(periods, periods[1:]))
+
+
+# ----------------------------------------------------------------------------- #
+# pareto front properties
+# ----------------------------------------------------------------------------- #
+class TestParetoProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_front_is_subset_and_non_dominated(self, points):
+        front = pareto_front(points)
+        tuples = [(p.period, p.latency) for p in front]
+        for t in tuples:
+            assert t in points or not points
+        for i, a in enumerate(front):
+            for j, b in enumerate(front):
+                if i != j:
+                    assert not a.dominates(b)

@@ -1,0 +1,151 @@
+"""Tests of the executable Theorem 1 / Theorem 2 reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chains.heterogeneous import hetero_exact_bisect, normalized_bottleneck
+from repro.complexity.nmwts import (
+    NMWTSInstance,
+    solve_nmwts_bruteforce,
+)
+from repro.complexity.reduction import (
+    build_hetero_instance,
+    build_pipeline_instance,
+    extract_nmwts_solution,
+    partition_from_nmwts_solution,
+)
+from repro.core.costs import period
+from repro.core.mapping import IntervalMapping
+
+
+def yes_instance() -> NMWTSInstance:
+    return NMWTSInstance.from_lists([1, 2], [2, 1], [3, 3])
+
+
+def no_instance() -> NMWTSInstance:
+    return NMWTSInstance.from_lists([0, 0], [1, 3], [0, 4])
+
+
+class TestConstruction:
+    def test_sizes_match_theorem(self):
+        inst = yes_instance()
+        reduction = build_hetero_instance(inst)
+        big_m = int(inst.max_value)
+        assert reduction.big_m == big_m
+        assert reduction.block_size == big_m + 3
+        assert reduction.n_tasks == (big_m + 3) * inst.m
+        assert reduction.n_processors == 3 * inst.m
+        assert reduction.bound == 1.0
+
+    def test_weight_structure(self):
+        inst = yes_instance()
+        reduction = build_hetero_instance(inst)
+        m_val = reduction.big_m
+        for i in range(inst.m):
+            block = reduction.values[
+                reduction.block_offset(i): reduction.block_offset(i) + reduction.block_size
+            ]
+            assert block[0] == 2 * m_val + inst.x[i]  # A_i = B + x_i
+            assert all(v == 1.0 for v in block[1: m_val + 1])
+            assert block[m_val + 1] == 5 * m_val  # C
+            assert block[m_val + 2] == 7 * m_val  # D
+
+    def test_speed_structure(self):
+        inst = yes_instance()
+        reduction = build_hetero_instance(inst)
+        m_val, m = reduction.big_m, inst.m
+        for i in range(m):
+            assert reduction.speeds[i] == 2 * m_val + inst.z[i]
+            assert reduction.speeds[m + i] == 5 * m_val + m_val - inst.y[i]
+            assert reduction.speeds[2 * m + i] == 7 * m_val
+
+    def test_non_integer_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_hetero_instance(NMWTSInstance.from_lists([1.5], [1], [2.5]))
+        with pytest.raises(ValueError):
+            build_hetero_instance(NMWTSInstance.from_lists([-1], [1], [0]))
+
+    def test_zero_max_value_rejected(self):
+        with pytest.raises(ValueError):
+            build_hetero_instance(NMWTSInstance.from_lists([0], [0], [0]))
+
+
+class TestForwardDirection:
+    def test_solution_achieves_bound(self):
+        inst = yes_instance()
+        reduction = build_hetero_instance(inst)
+        solution = solve_nmwts_bruteforce(inst)
+        assert solution is not None
+        intervals, processors = partition_from_nmwts_solution(reduction, solution)
+        achieved = normalized_bottleneck(
+            reduction.values, reduction.speeds, intervals, processors
+        )
+        assert achieved <= reduction.bound + 1e-9
+        # the partition covers every task exactly once with distinct processors
+        covered = sorted(
+            stage for (start, end) in intervals for stage in range(start, end + 1)
+        )
+        assert covered == list(range(reduction.n_tasks))
+        assert len(set(processors)) == len(processors)
+
+    def test_invalid_solution_rejected(self):
+        inst = yes_instance()
+        reduction = build_hetero_instance(inst)
+        from repro.complexity.nmwts import NMWTSSolution
+
+        bogus = NMWTSSolution((1, 0), (0, 1))
+        with pytest.raises(ValueError):
+            partition_from_nmwts_solution(reduction, bogus)
+
+
+class TestBackwardDirection:
+    def test_round_trip(self):
+        inst = yes_instance()
+        reduction = build_hetero_instance(inst)
+        solution = solve_nmwts_bruteforce(inst)
+        intervals, processors = partition_from_nmwts_solution(reduction, solution)
+        recovered = extract_nmwts_solution(reduction, intervals, processors)
+        assert recovered is not None
+        # recovered permutations must solve the original instance
+        from repro.complexity.nmwts import verify_nmwts
+
+        assert verify_nmwts(inst, recovered)
+
+    def test_partition_above_bound_rejected(self):
+        inst = yes_instance()
+        reduction = build_hetero_instance(inst)
+        # a deliberately bad partition: everything on the first processor
+        intervals = [(0, reduction.n_tasks - 1)]
+        processors = [0]
+        assert extract_nmwts_solution(reduction, intervals, processors) is None
+
+    def test_yes_no_equivalence_on_small_instances(self):
+        """The reduction preserves YES/NO (checked with the exact solver)."""
+        for inst in (yes_instance(), no_instance()):
+            reduction = build_hetero_instance(inst)
+            exact = hetero_exact_bisect(reduction.values, reduction.speeds)
+            nmwts_solvable = solve_nmwts_bruteforce(inst) is not None
+            hetero_solvable = exact.bottleneck <= reduction.bound + 1e-6
+            assert nmwts_solvable == hetero_solvable
+
+
+class TestTheorem2:
+    def test_pipeline_instance_matches_partition_cost(self):
+        inst = yes_instance()
+        reduction = build_hetero_instance(inst)
+        app, platform, bound = build_pipeline_instance(reduction)
+        assert app.n_stages == reduction.n_tasks
+        assert platform.n_processors == reduction.n_processors
+        assert bound == reduction.bound
+        # with zero communications, the mapping period equals the normalised
+        # bottleneck of the corresponding partition
+        solution = solve_nmwts_bruteforce(inst)
+        intervals, processors = partition_from_nmwts_solution(reduction, solution)
+        mapping = IntervalMapping(intervals, processors)
+        assert period(app, platform, mapping) == pytest.approx(
+            normalized_bottleneck(
+                reduction.values, reduction.speeds, intervals, processors
+            )
+        )
+        assert period(app, platform, mapping) <= bound + 1e-9

@@ -1,0 +1,94 @@
+"""Tests of the JSON serialisation helpers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.costs import evaluate
+from repro.core.platform import Platform
+from repro.core.serialization import (
+    application_from_dict,
+    application_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_json,
+    mapping_from_dict,
+    mapping_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+    save_json,
+)
+from repro.generators.platforms import random_fully_heterogeneous_platform
+from repro.heuristics import get_heuristic
+from tests.conftest import random_instance
+
+
+class TestApplicationRoundTrip:
+    def test_round_trip_preserves_equality(self, small_app):
+        document = application_to_dict(small_app)
+        rebuilt = application_from_dict(document)
+        assert rebuilt == small_app
+        assert rebuilt.name == small_app.name
+
+    def test_document_is_json_serialisable(self, small_app):
+        json.dumps(application_to_dict(small_app))
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError):
+            application_from_dict({"works": [1.0]})
+
+
+class TestPlatformRoundTrip:
+    def test_comm_homogeneous_round_trip(self, small_platform):
+        rebuilt = platform_from_dict(platform_to_dict(small_platform))
+        assert rebuilt == small_platform
+
+    def test_heterogeneous_round_trip(self):
+        platform = random_fully_heterogeneous_platform(4, seed=0)
+        rebuilt = platform_from_dict(platform_to_dict(platform))
+        assert rebuilt == platform
+
+    def test_missing_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            platform_from_dict({"speeds": [1.0, 2.0]})
+
+
+class TestMappingRoundTrip:
+    def test_round_trip(self, two_interval_mapping):
+        rebuilt = mapping_from_dict(mapping_to_dict(two_interval_mapping))
+        assert rebuilt == two_interval_mapping
+
+    def test_costs_survive_round_trip(self):
+        app, platform = random_instance(8, 5, seed=0)
+        result = get_heuristic("H1").run(app, platform, period_bound=1e-9)
+        document = instance_to_dict(app, platform, result.mapping)
+        app2, platform2, mapping2 = instance_from_dict(document)
+        before = evaluate(app, platform, result.mapping)
+        after = evaluate(app2, platform2, mapping2)
+        assert after.period == pytest.approx(before.period)
+        assert after.latency == pytest.approx(before.latency)
+
+    def test_instance_without_mapping(self, small_app, small_platform):
+        document = instance_to_dict(small_app, small_platform)
+        app, platform, mapping = instance_from_dict(document)
+        assert mapping is None
+        assert app == small_app and platform == small_platform
+
+    def test_inconsistent_mapping_rejected(self, small_app, small_platform):
+        document = instance_to_dict(small_app, small_platform)
+        document["mapping"] = {"intervals": [[0, 1]], "processors": [0]}
+        with pytest.raises(ValueError):
+            instance_from_dict(document)
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, tmp_path, small_app, small_platform):
+        document = instance_to_dict(small_app, small_platform)
+        path = save_json(document, tmp_path / "instance.json")
+        assert path.exists()
+        loaded = load_json(path)
+        app, platform, _ = instance_from_dict(loaded)
+        assert app == small_app
+        assert platform == small_platform

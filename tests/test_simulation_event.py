@@ -1,0 +1,145 @@
+"""Tests of the event-driven one-port simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import evaluate
+from repro.core.exceptions import SimulationError
+from repro.core.mapping import IntervalMapping
+from repro.heuristics import get_heuristic
+from repro.simulation.event_driven import simulate_mapping
+from repro.simulation.trace import EventKind
+from tests.conftest import random_instance
+
+
+class TestBasicExecution:
+    def test_single_processor_mapping(self, small_app, small_platform, single_interval_mapping):
+        trace = simulate_mapping(
+            small_app, small_platform, single_interval_mapping, n_datasets=5
+        )
+        assert trace.n_datasets == 5
+        assert len(trace.completion_times) == 5
+        ev = evaluate(small_app, small_platform, single_interval_mapping)
+        # period and latency both equal the single cycle time here
+        assert trace.first_latency == pytest.approx(ev.latency)
+        assert trace.measured_period() == pytest.approx(ev.period)
+
+    def test_two_interval_mapping_counts_events(self, small_app, small_platform, two_interval_mapping):
+        trace = simulate_mapping(
+            small_app, small_platform, two_interval_mapping, n_datasets=3
+        )
+        computes = [e for e in trace.events if e.kind == EventKind.COMPUTE]
+        # one compute event per interval per data set
+        assert len(computes) == 2 * 3
+        receives = [e for e in trace.events if e.kind == EventKind.RECEIVE]
+        assert len(receives) == 2 * 3
+
+    def test_invalid_arguments(self, small_app, small_platform, single_interval_mapping):
+        with pytest.raises(SimulationError):
+            simulate_mapping(small_app, small_platform, single_interval_mapping, 0)
+        with pytest.raises(SimulationError):
+            simulate_mapping(
+                small_app, small_platform, single_interval_mapping, 3, input_period=-1.0
+            )
+
+
+class TestModelAgreement:
+    def test_first_latency_equals_eq2(self):
+        """The first data set never waits, so its response time is exactly eq. (2)."""
+        for seed in range(4):
+            app, platform = random_instance(10, 6, seed=seed)
+            mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+            trace = simulate_mapping(app, platform, mapping, n_datasets=10)
+            ev = evaluate(app, platform, mapping)
+            assert trace.first_latency == pytest.approx(ev.latency, rel=1e-9)
+
+    def test_steady_state_period_close_to_eq1(self):
+        """The greedy one-port schedule converges to the analytical period."""
+        for seed in range(4):
+            app, platform = random_instance(10, 6, seed=seed)
+            mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+            trace = simulate_mapping(app, platform, mapping, n_datasets=60)
+            ev = evaluate(app, platform, mapping)
+            measured = trace.measured_period()
+            assert measured >= ev.period - 1e-9  # the model is a lower bound
+            assert measured == pytest.approx(ev.period, rel=0.05)
+
+    def test_throughput_never_beats_model(self):
+        for seed in range(3):
+            app, platform = random_instance(8, 4, seed=seed)
+            mapping = IntervalMapping.single_processor(
+                app.n_stages, platform.fastest_processor
+            )
+            trace = simulate_mapping(app, platform, mapping, n_datasets=30)
+            ev = evaluate(app, platform, mapping)
+            assert trace.measured_period() >= ev.period - 1e-9
+
+
+class TestOnePortInvariants:
+    def test_no_processor_overlap(self):
+        for seed in range(3):
+            app, platform = random_instance(12, 8, seed=seed)
+            mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+            trace = simulate_mapping(app, platform, mapping, n_datasets=15)
+            trace.check_no_overlap()
+            trace.check_dataset_order()
+
+    def test_completion_times_strictly_ordered(self):
+        app, platform = random_instance(10, 6, seed=2)
+        mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+        trace = simulate_mapping(app, platform, mapping, n_datasets=20)
+        times = trace.completion_times
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_transfer_events_are_mirrored(self, small_app, small_platform, two_interval_mapping):
+        trace = simulate_mapping(
+            small_app, small_platform, two_interval_mapping, n_datasets=2
+        )
+        sends = [
+            e for e in trace.events if e.kind == EventKind.SEND and e.peer is not None
+        ]
+        receives = [
+            e for e in trace.events if e.kind == EventKind.RECEIVE and e.peer is not None
+        ]
+        assert len(sends) == len(receives)
+        for send in sends:
+            match = [
+                r
+                for r in receives
+                if r.dataset == send.dataset
+                and r.start == send.start
+                and r.end == send.end
+                and r.processor == send.peer
+            ]
+            assert len(match) == 1
+
+
+class TestThrottledInput:
+    def test_input_period_slows_the_pipeline(self):
+        app, platform = random_instance(8, 5, seed=1)
+        mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+        ev = evaluate(app, platform, mapping)
+        slow_period = ev.period * 3
+        trace = simulate_mapping(
+            app, platform, mapping, n_datasets=20, input_period=slow_period
+        )
+        assert trace.measured_period() == pytest.approx(slow_period, rel=0.05)
+
+    def test_injections_respect_the_input_period(self):
+        app, platform = random_instance(6, 4, seed=0)
+        mapping = IntervalMapping.single_processor(app.n_stages, 0)
+        trace = simulate_mapping(
+            app, platform, mapping, n_datasets=10, input_period=100.0
+        )
+        gaps = [
+            b - a for a, b in zip(trace.injection_times, trace.injection_times[1:])
+        ]
+        assert all(g >= 100.0 - 1e-9 for g in gaps)
+
+    def test_gantt_rendering(self, small_app, small_platform, two_interval_mapping):
+        trace = simulate_mapping(
+            small_app, small_platform, two_interval_mapping, n_datasets=2
+        )
+        art = trace.gantt(width=40)
+        assert "P1" in art and "|" in art

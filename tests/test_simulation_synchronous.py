@@ -1,0 +1,74 @@
+"""Tests of the constructive synchronous schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import evaluate
+from repro.core.exceptions import SimulationError
+from repro.heuristics import get_heuristic
+from repro.simulation.synchronous import synchronous_schedule
+from tests.conftest import random_instance
+
+
+class TestConstruction:
+    def test_period_and_latency_match_formulas_exactly(self):
+        """The synchronous schedule realises eqs. (1) and (2) exactly."""
+        for seed in range(5):
+            app, platform = random_instance(10, 6, seed=seed)
+            mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+            ev = evaluate(app, platform, mapping)
+            trace = synchronous_schedule(app, platform, mapping, n_datasets=12)
+            assert trace.measured_period() == pytest.approx(ev.period, rel=1e-9)
+            # every data set has the same latency, equal to eq. (2)
+            for k in range(trace.n_datasets):
+                assert trace.latency_of(k) == pytest.approx(ev.latency, rel=1e-9)
+
+    def test_schedule_is_feasible(self):
+        """No processor overlap, data sets processed in order: the schedule is
+        an executable witness that the analytical metrics are achievable."""
+        for seed in range(5):
+            app, platform = random_instance(12, 8, seed=seed)
+            mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+            trace = synchronous_schedule(app, platform, mapping, n_datasets=10)
+            trace.check_no_overlap()
+            trace.check_dataset_order()
+
+    def test_single_interval_mapping(self, small_app, small_platform, single_interval_mapping):
+        trace = synchronous_schedule(
+            small_app, small_platform, single_interval_mapping, n_datasets=4
+        )
+        ev = evaluate(small_app, small_platform, single_interval_mapping)
+        assert trace.max_latency == pytest.approx(ev.latency)
+        trace.check_no_overlap()
+
+
+class TestCustomPeriod:
+    def test_larger_period_is_allowed(self, small_app, small_platform, two_interval_mapping):
+        ev = evaluate(small_app, small_platform, two_interval_mapping)
+        trace = synchronous_schedule(
+            small_app,
+            small_platform,
+            two_interval_mapping,
+            n_datasets=8,
+            period=ev.period * 2,
+        )
+        trace.check_no_overlap()
+        assert trace.measured_period() == pytest.approx(ev.period * 2)
+
+    def test_smaller_period_rejected(self, small_app, small_platform, two_interval_mapping):
+        ev = evaluate(small_app, small_platform, two_interval_mapping)
+        with pytest.raises(SimulationError):
+            synchronous_schedule(
+                small_app,
+                small_platform,
+                two_interval_mapping,
+                n_datasets=4,
+                period=ev.period * 0.5,
+            )
+
+    def test_invalid_dataset_count(self, small_app, small_platform, two_interval_mapping):
+        with pytest.raises(SimulationError):
+            synchronous_schedule(
+                small_app, small_platform, two_interval_mapping, n_datasets=0
+            )

@@ -1,0 +1,57 @@
+"""Tests of the model-validation helper (analytical vs simulated metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heuristics import get_heuristic
+from repro.simulation.validate import ModelValidation, validate_mapping
+from tests.conftest import random_instance
+
+
+class TestValidateMapping:
+    def test_report_fields_are_consistent(self):
+        app, platform = random_instance(10, 6, seed=4)
+        mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+        report = validate_mapping(app, platform, mapping, n_datasets=40)
+        assert isinstance(report, ModelValidation)
+        assert report.n_datasets == 40
+        assert report.analytical_period > 0
+        assert report.analytical_latency >= report.analytical_period - 1e-9
+        assert report.event_driven_first_latency == pytest.approx(
+            report.analytical_latency, rel=1e-9
+        )
+        assert report.synchronous_period == pytest.approx(
+            report.analytical_period, rel=1e-9
+        )
+
+    def test_relative_errors_small_on_e_families(self):
+        """Across all four experiment families the greedy one-port schedule
+        stays within a few percent of the analytical model."""
+        for family in ("E1", "E2", "E3", "E4"):
+            app, platform = random_instance(10, 8, seed=3, family=family)
+            mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+            report = validate_mapping(app, platform, mapping, n_datasets=60)
+            assert report.period_relative_error <= 0.05
+            assert report.latency_relative_error <= 1e-6
+            assert report.consistent
+
+    def test_relative_error_zero_for_single_interval(self, small_app, small_platform, single_interval_mapping):
+        report = validate_mapping(
+            small_app, small_platform, single_interval_mapping, n_datasets=20
+        )
+        assert report.period_relative_error == pytest.approx(0.0, abs=1e-9)
+        assert report.latency_relative_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_analytical_degenerate_case(self):
+        """Degenerate zero-cost pipelines do not divide by zero."""
+        from repro.core.application import PipelineApplication
+        from repro.core.mapping import IntervalMapping
+        from repro.core.platform import Platform
+
+        app = PipelineApplication([0.0], [0.0, 0.0])
+        platform = Platform([1.0], 10.0)
+        mapping = IntervalMapping.single_processor(1, 0)
+        report = validate_mapping(app, platform, mapping, n_datasets=5)
+        assert report.period_relative_error == 0.0
+        assert report.latency_relative_error == 0.0

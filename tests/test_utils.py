@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.utils` (rng, validation, tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_reproducible(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert ensure_rng(gen) is gen
+
+    def test_spawn_rngs_independent_and_stable(self):
+        first = [g.integers(0, 10**6) for g in spawn_rngs(11, 3)]
+        second = [g.integers(0, 10**6) for g in spawn_rngs(11, 5)[:3]]
+        assert first == second  # extending the stream keeps the prefix
+
+    def test_spawn_rngs_distinct_streams(self):
+        values = [g.integers(0, 10**9) for g in spawn_rngs(0, 10)]
+        assert len(set(values)) > 1
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(5), 2)
+        assert len(children) == 2
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive(bad, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "x") == 0.5
+        for bad in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ValueError):
+                check_probability(bad, "x")
+
+
+class TestTables:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.2345], ["bbbb", 2.0]],
+            precision=2,
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.23" in text and "2.00" in text
+        # header separator present
+        assert set(lines[2]) <= {"-", "+"}
+
+    def test_format_table_handles_ints_and_strings(self):
+        text = format_table(["k", "v"], [["x", 3], ["y", "z"]])
+        assert "x" in text and "3" in text and "z" in text
+
+    def test_format_series_with_points(self):
+        text = format_series({"H1": [(1.0, 2.0), (3.0, 4.0)]}, title="fig")
+        assert "fig" in text
+        assert "[H1]" in text
+        assert "(1.000, 2.000)" in text
+
+    def test_format_series_empty_series(self):
+        text = format_series({"H1": []})
+        assert "no feasible points" in text
