@@ -1,0 +1,30 @@
+# Developer entry points.  All targets run from the repository root and use
+# the src layout directly (no install step needed).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench sweep-demo clean-results
+
+## tier-1 verification: the full test suite, fail fast
+test:
+	$(PYTHON) -m pytest -x -q
+
+## fast benchmark pass: tiny sizes, one round each — asserts correctness of
+## every figure/table driver and refreshes benchmarks/results/
+bench-smoke:
+	REPRO_BENCH_INSTANCES=4 REPRO_BENCH_THRESHOLDS=4 \
+		$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py' \
+		--benchmark-disable
+
+## full benchmark suite (paper-scale sizing via REPRO_BENCH_* env knobs)
+bench:
+	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
+
+## one parallel figure panel end to end (smoke test of the --workers path)
+sweep-demo:
+	$(PYTHON) -m repro.cli sweep --family E1 --stages 10 --processors 10 \
+		--instances 5 --thresholds 5 --workers -1
+
+clean-results:
+	rm -rf benchmarks/results

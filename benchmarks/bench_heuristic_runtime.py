@@ -5,16 +5,30 @@ processors).  Unlike the figure sweeps, these are micro-benchmarks: the
 function under timing is one heuristic run, repeated by pytest-benchmark for
 statistical stability.  A summary is written to
 ``benchmarks/results/heuristic_runtime.txt`` (one row per case).
+
+Two engine-level comparisons ride along (written to
+``benchmarks/results/engine_speedup.txt`` and recorded in
+``docs/performance.md``):
+
+* scalar ``evaluate()`` loop versus the vectorized ``evaluate_batch()``
+  kernel on the same batch of mappings;
+* serial versus multi-worker ``run_sweep`` (byte-identical results asserted;
+  the wall-clock gain requires more than one CPU).
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from bench_utils import BENCH_SEED, write_report
-from repro.core.costs import optimal_latency
+from repro.core.costs import evaluate, evaluate_batch, optimal_latency
+from repro.exact.brute_force import enumerate_interval_mappings
+from repro.experiments.sweep import run_sweep, sweep_results_equal
 from repro.generators.experiments import experiment_config, generate_instances
 from repro.heuristics import all_heuristics, Objective
+from repro.utils.parallel import available_cpus
 
 SIZES = [(20, 10), (40, 10), (40, 100), (100, 100)]
 _RESULTS: list[tuple[str, str, float]] = []
@@ -45,7 +59,64 @@ def test_heuristic_runtime(benchmark, heuristic, n_stages, n_processors):
     _RESULTS.append((heuristic.key, f"n={n_stages},p={n_processors}", mean_seconds))
 
 
+_ENGINE_LINES: list[str] = []
+
+
+def test_batched_vs_scalar_evaluation():
+    """The vectorized kernel must beat a scalar evaluate() loop (>= 2x)."""
+    config = experiment_config("E2", 9, 6, n_instances=1)
+    inst = generate_instances(config, seed=BENCH_SEED)[0]
+    app, platform = inst.application, inst.platform
+    mappings = list(enumerate_interval_mappings(app, platform))
+
+    t0 = time.perf_counter()
+    scalar = [evaluate(app, platform, m) for m in mappings]
+    t_scalar = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = evaluate_batch(app, platform, mappings, validate=False)
+    t_batched = time.perf_counter() - t0
+
+    # exact parity with the scalar path
+    for i, ev in enumerate(scalar):
+        assert abs(ev.period - batched.periods[i]) <= 1e-9 * max(1.0, ev.period)
+        assert abs(ev.latency - batched.latencies[i]) <= 1e-9 * max(1.0, ev.latency)
+
+    speedup = t_scalar / t_batched if t_batched > 0 else float("inf")
+    _ENGINE_LINES.append(
+        f"evaluate: scalar loop {t_scalar:.4f}s vs batched {t_batched:.4f}s "
+        f"over {len(mappings)} mappings -> {speedup:.1f}x"
+    )
+    assert speedup >= 2.0, f"vectorized kernel only {speedup:.2f}x faster"
+
+
+def test_parallel_sweep_speedup_and_determinism():
+    """workers=4 must reproduce workers=1 byte-for-byte; time both."""
+    config = experiment_config("E1", 10, 100, n_instances=8)
+
+    t0 = time.perf_counter()
+    serial = run_sweep(config, n_thresholds=6, seed=BENCH_SEED, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_sweep(config, n_thresholds=6, seed=BENCH_SEED, workers=4)
+    t_parallel = time.perf_counter() - t0
+
+    assert sweep_results_equal(serial, parallel)
+
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    _ENGINE_LINES.append(
+        f"run_sweep(E1, n=10, p=100, 8 instances): serial {t_serial:.3f}s vs "
+        f"workers=4 {t_parallel:.3f}s -> {speedup:.2f}x on {available_cpus()} CPU(s)"
+    )
+    # the speedup target only makes sense when there are CPUs to use
+    if available_cpus() >= 4:
+        assert speedup >= 2.0, f"parallel sweep only {speedup:.2f}x faster"
+
+
 def teardown_module(module) -> None:  # noqa: D103 - pytest hook
+    if _ENGINE_LINES:
+        write_report("engine_speedup", "\n".join(_ENGINE_LINES))
     if not _RESULTS:
         return
     lines = ["heuristic | case | mean seconds"]

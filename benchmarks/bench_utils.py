@@ -1,11 +1,16 @@
 """Shared helpers for the benchmark harness.
 
-The benchmarks mirror the paper's evaluation section: every figure panel and
-table quadrant has a function here that produces both the aggregate data and
-a plain-text report.  Reports are written to ``benchmarks/results/`` so they
-survive pytest's output capturing; sizes are controlled by environment
-variables so the full 50-instance protocol of the paper can be requested
-without editing code.
+The benchmarks mirror the paper's evaluation section (Figures 2–7, Table 1):
+every figure panel and table quadrant has a function here that produces both
+the aggregate data and a plain-text report.  Reports are written to
+``benchmarks/results/`` so they survive pytest's output capturing; sizes are
+controlled by environment variables so the full 50-instance protocol of the
+paper can be requested without editing code:
+
+* ``REPRO_BENCH_INSTANCES``  — instances per experimental point;
+* ``REPRO_BENCH_THRESHOLDS`` — threshold-grid resolution of the sweeps;
+* ``REPRO_BENCH_WORKERS``    — worker processes of the experiment engine
+  (``-1`` = all CPUs); reports are byte-identical whatever the value.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from repro.experiments.failure import failure_threshold_table
 from repro.experiments.report import render_failure_table, render_sweep
 from repro.experiments.sweep import SweepResult, run_sweep
 from repro.generators.experiments import experiment_config
+from repro.utils.parallel import resolve_worker_count
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -38,6 +44,11 @@ def threshold_count(default: int | None = None) -> int:
     return int(os.environ.get("REPRO_BENCH_THRESHOLDS", default or DEFAULT_THRESHOLDS))
 
 
+def worker_count(default: int = 1) -> int:
+    """Worker processes used by the benchmarked sweeps (env-overridable)."""
+    return resolve_worker_count(int(os.environ.get("REPRO_BENCH_WORKERS", default)))
+
+
 def write_report(name: str, text: str) -> Path:
     """Persist a textual report under ``benchmarks/results/`` and return its path."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -57,7 +68,12 @@ def figure_panel(
     config = experiment_config(
         family, n_stages, n_processors, n_instances=instance_count(n_instances)
     )
-    return run_sweep(config, n_thresholds=threshold_count(n_thresholds), seed=BENCH_SEED)
+    return run_sweep(
+        config,
+        n_thresholds=threshold_count(n_thresholds),
+        seed=BENCH_SEED,
+        workers=worker_count(),
+    )
 
 
 def figure_report(name: str, panels: dict[str, SweepResult]) -> str:
@@ -108,6 +124,7 @@ def table1_quadrant(family: str, n_processors: int = 10) -> str:
         n_processors=n_processors,
         n_instances=instance_count(),
         seed=BENCH_SEED,
+        workers=worker_count(),
     )
     return render_failure_table(
         table,

@@ -9,13 +9,17 @@ The ``repro-pipeline`` entry point exposes the main workflows:
 * ``validate``  — cross-check the analytical model against the simulators.
 
 All output is plain text (the environment is headless); every command accepts
-``--seed`` so results are reproducible.
+``--seed`` so results are reproducible.  The experiment commands additionally
+take ``--workers`` / ``--batch-size``: the experiment engine dispatches
+independent work items (instances, thresholds) to a process pool in chunks,
+and reports are byte-identical whatever the worker count.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import Sequence
 
 from .core.application import PipelineApplication
@@ -37,6 +41,7 @@ from .generators.experiments import experiment_config, generate_instances
 from .heuristics.base import Objective
 from .heuristics.registry import get_heuristic, heuristic_names
 from .simulation.validate import validate_mapping
+from .utils.parallel import parallel_map
 
 __all__ = ["main", "build_parser"]
 
@@ -64,15 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="reproduce one latency-vs-period figure panel")
     _add_experiment_arguments(sweep)
-    sweep.add_argument("--thresholds", type=int, default=10,
+    sweep.add_argument("--thresholds", type=_positive_int_arg, default=10,
                        help="number of threshold values per heuristic family")
 
     failure = sub.add_parser("failure", help="reproduce one quadrant of Table 1")
     failure.add_argument("--family", default="E1", help="experiment family E1..E4")
     failure.add_argument("--stages", type=int, nargs="+", default=[5, 10, 20, 40])
     failure.add_argument("--processors", type=int, default=10)
-    failure.add_argument("--instances", type=int, default=50)
+    failure.add_argument("--instances", type=_positive_int_arg, default=50)
     failure.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(failure)
 
     ablation = sub.add_parser("ablation", help="run the design-choice ablations")
     _add_experiment_arguments(ablation)
@@ -86,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="cross-check the analytical model against the simulators"
     )
     _add_experiment_arguments(validate)
-    validate.add_argument("--datasets", type=int, default=50,
+    validate.add_argument("--datasets", type=_positive_int_arg, default=50,
                           help="number of data sets pushed through the simulators")
 
     return parser
@@ -96,9 +102,42 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--family", default="E1", help="experiment family E1..E4")
     parser.add_argument("--stages", type=int, default=10, help="number of stages n")
     parser.add_argument("--processors", type=int, default=10, help="number of processors p")
-    parser.add_argument("--instances", type=int, default=20,
+    parser.add_argument("--instances", type=_positive_int_arg, default=20,
                         help="number of random application/platform pairs")
     parser.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(parser)
+
+
+def _workers_arg(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < -1:
+        raise argparse.ArgumentTypeError("must be >= -1 (-1 = all CPUs)")
+    return n
+
+
+def _positive_int_arg(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return n
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_workers_arg, default=1,
+        help="worker processes for the experiment engine "
+             "(1 = serial, -1 = all CPUs); results are identical at any value",
+    )
+    parser.add_argument(
+        "--batch-size", type=_positive_int_arg, default=None,
+        help="work items per worker chunk (default: sized automatically)",
+    )
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -129,7 +168,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config = experiment_config(
         args.family, args.stages, args.processors, n_instances=args.instances
     )
-    result = run_sweep(config, n_thresholds=args.thresholds, seed=args.seed)
+    result = run_sweep(
+        config,
+        n_thresholds=args.thresholds,
+        seed=args.seed,
+        workers=args.workers,
+        batch_size=args.batch_size,
+    )
     print(render_sweep(result))
     return 0
 
@@ -141,6 +186,8 @@ def _cmd_failure(args: argparse.Namespace) -> int:
         n_processors=args.processors,
         n_instances=args.instances,
         seed=args.seed,
+        workers=args.workers,
+        batch_size=args.batch_size,
     )
     print(
         render_failure_table(
@@ -164,10 +211,25 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     }
     selected = studies if args.study == "all" else {args.study: studies[args.study]}
     for name, fn in selected.items():
-        rows = fn(config, seed=args.seed, instances=instances)
+        rows = fn(
+            config,
+            seed=args.seed,
+            instances=instances,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
         print(render_ablation(rows, title=f"Ablation: {name} ({config.label})"))
         print()
     return 0
+
+
+def _validate_instance(n_datasets: int, instance) -> tuple[float, float, object]:
+    """Simulate one instance's H1 mapping (module-level, pool-picklable)."""
+    app, platform = instance.application, instance.platform
+    # use the mapping H1 reaches when pushed to its best period
+    mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+    report = validate_mapping(app, platform, mapping, n_datasets=n_datasets)
+    return report.period_relative_error, report.latency_relative_error, mapping
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -175,16 +237,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         args.family, args.stages, args.processors, n_instances=args.instances
     )
     instances = generate_instances(config, seed=args.seed)
-    heuristic = get_heuristic("H1")
-    worst_period_err = worst_latency_err = 0.0
-    for instance in instances:
-        app, platform = instance.application, instance.platform
-        # use the mapping H1 reaches when pushed to its best period
-        mapping = heuristic.run(app, platform, period_bound=1e-9).mapping
-        report = validate_mapping(app, platform, mapping, n_datasets=args.datasets)
-        worst_period_err = max(worst_period_err, report.period_relative_error)
-        worst_latency_err = max(worst_latency_err, report.latency_relative_error)
-    analytical = evaluate(app, platform, mapping)
+    reports = parallel_map(
+        partial(_validate_instance, args.datasets),
+        instances,
+        workers=args.workers,
+        batch_size=args.batch_size,
+    )
+    worst_period_err = max(r[0] for r in reports)
+    worst_latency_err = max(r[1] for r in reports)
+    last = instances[-1]
+    analytical = evaluate(last.application, last.platform, reports[-1][2])
     print(f"instances validated        : {len(instances)}")
     print(f"worst period rel. error    : {worst_period_err:.3%}")
     print(f"worst latency rel. error   : {worst_latency_err:.3%}")

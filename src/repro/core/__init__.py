@@ -7,16 +7,21 @@ utilities used by the experiment harness.
 
 from .application import PipelineApplication, Stage
 from .costs import (
+    BatchEvaluation,
     IntervalCost,
     MappingEvaluation,
     evaluate,
+    evaluate_batch,
     interval_compute_time,
     interval_cycle_time,
+    interval_time_components,
     latency,
+    latency_batch,
     latency_of_intervals,
     optimal_latency,
     optimal_latency_mapping,
     period,
+    period_batch,
     period_lower_bound,
 )
 from .exceptions import (
@@ -76,16 +81,21 @@ __all__ = [
     "Interval",
     "IntervalMapping",
     # costs
+    "BatchEvaluation",
     "IntervalCost",
     "MappingEvaluation",
     "evaluate",
+    "evaluate_batch",
     "interval_compute_time",
     "interval_cycle_time",
+    "interval_time_components",
     "latency",
+    "latency_batch",
     "latency_of_intervals",
     "optimal_latency",
     "optimal_latency_mapping",
     "period",
+    "period_batch",
     "period_lower_bound",
     # pareto
     "BicriteriaPoint",

@@ -186,6 +186,16 @@ class PipelineApplication:
         """Total work ``sum_k w_k`` of the whole pipeline."""
         return float(self._prefix[-1])
 
+    @property
+    def work_prefix(self) -> np.ndarray:
+        """Read-only work prefix sums: ``work_prefix[k] = w_0 + .. + w_{k-1}``.
+
+        Length ``n + 1``; the total work of interval ``[d, e]`` is
+        ``work_prefix[e + 1] - work_prefix[d]``.  Shared by the vectorized
+        cost kernels so batch evaluation never recomputes the cumulative sum.
+        """
+        return self._prefix
+
     def work_sum(self, d: int, e: int) -> float:
         """Total work of the stage interval ``[d, e]`` (0-based, inclusive)."""
         d = self._check_stage(d)

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from .application import PipelineApplication
 from .exceptions import InvalidMappingError
 from .mapping import Interval, IntervalMapping
@@ -31,11 +33,16 @@ from .platform import Platform
 __all__ = [
     "IntervalCost",
     "MappingEvaluation",
+    "BatchEvaluation",
     "interval_compute_time",
     "interval_cycle_time",
+    "interval_time_components",
     "period",
     "latency",
     "evaluate",
+    "evaluate_batch",
+    "period_batch",
+    "latency_batch",
     "optimal_latency",
     "optimal_latency_mapping",
     "period_lower_bound",
@@ -223,6 +230,204 @@ def evaluate(
     per = max(c.cycle_time for c in costs)
     lat = sum(c.latency_contribution for c in costs) + costs[-1].output_time
     return MappingEvaluation(period=per, latency=lat, interval_costs=tuple(costs))
+
+
+# --------------------------------------------------------------------------- #
+# vectorized kernels (batched evaluation)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """Periods and latencies of a batch of mappings, in input order.
+
+    Produced by :func:`evaluate_batch`; each entry matches what the scalar
+    :func:`evaluate` returns for the corresponding mapping (eqs. 1 and 2),
+    computed with a single pass of NumPy array operations over the whole
+    batch.
+    """
+
+    periods: np.ndarray
+    latencies: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.periods.setflags(write=False)
+        self.latencies.setflags(write=False)
+
+    @property
+    def n_mappings(self) -> int:
+        return int(self.periods.size)
+
+    def __len__(self) -> int:
+        return self.n_mappings
+
+    def point(self, i: int) -> tuple[float, float]:
+        """The ``(period, latency)`` objective point of mapping ``i``."""
+        return (float(self.periods[i]), float(self.latencies[i]))
+
+    def points(self) -> list[tuple[float, float]]:
+        """All ``(period, latency)`` points, in input order."""
+        return [
+            (float(p), float(l)) for p, l in zip(self.periods, self.latencies)
+        ]
+
+
+def interval_time_components(
+    prefix: np.ndarray,
+    comm: np.ndarray,
+    starts: np.ndarray | int,
+    ends: np.ndarray | int,
+    speeds: np.ndarray | float,
+    *,
+    bandwidth: float,
+    input_bandwidth: float,
+    output_bandwidth: float,
+    n_stages: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized (input, compute, output) times of stage intervals.
+
+    The communication-homogeneous kernel shared by :func:`evaluate_batch` and
+    the splitting engine (:mod:`repro.heuristics.engine`): interval ``i``
+    spans stages ``[starts[i], ends[i]]`` and runs on a processor of speed
+    ``speeds[i]``.  ``prefix`` is the work prefix-sum array (``prefix[k] =
+    w_0 + .. + w_{k-1}``) and ``comm`` the ``delta`` vector of length
+    ``n_stages + 1``.  The first interval reads through ``input_bandwidth``,
+    the last writes through ``output_bandwidth``, every internal boundary
+    crosses a ``bandwidth`` link.  All arguments broadcast, so scalars work
+    too.
+    """
+    starts = np.asarray(starts)
+    ends = np.asarray(ends)
+    in_bw = np.where(starts == 0, input_bandwidth, bandwidth)
+    out_bw = np.where(ends == n_stages - 1, output_bandwidth, bandwidth)
+    input_time = comm[starts] / in_bw
+    output_time = comm[ends + 1] / out_bw
+    compute_time = (prefix[ends + 1] - prefix[starts]) / speeds
+    return input_time, compute_time, output_time
+
+
+def _pack_mappings(
+    mappings: Sequence[IntervalMapping],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a batch of mappings into (starts, ends, procs, offsets) arrays.
+
+    ``offsets`` has one entry per mapping plus a final sentinel: the intervals
+    of mapping ``i`` occupy the flat slice ``offsets[i]:offsets[i + 1]``.
+    """
+    counts = np.fromiter(
+        (m.n_intervals for m in mappings), dtype=np.intp, count=len(mappings)
+    )
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    total = int(offsets[-1])
+    starts = np.fromiter(
+        (iv.start for m in mappings for iv in m.intervals), dtype=np.intp, count=total
+    )
+    ends = np.fromiter(
+        (iv.end for m in mappings for iv in m.intervals), dtype=np.intp, count=total
+    )
+    procs = np.fromiter(
+        (u for m in mappings for u in m.processors), dtype=np.intp, count=total
+    )
+    return starts, ends, procs, offsets
+
+
+def evaluate_batch(
+    app: PipelineApplication,
+    platform: Platform,
+    mappings: Sequence[IntervalMapping],
+    *,
+    validate: bool = True,
+) -> BatchEvaluation:
+    """Evaluate period and latency of many mappings in one vectorized pass.
+
+    Exact counterpart of calling :func:`evaluate` on every mapping (same
+    floating-point operations per interval, so results agree to the last few
+    ulps), but the per-interval arithmetic runs on flat NumPy arrays covering
+    the whole batch.  Works for communication-homogeneous *and* fully
+    heterogeneous platforms.
+
+    Parameters
+    ----------
+    app / platform:
+        The instance shared by every mapping of the batch.
+    mappings:
+        The batch; an empty batch yields empty arrays.
+    validate:
+        Check every mapping against the instance first (as the scalar path
+        does).  Callers that enumerate structurally valid mappings (e.g. the
+        brute-force solvers) can disable it.
+    """
+    if validate:
+        for mapping in mappings:
+            mapping.validate(app, platform)
+    if not mappings:
+        return BatchEvaluation(
+            periods=np.empty(0, dtype=float), latencies=np.empty(0, dtype=float)
+        )
+    starts, ends, procs, offsets = _pack_mappings(mappings)
+    firsts = offsets[:-1]
+    lasts = offsets[1:] - 1
+
+    comm = app.comm_sizes
+    prefix = app.work_prefix
+    speeds = platform.speeds[procs]
+    compute_time = (prefix[ends + 1] - prefix[starts]) / speeds
+
+    is_first = np.zeros(starts.size, dtype=bool)
+    is_first[firsts] = True
+    is_last = np.zeros(starts.size, dtype=bool)
+    is_last[lasts] = True
+
+    if platform.is_communication_homogeneous:
+        b = platform.uniform_bandwidth
+        in_bw = np.where(is_first, platform.input_bandwidth, b)
+        out_bw = np.where(is_last, platform.output_bandwidth, b)
+    else:
+        # interval j receives from alloc(j-1) and sends to alloc(j+1); the
+        # rolled indices at batch boundaries are masked out by is_first/is_last
+        bmat = platform.bandwidth_matrix()
+        prev_procs = np.roll(procs, 1)
+        next_procs = np.roll(procs, -1)
+        in_bw = np.where(
+            is_first, platform.input_bandwidth, bmat[prev_procs, procs]
+        )
+        out_bw = np.where(
+            is_last, platform.output_bandwidth, bmat[procs, next_procs]
+        )
+
+    delta_in = comm[starts]
+    delta_out = comm[ends + 1]
+    input_time = np.where(delta_in == 0.0, 0.0, delta_in / in_bw)
+    output_time = np.where(delta_out == 0.0, 0.0, delta_out / out_bw)
+
+    cycle = input_time + compute_time + output_time
+    contribution = input_time + compute_time
+    periods = np.maximum.reduceat(cycle, firsts)
+    latencies = np.add.reduceat(contribution, firsts) + output_time[lasts]
+    return BatchEvaluation(
+        periods=np.asarray(periods, dtype=float),
+        latencies=np.asarray(latencies, dtype=float),
+    )
+
+
+def period_batch(
+    app: PipelineApplication,
+    platform: Platform,
+    mappings: Sequence[IntervalMapping],
+    *,
+    validate: bool = True,
+) -> np.ndarray:
+    """Periods of a batch of mappings (eq. 1), vectorized."""
+    return evaluate_batch(app, platform, mappings, validate=validate).periods
+
+
+def latency_batch(
+    app: PipelineApplication,
+    platform: Platform,
+    mappings: Sequence[IntervalMapping],
+    *,
+    validate: bool = True,
+) -> np.ndarray:
+    """Latencies of a batch of mappings (eq. 2), vectorized."""
+    return evaluate_batch(app, platform, mappings, validate=validate).latencies
 
 
 def latency_of_intervals(

@@ -17,7 +17,7 @@ from itertools import combinations, permutations
 from typing import Iterator
 
 from ..core.application import PipelineApplication
-from ..core.costs import MappingEvaluation, evaluate
+from ..core.costs import BatchEvaluation, MappingEvaluation, evaluate, evaluate_batch
 from ..core.exceptions import InfeasibleError
 from ..core.mapping import IntervalMapping
 from ..core.pareto import BicriteriaPoint, pareto_front
@@ -32,6 +32,9 @@ __all__ = [
 
 _MAX_STAGES = 14
 _MAX_PROCESSORS = 8
+
+#: number of mappings evaluated per vectorized batch
+_BATCH_SIZE = 4096
 
 
 def _check_size(app: PipelineApplication, platform: Platform) -> None:
@@ -65,6 +68,25 @@ def enumerate_interval_mappings(
                 yield IntervalMapping(intervals, list(procs))
 
 
+def _evaluated_batches(
+    app: PipelineApplication, platform: Platform
+) -> Iterator[tuple[list[IntervalMapping], BatchEvaluation]]:
+    """Stream the enumeration as (mappings, batched evaluation) chunks.
+
+    The enumeration already guarantees structural validity, so the per-mapping
+    validation of the scalar path is skipped; the vectorized kernel evaluates
+    each chunk in one pass.
+    """
+    chunk: list[IntervalMapping] = []
+    for mapping in enumerate_interval_mappings(app, platform):
+        chunk.append(mapping)
+        if len(chunk) >= _BATCH_SIZE:
+            yield chunk, evaluate_batch(app, platform, chunk, validate=False)
+            chunk = []
+    if chunk:
+        yield chunk, evaluate_batch(app, platform, chunk, validate=False)
+
+
 def brute_force_min_period(
     app: PipelineApplication,
     platform: Platform,
@@ -75,20 +97,22 @@ def brute_force_min_period(
     Raises :class:`InfeasibleError` when no mapping satisfies the latency
     bound (the unconstrained problem is always feasible).
     """
-    best: tuple[IntervalMapping, MappingEvaluation] | None = None
-    for mapping in enumerate_interval_mappings(app, platform):
-        ev = evaluate(app, platform, mapping)
-        if latency_bound is not None and ev.latency > latency_bound + 1e-12:
-            continue
-        if best is None or ev.period < best[1].period - 1e-15 or (
-            abs(ev.period - best[1].period) <= 1e-15 and ev.latency < best[1].latency
-        ):
-            best = (mapping, ev)
+    best: IntervalMapping | None = None
+    best_period = best_latency = float("inf")
+    for mappings, ev in _evaluated_batches(app, platform):
+        for i, mapping in enumerate(mappings):
+            per, lat = float(ev.periods[i]), float(ev.latencies[i])
+            if latency_bound is not None and lat > latency_bound + 1e-12:
+                continue
+            if best is None or per < best_period - 1e-15 or (
+                abs(per - best_period) <= 1e-15 and lat < best_latency
+            ):
+                best, best_period, best_latency = mapping, per, lat
     if best is None:
         raise InfeasibleError(
             f"no interval mapping satisfies latency <= {latency_bound}"
         )
-    return best
+    return best, evaluate(app, platform, best)
 
 
 def brute_force_min_latency(
@@ -100,18 +124,20 @@ def brute_force_min_latency(
 
     Raises :class:`InfeasibleError` when no mapping satisfies the period bound.
     """
-    best: tuple[IntervalMapping, MappingEvaluation] | None = None
-    for mapping in enumerate_interval_mappings(app, platform):
-        ev = evaluate(app, platform, mapping)
-        if period_bound is not None and ev.period > period_bound + 1e-12:
-            continue
-        if best is None or ev.latency < best[1].latency - 1e-15 or (
-            abs(ev.latency - best[1].latency) <= 1e-15 and ev.period < best[1].period
-        ):
-            best = (mapping, ev)
+    best: IntervalMapping | None = None
+    best_period = best_latency = float("inf")
+    for mappings, ev in _evaluated_batches(app, platform):
+        for i, mapping in enumerate(mappings):
+            per, lat = float(ev.periods[i]), float(ev.latencies[i])
+            if period_bound is not None and per > period_bound + 1e-12:
+                continue
+            if best is None or lat < best_latency - 1e-15 or (
+                abs(lat - best_latency) <= 1e-15 and per < best_period
+            ):
+                best, best_period, best_latency = mapping, per, lat
     if best is None:
         raise InfeasibleError(f"no interval mapping satisfies period <= {period_bound}")
-    return best
+    return best, evaluate(app, platform, best)
 
 
 def brute_force_pareto_front(
@@ -122,9 +148,12 @@ def brute_force_pareto_front(
     Each returned point carries its mapping in ``payload``.
     """
     points = []
-    for mapping in enumerate_interval_mappings(app, platform):
-        ev = evaluate(app, platform, mapping)
-        points.append(
-            BicriteriaPoint(ev.period, ev.latency, label="exact", payload=mapping)
+    for mappings, ev in _evaluated_batches(app, platform):
+        points.extend(
+            BicriteriaPoint(
+                float(ev.periods[i]), float(ev.latencies[i]),
+                label="exact", payload=mapping,
+            )
+            for i, mapping in enumerate(mappings)
         )
     return pareto_front(points)

@@ -19,9 +19,16 @@ from .runner import (
     aggregate_runs,
     reference_latency_range,
     reference_period_range,
+    reference_ranges,
     run_heuristic,
 )
-from .sweep import HeuristicCurve, SweepPoint, SweepResult, run_sweep
+from .sweep import (
+    HeuristicCurve,
+    SweepPoint,
+    SweepResult,
+    run_sweep,
+    sweep_results_equal,
+)
 
 __all__ = [
     "InstanceRun",
@@ -30,10 +37,12 @@ __all__ = [
     "aggregate_runs",
     "reference_period_range",
     "reference_latency_range",
+    "reference_ranges",
     "SweepPoint",
     "HeuristicCurve",
     "SweepResult",
     "run_sweep",
+    "sweep_results_equal",
     "FailureThreshold",
     "failure_thresholds",
     "failure_threshold_table",

@@ -19,6 +19,7 @@ plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import ClassVar, Sequence
 
 import numpy as np
@@ -28,6 +29,7 @@ from ..heuristics.base import FixedPeriodHeuristic, HeuristicResult
 from ..heuristics.engine import SelectionRule, SplittingState
 from ..heuristics.exploration import ThreeExploBi, ThreeExploMono
 from ..heuristics.splitting import SplittingMonoPeriod
+from ..utils.parallel import parallel_map
 from ..utils.rng import ensure_rng
 
 __all__ = [
@@ -148,24 +150,47 @@ def _summarise(variant: str, results: Sequence[HeuristicResult]) -> AblationRow:
     )
 
 
-def _run_variant(heuristic, instances: Sequence[Instance]) -> list[HeuristicResult]:
-    return [
-        heuristic.run(inst.application, inst.platform, period_bound=_UNREACHABLE)
-        for inst in instances
-    ]
+def _exhaustive_run(heuristic, instance: Instance) -> HeuristicResult:
+    """One unconstrained run of a variant on one instance (pool-picklable)."""
+    return heuristic.run(
+        instance.application, instance.platform, period_bound=_UNREACHABLE
+    )
+
+
+def _run_variant(
+    heuristic,
+    instances: Sequence[Instance],
+    workers: int | None = None,
+    batch_size: int | None = None,
+) -> list[HeuristicResult]:
+    return parallel_map(
+        partial(_exhaustive_run, heuristic),
+        instances,
+        workers=workers,
+        batch_size=batch_size,
+    )
 
 
 def selection_rule_ablation(
     config: ExperimentConfig,
     seed: int | None = 0,
     instances: Sequence[Instance] | None = None,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> list[AblationRow]:
     """Mono-criterion versus bi-criteria selection in the 2-way splitting loop."""
     if instances is None:
         instances = generate_instances(config, seed=seed)
     return [
-        _summarise("2-way / mono rule (H1)", _run_variant(SplittingMonoPeriod(), instances)),
-        _summarise("2-way / ratio rule", _run_variant(_RatioSplittingPeriod(), instances)),
+        _summarise(
+            "2-way / mono rule (H1)",
+            _run_variant(SplittingMonoPeriod(), instances, workers, batch_size),
+        ),
+        _summarise(
+            "2-way / ratio rule",
+            _run_variant(_RatioSplittingPeriod(), instances, workers, batch_size),
+        ),
     ]
 
 
@@ -173,15 +198,30 @@ def exploration_width_ablation(
     config: ExperimentConfig,
     seed: int | None = 0,
     instances: Sequence[Instance] | None = None,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> list[AblationRow]:
     """2-way splitting versus 3-way exploration under both selection rules."""
     if instances is None:
         instances = generate_instances(config, seed=seed)
     return [
-        _summarise("2-way / mono (H1)", _run_variant(SplittingMonoPeriod(), instances)),
-        _summarise("3-way / mono (H2)", _run_variant(ThreeExploMono(), instances)),
-        _summarise("2-way / ratio", _run_variant(_RatioSplittingPeriod(), instances)),
-        _summarise("3-way / ratio (H3)", _run_variant(ThreeExploBi(), instances)),
+        _summarise(
+            "2-way / mono (H1)",
+            _run_variant(SplittingMonoPeriod(), instances, workers, batch_size),
+        ),
+        _summarise(
+            "3-way / mono (H2)",
+            _run_variant(ThreeExploMono(), instances, workers, batch_size),
+        ),
+        _summarise(
+            "2-way / ratio",
+            _run_variant(_RatioSplittingPeriod(), instances, workers, batch_size),
+        ),
+        _summarise(
+            "3-way / ratio (H3)",
+            _run_variant(ThreeExploBi(), instances, workers, batch_size),
+        ),
     ]
 
 
@@ -189,6 +229,9 @@ def processor_order_ablation(
     config: ExperimentConfig,
     seed: int | None = 0,
     instances: Sequence[Instance] | None = None,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> list[AblationRow]:
     """Effect of the processor consumption order on the splitting heuristic."""
     if instances is None:
@@ -197,6 +240,9 @@ def processor_order_ablation(
     for strategy in ("descending", "ascending", "random"):
         heuristic = _OrderedSplittingMonoPeriod(order_strategy=strategy, seed=seed)
         rows.append(
-            _summarise(f"speed order: {strategy}", _run_variant(heuristic, instances))
+            _summarise(
+                f"speed order: {strategy}",
+                _run_variant(heuristic, instances, workers, batch_size),
+            )
         )
     return rows

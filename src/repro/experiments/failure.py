@@ -29,6 +29,7 @@ from ..core.costs import optimal_latency
 from ..generators.experiments import ExperimentConfig, Instance, generate_instances
 from ..heuristics.base import Objective, PipelineHeuristic
 from ..heuristics.registry import resolve_heuristics
+from ..utils.parallel import parallel_map
 
 __all__ = ["FailureThreshold", "failure_thresholds", "failure_threshold_table"]
 
@@ -49,8 +50,10 @@ class FailureThreshold:
 
 
 def _instance_failure_threshold(
-    heuristic: PipelineHeuristic, instance: Instance
+    task: tuple[PipelineHeuristic, Instance]
 ) -> float:
+    """Per-instance failure threshold of one heuristic (pool-picklable)."""
+    heuristic, instance = task
     app, platform = instance.application, instance.platform
     if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
         result = heuristic.run(app, platform, period_bound=_UNREACHABLE_PERIOD)
@@ -63,8 +66,16 @@ def failure_thresholds(
     heuristics: Sequence[PipelineHeuristic] | Sequence[str] | None = None,
     seed: int | None = 0,
     instances: Sequence[Instance] | None = None,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> list[FailureThreshold]:
-    """Average failure thresholds of the heuristics for one experimental point."""
+    """Average failure thresholds of the heuristics for one experimental point.
+
+    With ``workers > 1`` the (heuristic, instance) cells are dispatched to a
+    process pool; each cell is independent and results are re-assembled in a
+    fixed order, so the table is identical for any worker count.
+    """
     if instances is None:
         instances = generate_instances(config, seed=seed)
     resolved = (
@@ -75,12 +86,14 @@ def failure_thresholds(
             for h in heuristics
         ]
     )
+    tasks = [(heuristic, inst) for heuristic in resolved for inst in instances]
+    flat = parallel_map(
+        _instance_failure_threshold, tasks, workers=workers, batch_size=batch_size
+    )
     rows: list[FailureThreshold] = []
-    for heuristic in resolved:
-        values = np.array(
-            [_instance_failure_threshold(heuristic, inst) for inst in instances],
-            dtype=float,
-        )
+    n = len(instances)
+    for h_index, heuristic in enumerate(resolved):
+        values = np.array(flat[h_index * n : (h_index + 1) * n], dtype=float)
         rows.append(
             FailureThreshold(
                 heuristic=heuristic.name,
@@ -101,6 +114,9 @@ def failure_threshold_table(
     n_instances: int = 50,
     heuristics: Sequence[PipelineHeuristic] | Sequence[str] | None = None,
     seed: int | None = 0,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> dict[str, dict[int, float]]:
     """One quadrant of Table 1: heuristic key -> {stage count -> threshold}.
 
@@ -112,6 +128,10 @@ def failure_threshold_table(
     table: dict[str, dict[int, float]] = {}
     for n_stages in stage_counts:
         config = experiment_config(family, n_stages, n_processors, n_instances)
-        for row in failure_thresholds(config, heuristics=heuristics, seed=seed):
+        rows = failure_thresholds(
+            config, heuristics=heuristics, seed=seed,
+            workers=workers, batch_size=batch_size,
+        )
+        for row in rows:
             table.setdefault(row.key, {})[n_stages] = row.mean_threshold
     return table

@@ -2,8 +2,9 @@
 
 The environment is offline and headless, so instead of plots the benchmark
 harness prints the same information as aligned text: one series per heuristic
-for the latency-versus-period figures, and one aligned table for the failure
-thresholds (Table 1) and the ablations.
+for the latency-versus-period figures (Figures 2–7 of the paper: Figs. 2–5
+are the four families at p=10, Figs. 6–7 the p=100 regime), and one aligned
+table for the failure thresholds (Table 1) and the ablations.
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ __all__ = [
 
 
 def render_sweep(result: SweepResult, title: str | None = None) -> str:
-    """Render one figure panel (averaged latency-versus-period curves)."""
+    """Render one Figures 2–7 panel (averaged latency-versus-period curves)."""
     config = result.config
     header = title or (
         f"{config.family} ({config.description}) — {config.n_stages} stages, "
@@ -36,7 +37,8 @@ def render_sweep(result: SweepResult, title: str | None = None) -> str:
 def render_failure_thresholds(
     rows: Sequence[FailureThreshold], title: str | None = None
 ) -> str:
-    """Render the failure thresholds of one experimental point."""
+    """Render the failure thresholds of one experimental point (one column
+    of a Table 1 quadrant, all heuristics at a single stage count)."""
     table_rows = [
         (row.key, row.heuristic, row.mean_threshold, row.std_threshold)
         for row in rows

@@ -2,13 +2,19 @@
 
 The runner turns an instance stream (from :mod:`repro.generators`) and a list
 of heuristics into per-instance :class:`~repro.heuristics.base.HeuristicResult`
-records and aggregated statistics.  The higher-level sweep (figures) and
+records and aggregated statistics.  The higher-level sweep (Figures 2–7) and
 failure-threshold (Table 1) drivers are built on top of it.
+
+Every driver takes ``workers=`` / ``batch_size=`` knobs: instances are
+independent, so the runs are dispatched to a process pool in contiguous
+chunks (see :mod:`repro.utils.parallel`) and re-assembled in instance order —
+a parallel run is byte-identical to a serial one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 import numpy as np
@@ -17,6 +23,7 @@ from ..core.costs import interval_cycle_time, optimal_latency
 from ..core.mapping import Interval
 from ..generators.experiments import Instance
 from ..heuristics.base import HeuristicResult, Objective, PipelineHeuristic
+from ..utils.parallel import parallel_map
 
 __all__ = [
     "InstanceRun",
@@ -25,6 +32,7 @@ __all__ = [
     "aggregate_runs",
     "reference_period_range",
     "reference_latency_range",
+    "reference_ranges",
 ]
 
 
@@ -65,35 +73,49 @@ class AggregateStats:
         return (self.mean_period, self.mean_latency)
 
 
+def _run_on_instance(
+    heuristic: PipelineHeuristic, threshold: float, instance: Instance
+) -> HeuristicResult:
+    """One heuristic run on one instance (module-level, pool-picklable)."""
+    if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+        return heuristic.run(
+            instance.application, instance.platform, period_bound=threshold
+        )
+    return heuristic.run(
+        instance.application, instance.platform, latency_bound=threshold
+    )
+
+
 def run_heuristic(
     heuristic: PipelineHeuristic,
     instances: Sequence[Instance],
     threshold: float,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> list[InstanceRun]:
     """Run one heuristic on every instance with the given threshold.
 
     The threshold is interpreted according to the heuristic's objective
     (period bound for the fixed-period family, latency bound otherwise).
+    With ``workers > 1`` the instances are chunked across a process pool;
+    results come back in instance order regardless.
     """
-    runs: list[InstanceRun] = []
-    for instance in instances:
-        if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
-            result = heuristic.run(
-                instance.application, instance.platform, period_bound=threshold
-            )
-        else:
-            result = heuristic.run(
-                instance.application, instance.platform, latency_bound=threshold
-            )
-        runs.append(
-            InstanceRun(
-                instance_index=instance.index,
-                heuristic=heuristic.name,
-                threshold=threshold,
-                result=result,
-            )
+    results = parallel_map(
+        partial(_run_on_instance, heuristic, threshold),
+        instances,
+        workers=workers,
+        batch_size=batch_size,
+    )
+    return [
+        InstanceRun(
+            instance_index=instance.index,
+            heuristic=heuristic.name,
+            threshold=threshold,
+            result=result,
         )
-    return runs
+        for instance, result in zip(instances, results)
+    ]
 
 
 def aggregate_runs(runs: Sequence[InstanceRun]) -> AggregateStats:
@@ -117,46 +139,84 @@ def aggregate_runs(runs: Sequence[InstanceRun]) -> AggregateStats:
     )
 
 
-def reference_period_range(instances: Sequence[Instance]) -> tuple[float, float]:
+def _reference_point(instance: Instance) -> tuple[float, float, float, float]:
+    """Per-instance anchors of the threshold grids (pool-picklable).
+
+    Returns ``(best_period, single_proc_period, optimal_latency,
+    latency_at_best_period)`` where "best" refers to unconstrained
+    mono-criterion splitting (H1 pushed to exhaustion).
+    """
+    # import here to avoid a circular import at module load time
+    from ..heuristics.splitting import SplittingMonoPeriod
+
+    app, platform = instance.application, instance.platform
+    whole = Interval(0, app.n_stages - 1)
+    single = interval_cycle_time(app, platform, whole, platform.fastest_processor)
+    best = SplittingMonoPeriod().run(app, platform, period_bound=1e-9)
+    return best.period, single, optimal_latency(app, platform), best.latency
+
+
+def reference_period_range(
+    instances: Sequence[Instance],
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
+) -> tuple[float, float]:
     """Period range covered by the threshold sweep of an instance stream.
 
     The upper end is the mean single-fastest-processor period (always
     achievable); the lower end is the mean period reached by unconstrained
     mono-criterion splitting (what the simplest heuristic can hope for).
     """
-    # import here to avoid a circular import at module load time
-    from ..heuristics.splitting import SplittingMonoPeriod
-
-    h1 = SplittingMonoPeriod()
-    los, his = [], []
-    for instance in instances:
-        app, platform = instance.application, instance.platform
-        whole = Interval(0, app.n_stages - 1)
-        his.append(
-            interval_cycle_time(app, platform, whole, platform.fastest_processor)
-        )
-        best = h1.run(app, platform, period_bound=1e-9)
-        los.append(best.period)
+    points = parallel_map(
+        _reference_point, instances, workers=workers, batch_size=batch_size
+    )
+    los = [p[0] for p in points]
+    his = [p[1] for p in points]
     return float(np.mean(los)), float(np.mean(his))
 
 
-def reference_latency_range(instances: Sequence[Instance]) -> tuple[float, float]:
+def reference_latency_range(
+    instances: Sequence[Instance],
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
+) -> tuple[float, float]:
     """Latency range covered by the threshold sweep of an instance stream.
 
     The lower end is the mean optimal latency (Lemma 1); the upper end the
     mean latency reached by unconstrained mono-criterion splitting (i.e. the
     latency price of chasing the best period).
     """
-    from ..heuristics.splitting import SplittingMonoPeriod
-
-    h1 = SplittingMonoPeriod()
-    los, his = [], []
-    for instance in instances:
-        app, platform = instance.application, instance.platform
-        los.append(optimal_latency(app, platform))
-        best = h1.run(app, platform, period_bound=1e-9)
-        his.append(best.latency)
-    lo, hi = float(np.mean(los)), float(np.mean(his))
+    points = parallel_map(
+        _reference_point, instances, workers=workers, batch_size=batch_size
+    )
+    lo = float(np.mean([p[2] for p in points]))
+    hi = float(np.mean([p[3] for p in points]))
     if hi <= lo:
         hi = lo * 1.5 + 1e-9
     return lo, hi
+
+
+def reference_ranges(
+    instances: Sequence[Instance],
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
+) -> tuple[tuple[float, float], tuple[float, float]]:
+    """Both threshold ranges, ``((period_lo, period_hi), (latency_lo, latency_hi))``.
+
+    Equivalent to calling :func:`reference_period_range` and
+    :func:`reference_latency_range`, but the shared per-instance anchor runs
+    (one exhaustive H1 run each) are executed only once.
+    """
+    points = parallel_map(
+        _reference_point, instances, workers=workers, batch_size=batch_size
+    )
+    period_lo = float(np.mean([p[0] for p in points]))
+    period_hi = float(np.mean([p[1] for p in points]))
+    latency_lo = float(np.mean([p[2] for p in points]))
+    latency_hi = float(np.mean([p[3] for p in points]))
+    if latency_hi <= latency_lo:
+        latency_hi = latency_lo * 1.5 + 1e-9
+    return (period_lo, period_hi), (latency_lo, latency_hi)

@@ -20,6 +20,7 @@ paper's plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Sequence
 
 import numpy as np
@@ -27,15 +28,22 @@ import numpy as np
 from ..generators.experiments import ExperimentConfig, Instance, generate_instances
 from ..heuristics.base import Objective, PipelineHeuristic
 from ..heuristics.registry import resolve_heuristics
+from ..utils.parallel import parallel_map
 from .runner import (
     AggregateStats,
+    InstanceRun,
     aggregate_runs,
-    reference_latency_range,
-    reference_period_range,
+    reference_ranges,
     run_heuristic,
 )
 
-__all__ = ["SweepPoint", "HeuristicCurve", "SweepResult", "run_sweep"]
+__all__ = [
+    "SweepPoint",
+    "HeuristicCurve",
+    "SweepResult",
+    "run_sweep",
+    "sweep_results_equal",
+]
 
 
 @dataclass(frozen=True)
@@ -91,10 +99,53 @@ class SweepResult:
         return {name: curve.as_series() for name, curve in self.curves.items()}
 
 
+def _floats_identical(a: float, b: float) -> bool:
+    return a == b or (np.isnan(a) and np.isnan(b))
+
+
+def sweep_results_equal(a: SweepResult, b: SweepResult) -> bool:
+    """Exact (bit-level) equality of two sweep results, treating NaN == NaN.
+
+    The determinism contract of the parallel engine: a sweep run with any
+    ``workers``/``batch_size`` must compare equal — not approximately, but on
+    every threshold, count and averaged float — to the serial run.  NaN means
+    (all-infeasible cells) are considered equal, which plain ``==`` on the
+    dataclasses would reject.
+    """
+    if (
+        a.period_thresholds != b.period_thresholds
+        or a.latency_thresholds != b.latency_thresholds
+        or set(a.curves) != set(b.curves)
+    ):
+        return False
+    for name, curve_a in a.curves.items():
+        curve_b = b.curves[name]
+        if len(curve_a.points) != len(curve_b.points):
+            return False
+        for pa, pb in zip(curve_a.points, curve_b.points):
+            if (pa.n_feasible, pa.n_instances) != (pb.n_feasible, pb.n_instances):
+                return False
+            if not (
+                _floats_identical(pa.threshold, pb.threshold)
+                and _floats_identical(pa.mean_period, pb.mean_period)
+                and _floats_identical(pa.mean_latency, pb.mean_latency)
+            ):
+                return False
+    return True
+
+
 def _threshold_grid(lo: float, hi: float, n_points: int) -> list[float]:
     if hi <= lo:
         hi = lo * 1.1 + 1e-9
     return [float(x) for x in np.linspace(lo, hi, n_points)]
+
+
+def _sweep_task(
+    instances: Sequence[Instance], task: tuple[PipelineHeuristic, float]
+) -> list[InstanceRun]:
+    """One (heuristic, threshold) cell of the sweep (pool-picklable)."""
+    heuristic, threshold = task
+    return run_heuristic(heuristic, instances, threshold)
 
 
 def run_sweep(
@@ -103,8 +154,11 @@ def run_sweep(
     n_thresholds: int = 10,
     seed: int | None = 0,
     instances: Sequence[Instance] | None = None,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> SweepResult:
-    """Reproduce one latency-versus-period figure panel.
+    """Reproduce one latency-versus-period figure panel (Figs. 2–7).
 
     Parameters
     ----------
@@ -121,6 +175,12 @@ def run_sweep(
     instances:
         Pre-generated instances, to share a stream across several sweeps
         (e.g. the ablation study).
+    workers / batch_size:
+        Process count and chunk size of the parallel engine.  The sweep
+        parallelises over its (heuristic, threshold) cells — each cell runs
+        its instance stream serially inside one worker — and aggregates the
+        cells in a fixed order, so results are byte-identical for any
+        ``workers`` value.
     """
     if instances is None:
         instances = generate_instances(config, seed=seed)
@@ -133,8 +193,9 @@ def run_sweep(
             for h in heuristics
         ]
 
-    period_lo, period_hi = reference_period_range(instances)
-    latency_lo, latency_hi = reference_latency_range(instances)
+    (period_lo, period_hi), (latency_lo, latency_hi) = reference_ranges(
+        instances, workers=workers, batch_size=batch_size
+    )
     period_thresholds = _threshold_grid(period_lo, period_hi, n_thresholds)
     latency_thresholds = _threshold_grid(latency_lo, latency_hi, n_thresholds)
 
@@ -143,25 +204,35 @@ def run_sweep(
         period_thresholds=period_thresholds,
         latency_thresholds=latency_thresholds,
     )
+    tasks: list[tuple[PipelineHeuristic, float]] = []
     for heuristic in resolved:
         if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
             thresholds = period_thresholds
         else:
             thresholds = latency_thresholds
-        curve = HeuristicCurve(
-            heuristic=heuristic.name, key=heuristic.key, objective=heuristic.objective
-        )
-        for threshold in thresholds:
-            runs = run_heuristic(heuristic, instances, threshold)
-            stats: AggregateStats = aggregate_runs(runs)
-            curve.points.append(
-                SweepPoint(
-                    threshold=threshold,
-                    n_feasible=stats.n_feasible,
-                    n_instances=stats.n_instances,
-                    mean_period=stats.mean_period,
-                    mean_latency=stats.mean_latency,
-                )
+        tasks.extend((heuristic, threshold) for threshold in thresholds)
+
+    cell_runs = parallel_map(
+        partial(_sweep_task, instances), tasks, workers=workers, batch_size=batch_size
+    )
+
+    for (heuristic, threshold), runs in zip(tasks, cell_runs):
+        curve = result.curves.get(heuristic.name)
+        if curve is None:
+            curve = HeuristicCurve(
+                heuristic=heuristic.name,
+                key=heuristic.key,
+                objective=heuristic.objective,
             )
-        result.curves[heuristic.name] = curve
+            result.curves[heuristic.name] = curve
+        stats: AggregateStats = aggregate_runs(runs)
+        curve.points.append(
+            SweepPoint(
+                threshold=threshold,
+                n_feasible=stats.n_feasible,
+                n_instances=stats.n_instances,
+                mean_period=stats.mean_period,
+                mean_latency=stats.mean_latency,
+            )
+        )
     return result

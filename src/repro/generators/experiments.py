@@ -22,6 +22,7 @@ so that enlarging the instance count never perturbs existing instances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -29,7 +30,8 @@ import numpy as np
 from ..core.application import PipelineApplication
 from ..core.exceptions import ConfigurationError
 from ..core.platform import Platform
-from ..utils.rng import spawn_rngs
+from ..utils.parallel import parallel_map
+from ..utils.rng import spawn_seed_sequences
 from .applications import random_pipeline
 from .platforms import random_comm_homogeneous_platform
 
@@ -158,37 +160,58 @@ def experiment_config(
     )
 
 
+def _materialise_instance(
+    config: ExperimentConfig, task: tuple[int, np.random.SeedSequence]
+) -> Instance:
+    """Build instance ``index`` from its pre-spawned seed sequence.
+
+    Module-level (and driven by an explicit seed sequence) so that the
+    parallel engine can ship it to worker processes: the instance depends
+    only on ``(config, index, seed_seq)``, never on which worker runs it.
+    """
+    index, seed_seq = task
+    rng = np.random.default_rng(seed_seq)
+    app = random_pipeline(
+        config.n_stages,
+        work_range=config.work_range,
+        comm_range=config.comm_range,
+        comm_fixed=config.comm_fixed,
+        integer_works=config.integer_works,
+        integer_comms=config.integer_comms,
+        seed=rng,
+        name=f"{config.label}-app{index}",
+    )
+    platform = random_comm_homogeneous_platform(
+        config.n_processors,
+        speed_range=config.speed_range,
+        bandwidth=config.bandwidth,
+        seed=rng,
+        name=f"{config.label}-platform{index}",
+    )
+    return Instance(index=index, application=app, platform=platform, config=config)
+
+
 def generate_instances(
     config: ExperimentConfig,
     seed: int | np.random.Generator | None = 0,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
 ) -> list[Instance]:
     """Generate the instance stream of one experimental point.
 
-    Each instance gets an independent RNG sub-stream derived from ``seed``, so
-    instance ``i`` is identical whether 10 or 1000 instances are requested.
+    Each instance gets an independent RNG sub-stream derived from ``seed``
+    (all sub-streams are spawned up front in the parent process), so instance
+    ``i`` is identical whether 10 or 1000 instances are requested — and, with
+    ``workers > 1``, no matter how the stream is chunked across processes.
     """
-    rngs = spawn_rngs(seed, config.n_instances)
-    instances: list[Instance] = []
-    for index, rng in enumerate(rngs):
-        app = random_pipeline(
-            config.n_stages,
-            work_range=config.work_range,
-            comm_range=config.comm_range,
-            comm_fixed=config.comm_fixed,
-            integer_works=config.integer_works,
-            integer_comms=config.integer_comms,
-            seed=rng,
-            name=f"{config.label}-app{index}",
-        )
-        platform = random_comm_homogeneous_platform(
-            config.n_processors,
-            speed_range=config.speed_range,
-            bandwidth=config.bandwidth,
-            seed=rng,
-            name=f"{config.label}-platform{index}",
-        )
-        instances.append(Instance(index=index, application=app, platform=platform, config=config))
-    return instances
+    seed_seqs = spawn_seed_sequences(seed, config.n_instances)
+    return parallel_map(
+        partial(_materialise_instance, config),
+        list(enumerate(seed_seqs)),
+        workers=workers,
+        batch_size=batch_size,
+    )
 
 
 def iter_paper_configs(

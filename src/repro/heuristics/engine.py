@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.application import PipelineApplication
+from ..core.costs import interval_time_components
 from ..core.exceptions import InvalidPlatformError
 from ..core.mapping import Interval, IntervalMapping
 from ..core.platform import Platform
@@ -111,7 +112,7 @@ class SplittingState:
         self._b_out = platform.output_bandwidth
         self._speeds = platform.speeds
         self._comm = app.comm_sizes
-        self._prefix = np.concatenate(([0.0], np.cumsum(app.works)))
+        self._prefix = app.work_prefix
         self._tail = float(self._comm[self._n]) / self._b_out
 
         if processor_order is None:
@@ -135,19 +136,35 @@ class SplittingState:
     # ------------------------------------------------------------------ #
     # metric helpers
     # ------------------------------------------------------------------ #
-    def _in_bw(self, d: int) -> float:
-        return self._b_in if d == 0 else self._b
-
-    def _out_bw(self, e: int) -> float:
-        return self._b_out if e == self._n - 1 else self._b
-
     def _interval_metrics(self, d: int, e: int, proc: int) -> tuple[float, float]:
         """Cycle time and latency contribution of interval ``[d, e]`` on ``proc``."""
-        speed = float(self._speeds[proc])
-        input_time = float(self._comm[d]) / self._in_bw(d)
-        output_time = float(self._comm[e + 1]) / self._out_bw(e)
-        work_time = float(self._prefix[e + 1] - self._prefix[d]) / speed
-        return input_time + work_time + output_time, input_time + work_time
+        input_time, work_time, output_time = self._part_times(d, e, float(self._speeds[proc]))
+        return float(input_time + work_time + output_time), float(input_time + work_time)
+
+    def _part_times(
+        self,
+        starts: np.ndarray | int,
+        ends: np.ndarray | int,
+        speed: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(input, compute, output) times of candidate parts, via the shared kernel.
+
+        Thin wrapper over :func:`repro.core.costs.interval_time_components`
+        with this state's platform constants bound; the candidate generators
+        call it with ``speed=1.0`` to get raw work sums they then divide by
+        each processor speed under consideration.
+        """
+        return interval_time_components(
+            self._prefix,
+            self._comm,
+            starts,
+            ends,
+            speed,
+            bandwidth=self._b,
+            input_bandwidth=self._b_in,
+            output_bandwidth=self._b_out,
+            n_stages=self._n,
+        )
 
     # ------------------------------------------------------------------ #
     # state queries
@@ -314,11 +331,11 @@ class SplittingState:
         s_q = float(self._speeds[new_proc])
 
         cuts = np.arange(d, e)  # first part is [d, cut], second is [cut+1, e]
-        in1 = float(self._comm[d]) / self._in_bw(d)
-        out2 = float(self._comm[e + 1]) / self._out_bw(e)
-        mid = np.asarray(self._comm[cuts + 1], dtype=float) / self._b
-        w1 = self._prefix[cuts + 1] - self._prefix[d]
-        w2 = self._prefix[e + 1] - self._prefix[cuts + 1]
+        # raw (input, work, output) times of both parts via the shared kernel
+        # (speed=1.0 keeps the work sums undivided; ``mid`` is the boundary
+        # communication, identical as part-1 output and part-2 input)
+        in1, w1, mid = self._part_times(np.full_like(cuts, d), cuts)
+        _, w2, out2 = self._part_times(cuts + 1, np.full_like(cuts, e))
 
         def builder(idx: int) -> list[Interval]:
             cut = int(cuts[idx])
@@ -372,13 +389,11 @@ class SplittingState:
         cut1 = d + rel1
         cut2 = d + rel2
 
-        in1 = float(self._comm[d]) / self._in_bw(d)
-        out3 = float(self._comm[e + 1]) / self._out_bw(e)
-        mid12 = np.asarray(self._comm[cut1 + 1], dtype=float) / self._b
-        mid23 = np.asarray(self._comm[cut2 + 1], dtype=float) / self._b
-        w1 = self._prefix[cut1 + 1] - self._prefix[d]
-        w2 = self._prefix[cut2 + 1] - self._prefix[cut1 + 1]
-        w3 = self._prefix[e + 1] - self._prefix[cut2 + 1]
+        # raw (input, work, output) times of the three parts (shared kernel;
+        # the boundary communications mid12/mid23 are each shared by two parts)
+        in1, w1, mid12 = self._part_times(np.full_like(cut1, d), cut1)
+        _, w2, mid23 = self._part_times(cut1 + 1, cut2)
+        _, w3, out3 = self._part_times(cut2 + 1, np.full_like(cut2, e))
 
         def builder(idx: int) -> list[Interval]:
             c1, c2 = int(cut1[idx]), int(cut2[idx])

@@ -1,12 +1,26 @@
-"""Small shared utilities: RNG handling, validation helpers, text tables."""
+"""Small shared utilities: RNG handling, process-parallel mapping, validation
+helpers, text tables."""
 
-from .rng import ensure_rng, spawn_rngs
+from .parallel import (
+    available_cpus,
+    chunk_items,
+    default_batch_size,
+    parallel_map,
+    resolve_worker_count,
+)
+from .rng import ensure_rng, spawn_rngs, spawn_seed_sequences
 from .tables import format_table, format_series
 from .validation import check_positive, check_non_negative, check_probability
 
 __all__ = [
+    "available_cpus",
+    "chunk_items",
+    "default_batch_size",
+    "parallel_map",
+    "resolve_worker_count",
     "ensure_rng",
     "spawn_rngs",
+    "spawn_seed_sequences",
     "format_table",
     "format_series",
     "check_positive",

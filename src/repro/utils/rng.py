@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_rngs", "spawn_seed_sequences"]
 
 RngLike = "int | np.random.Generator | None"
 
@@ -24,6 +24,26 @@ def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def spawn_seed_sequences(
+    seed: int | np.random.Generator | None, n: int
+) -> list[np.random.SeedSequence]:
+    """Derive ``n`` independent child seed sequences from any seed form.
+
+    This is the picklable building block of the parallel experiment engine:
+    the parent process spawns *all* ``n`` sequences up front (so the i-th
+    stream is the same no matter how many exist or which worker consumes it)
+    and ships each :class:`~numpy.random.SeedSequence` to the worker that
+    materialises the generator.  Chunking an instance stream across workers
+    therefore never changes the instances.
+    """
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of seed sequences")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        return list(seq.spawn(n))
+    return list(np.random.SeedSequence(seed).spawn(n))
 
 
 def spawn_rngs(
@@ -36,11 +56,5 @@ def spawn_rngs(
     others and of the parent; when a generator is passed its bit generator's
     seed sequence is spawned the same way.
     """
-    if n < 0:
-        raise ValueError("cannot spawn a negative number of generators")
-    if isinstance(seed, np.random.Generator):
-        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
-        children: Sequence[np.random.SeedSequence] = seq.spawn(n)
-    else:
-        children = np.random.SeedSequence(seed).spawn(n)
+    children: Sequence[np.random.SeedSequence] = spawn_seed_sequences(seed, n)
     return [np.random.default_rng(child) for child in children]

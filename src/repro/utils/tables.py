@@ -1,8 +1,10 @@
 """Plain-text table and series formatting for experiment reports.
 
 The benchmark harness prints the same rows/series as the paper's tables and
-figures; these helpers keep that output readable without pulling in a plotting
-dependency (the environment is offline).
+figures — :func:`format_table` renders Table 1 quadrants and the ablation
+tables, :func:`format_series` the latency-versus-period curves of
+Figures 2–7; these helpers keep that output readable without pulling in a
+plotting dependency (the environment is offline).
 """
 
 from __future__ import annotations
@@ -26,8 +28,9 @@ def format_table(
 ) -> str:
     """Render a list of rows as an aligned ASCII table.
 
-    Floats are formatted with ``precision`` decimals; all other values use
-    ``str``.  Column widths adapt to the widest cell.
+    Used for the Table 1 failure-threshold quadrants and the ablation
+    studies.  Floats are formatted with ``precision`` decimals; all other
+    values use ``str``.  Column widths adapt to the widest cell.
     """
     rendered_rows = [[_fmt_cell(c, precision) for c in row] for row in rows]
     all_rows = [list(map(str, headers))] + rendered_rows
@@ -54,8 +57,9 @@ def format_series(
 ) -> str:
     """Render named (x, y) series — one block per heuristic curve.
 
-    This is the textual analogue of the paper's latency-versus-period figures:
-    each block lists the averaged points of one heuristic.
+    This is the textual analogue of the paper's latency-versus-period
+    figures (Figures 2–7): each block lists the averaged points of one
+    heuristic.
     """
     lines = []
     if title:

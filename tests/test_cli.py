@@ -73,6 +73,35 @@ class TestSolveCommand:
         assert "needs --period" in capsys.readouterr().err
 
 
+class TestParallelFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1
+        assert args.batch_size is None
+
+    def test_workers_and_batch_size_parsed(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "4", "--batch-size", "8"]
+        )
+        assert args.workers == 4
+        assert args.batch_size == 8
+
+    def test_failure_command_has_parallel_flags(self):
+        args = build_parser().parse_args(["failure", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_sweep_output_identical_for_any_worker_count(self, capsys):
+        base = [
+            "sweep", "--family", "E1", "--stages", "6", "--processors", "5",
+            "--instances", "3", "--thresholds", "3", "--seed", "1",
+        ]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2", "--batch-size", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+
 class TestExperimentCommands:
     def test_sweep_command(self, capsys):
         rc = main(

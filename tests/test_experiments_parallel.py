@@ -1,0 +1,179 @@
+"""Determinism and plumbing tests of the parallel experiment engine.
+
+The contract under test: every experiment driver produces *byte-identical*
+results for any ``workers`` / ``batch_size`` combination, because work items
+are independent, computed by pure functions, and re-assembled in input order.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import processor_order_ablation, selection_rule_ablation
+from repro.experiments.failure import failure_thresholds
+from repro.experiments.runner import reference_ranges, run_heuristic
+from repro.experiments.sweep import run_sweep, sweep_results_equal
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import get_heuristic
+from repro.utils.parallel import (
+    available_cpus,
+    chunk_items,
+    default_batch_size,
+    parallel_map,
+    resolve_worker_count,
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    cfg = experiment_config("E2", 8, 6, n_instances=6)
+    return generate_instances(cfg, seed=5)
+
+
+# ----------------------------------------------------------------------------- #
+# parallel_map primitives
+# ----------------------------------------------------------------------------- #
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_fallback_preserves_order(self):
+        assert parallel_map(_square, range(7)) == [x * x for x in range(7)]
+
+    def test_workers_preserve_order(self):
+        expected = [x * x for x in range(23)]
+        assert parallel_map(_square, range(23), workers=3) == expected
+        assert parallel_map(_square, range(23), workers=3, batch_size=2) == expected
+
+    def test_empty_and_singleton_inputs(self):
+        assert parallel_map(_square, [], workers=4) == []
+        assert parallel_map(_square, [3], workers=4) == [9]
+
+    def test_resolve_worker_count(self):
+        assert resolve_worker_count(None) == 1
+        assert resolve_worker_count(0) == 1
+        assert resolve_worker_count(1) == 1
+        assert resolve_worker_count(5) == 5
+        assert resolve_worker_count(-1) == available_cpus()
+        with pytest.raises(ValueError):
+            resolve_worker_count(-2)
+
+    def test_chunk_items(self):
+        assert chunk_items(list(range(5)), 2) == [[0, 1], [2, 3], [4]]
+        assert chunk_items([], 3) == []
+        with pytest.raises(ValueError):
+            chunk_items([1], 0)
+
+    def test_default_batch_size_bounds(self):
+        assert default_batch_size(0, 4) == 1
+        assert 1 <= default_batch_size(10, 4) <= 10
+        assert default_batch_size(10_000, 1) <= 256
+
+
+# ----------------------------------------------------------------------------- #
+# runner determinism
+# ----------------------------------------------------------------------------- #
+class TestRunnerDeterminism:
+    def test_run_heuristic_workers_identical(self, instances):
+        h1 = get_heuristic("H1")
+        serial = run_heuristic(h1, instances, threshold=6.0)
+        parallel = run_heuristic(h1, instances, threshold=6.0, workers=3, batch_size=2)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.instance_index == b.instance_index
+            assert a.result.period == b.result.period
+            assert a.result.latency == b.result.latency
+            assert a.result.feasible == b.result.feasible
+            assert a.result.mapping == b.result.mapping
+
+    def test_reference_ranges_workers_identical(self, instances):
+        assert reference_ranges(instances) == reference_ranges(
+            instances, workers=2, batch_size=2
+        )
+
+    def test_failure_thresholds_workers_identical(self, instances):
+        cfg = instances[0].config
+        serial = failure_thresholds(cfg, instances=instances)
+        parallel = failure_thresholds(
+            cfg, instances=instances, workers=3, batch_size=4
+        )
+        for a, b in zip(serial, parallel):
+            assert a.key == b.key
+            assert a.mean_threshold == b.mean_threshold
+            assert a.per_instance == b.per_instance
+
+
+# ----------------------------------------------------------------------------- #
+# sweep determinism (the Figures 2-7 driver)
+# ----------------------------------------------------------------------------- #
+class TestSweepDeterminism:
+    def test_small_sweep_workers_identical(self):
+        cfg = experiment_config("E1", 8, 6, n_instances=4)
+        serial = run_sweep(cfg, n_thresholds=4, seed=2)
+        parallel = run_sweep(cfg, n_thresholds=4, seed=2, workers=3, batch_size=2)
+        assert sweep_results_equal(serial, parallel)
+
+    def test_p100_sweep_workers_identical(self):
+        """The acceptance case: a p=100 sweep, workers=4 versus workers=1."""
+        cfg = experiment_config("E1", 10, 100, n_instances=3)
+        serial = run_sweep(cfg, n_thresholds=4, seed=0, workers=1)
+        parallel = run_sweep(cfg, n_thresholds=4, seed=0, workers=4)
+        assert sweep_results_equal(serial, parallel)
+
+    def test_sweep_results_equal_detects_differences(self):
+        cfg = experiment_config("E1", 6, 4, n_instances=3)
+        a = run_sweep(cfg, n_thresholds=3, seed=1)
+        b = run_sweep(cfg, n_thresholds=3, seed=2)
+        assert sweep_results_equal(a, a)
+        assert not sweep_results_equal(a, b)
+
+
+# ----------------------------------------------------------------------------- #
+# generators and ablations
+# ----------------------------------------------------------------------------- #
+class TestGeneratorDeterminism:
+    def test_generate_instances_workers_identical(self):
+        cfg = experiment_config("E3", 9, 7, n_instances=8)
+        serial = generate_instances(cfg, seed=21)
+        parallel = generate_instances(cfg, seed=21, workers=3, batch_size=3)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.index == b.index
+            assert np.array_equal(a.application.works, b.application.works)
+            assert np.array_equal(a.application.comm_sizes, b.application.comm_sizes)
+            assert np.array_equal(a.platform.speeds, b.platform.speeds)
+            assert a.application.name == b.application.name
+
+    def test_chunking_never_perturbs_instances(self):
+        """Chunk layout must not leak into the streams (pre-spawned seeds)."""
+        cfg = experiment_config("E1", 5, 4, n_instances=6)
+        baseline = generate_instances(cfg, seed=3)
+        for batch in (1, 2, 5):
+            chunked = generate_instances(cfg, seed=3, workers=2, batch_size=batch)
+            for a, b in zip(baseline, chunked):
+                assert np.array_equal(a.application.works, b.application.works)
+
+
+class TestAblationDeterminism:
+    def test_selection_rule_ablation_workers_identical(self, instances):
+        cfg = instances[0].config
+        serial = selection_rule_ablation(cfg, instances=instances)
+        parallel = selection_rule_ablation(
+            cfg, instances=instances, workers=2, batch_size=2
+        )
+        assert [r.as_tuple() for r in serial] == [r.as_tuple() for r in parallel]
+
+    def test_processor_order_ablation_workers_identical(self, instances):
+        cfg = instances[0].config
+        serial = processor_order_ablation(cfg, seed=4, instances=instances)
+        parallel = processor_order_ablation(
+            cfg, seed=4, instances=instances, workers=2
+        )
+        for a, b in zip(serial, parallel):
+            assert a.variant == b.variant
+            assert math.isclose(a.mean_best_period, b.mean_best_period, rel_tol=0.0)
+            assert math.isclose(a.mean_latency_at_best, b.mean_latency_at_best, rel_tol=0.0)
