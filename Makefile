@@ -4,11 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench sweep-demo clean-results
+.PHONY: test lint bench-smoke bench sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
 	$(PYTHON) -m pytest -x -q
+
+## static checks (configuration in ruff.toml); CI runs this on every push
+lint:
+	ruff check src tests benchmarks examples setup.py
 
 ## fast benchmark pass: tiny sizes, one round each — asserts correctness of
 ## every figure/table driver and refreshes benchmarks/results/

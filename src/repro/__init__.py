@@ -35,6 +35,13 @@ Sub-packages
 ``repro.extensions``
     Replicated (deal-skeleton) mappings and fully heterogeneous platforms
     (Sec. 7 future work).
+``repro.solvers``
+    Unified solver layer: one registry and one result type across the
+    heuristics, the exact solvers and the extensions.
+
+>>> from repro import get_solver
+>>> get_solver("hom-dp-period").family
+'exact'
 """
 
 from .core import (
@@ -61,8 +68,19 @@ from .heuristics import (
     get_heuristic,
     heuristic_names,
 )
+from .solvers import (
+    Capability,
+    SolveRequest,
+    SolveResult,
+    Solver,
+    SolverFamily,
+    get_solver,
+    resolve_solvers,
+    solver_names,
+    solvers_for_platform,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -88,4 +106,14 @@ __all__ = [
     "all_heuristics",
     "get_heuristic",
     "heuristic_names",
+    # solver-layer re-exports
+    "Capability",
+    "Solver",
+    "SolverFamily",
+    "SolveRequest",
+    "SolveResult",
+    "get_solver",
+    "resolve_solvers",
+    "solver_names",
+    "solvers_for_platform",
 ]

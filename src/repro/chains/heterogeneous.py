@@ -28,7 +28,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..utils.rng import ensure_rng
-from .homogeneous import PartitionResult, bottleneck_lower_bound
+from .homogeneous import PartitionResult
 from .probe import prefix_sums, probe_heterogeneous
 
 __all__ = [

@@ -2,7 +2,9 @@
 
 The ``repro-pipeline`` entry point exposes the main workflows:
 
-* ``solve``     — run one heuristic on an explicit instance;
+* ``solve``     — run any registered solver (or a whole family) on an
+  explicit instance, via the unified solver registry;
+* ``solvers``   — list the registered solvers and their capability tags;
 * ``sweep``     — reproduce one latency-versus-period figure panel (Figs. 2–7);
 * ``failure``   — reproduce one quadrant of Table 1 (failure thresholds);
 * ``ablation``  — run the design-choice ablations;
@@ -24,6 +26,7 @@ from typing import Sequence
 
 from .core.application import PipelineApplication
 from .core.costs import evaluate
+from .core.exceptions import ConfigurationError, ReproError
 from .core.platform import Platform
 from .experiments.ablation import (
     exploration_width_ablation,
@@ -38,9 +41,8 @@ from .experiments.report import (
 )
 from .experiments.sweep import run_sweep
 from .generators.experiments import experiment_config, generate_instances
-from .heuristics.base import Objective
-from .heuristics.registry import get_heuristic, heuristic_names
-from .simulation.validate import validate_mapping
+from .solvers.base import Objective
+from .solvers.registry import GROUP_SELECTORS, resolve_solvers, solver_specs
 from .utils.parallel import parallel_map
 
 __all__ = ["main", "build_parser"]
@@ -54,7 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    solve = sub.add_parser("solve", help="run one heuristic on an explicit instance")
+    solve = sub.add_parser(
+        "solve", help="run one or several registered solvers on an explicit instance"
+    )
     solve.add_argument("--works", type=float, nargs="+", required=True,
                        help="per-stage computation amounts w_1 .. w_n")
     solve.add_argument("--comms", type=float, nargs="+", required=True,
@@ -62,10 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--speeds", type=float, nargs="+", required=True,
                        help="processor speeds s_1 .. s_p")
     solve.add_argument("--bandwidth", type=float, default=10.0, help="link bandwidth b")
-    solve.add_argument("--heuristic", default="H1",
-                       help=f"heuristic name or key (known: {', '.join(heuristic_names())})")
+    solve.add_argument("--solver", "--heuristic", dest="solver", default="H1",
+                       help="solver name/key from the unified registry, or a group: "
+                            "all, heuristics, exact, extensions (see 'repro solvers')")
     solve.add_argument("--period", type=float, default=None, help="period bound")
     solve.add_argument("--latency", type=float, default=None, help="latency bound")
+
+    solvers = sub.add_parser(
+        "solvers", help="list the registered solvers and their capability tags"
+    )
+    solvers.add_argument(
+        "--family", choices=("heuristic", "exact", "extension"), default=None,
+        help="restrict the listing to one family",
+    )
 
     sweep = sub.add_parser("sweep", help="reproduce one latency-vs-period figure panel")
     _add_experiment_arguments(sweep)
@@ -94,6 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_arguments(validate)
     validate.add_argument("--datasets", type=_positive_int_arg, default=50,
                           help="number of data sets pushed through the simulators")
+    validate.add_argument("--solver", default="H1",
+                          help="registered solver whose mapping is simulated")
 
     return parser
 
@@ -140,27 +155,116 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _solver_bounds(
+    solver, args: argparse.Namespace, *, strict: bool = False
+) -> dict | str:
+    """Map CLI ``--period`` / ``--latency`` onto a solver's objective.
+
+    Returns the keyword arguments for ``solver.run`` or, when a required
+    bound is missing, the name of the missing flag.  For the unconstrained
+    objectives the opposite-criterion flag is forwarded — solvers that
+    honour it (brute force) apply it, the others reject it with a clear
+    ``ConfigurationError`` — while a flag on the criterion the solver
+    already minimises is an error in ``strict`` (single-solver) mode and
+    ignored in group mode, where it addresses the bounded solvers of the
+    group.
+    """
+    if solver.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+        if args.period is None:
+            return "--period"
+        return {"period_bound": args.period}
+    if solver.objective == Objective.MIN_PERIOD_FOR_LATENCY:
+        if args.latency is None:
+            return "--latency"
+        return {"latency_bound": args.latency}
+    if solver.objective == Objective.MIN_PERIOD:
+        if strict and args.period is not None:
+            return (
+                f"{solver.name} minimises the period unconditionally, so "
+                "--period does not apply (did you mean a "
+                "latency-for-period solver?)"
+            )
+        return {"latency_bound": args.latency}
+    if strict and args.latency is not None:
+        return (
+            f"{solver.name} minimises the latency unconditionally, so "
+            "--latency does not apply (did you mean a "
+            "period-for-latency solver?)"
+        )
+    return {"period_bound": args.period}
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     app = PipelineApplication(args.works, args.comms, name="cli-instance")
     platform = Platform.communication_homogeneous(
         args.speeds, bandwidth=args.bandwidth, name="cli-platform"
     )
-    heuristic = get_heuristic(args.heuristic)
-    if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
-        if args.period is None:
-            print("error: this heuristic needs --period", file=sys.stderr)
+    selection = args.solver.strip()
+    is_group = selection.lower() in GROUP_SELECTORS
+    try:
+        solvers = resolve_solvers(selection)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if not is_group:
+        solver = solvers[0]
+        bounds = _solver_bounds(solver, args, strict=True)
+        if isinstance(bounds, str):
+            if bounds.startswith("--"):
+                bounds = f"this solver needs {bounds}"
+            print(f"error: {bounds}", file=sys.stderr)
             return 2
-        result = heuristic.run(app, platform, period_bound=args.period)
-    else:
-        if args.latency is None:
-            print("error: this heuristic needs --latency", file=sys.stderr)
+        try:
+            result = solver.run(app, platform, **bounds)
+        except (ValueError, ConfigurationError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-        result = heuristic.run(app, platform, latency_bound=args.latency)
-    print(f"heuristic : {result.heuristic} ({heuristic.key})")
-    print(f"feasible  : {result.feasible}")
-    print(f"period    : {result.period:.6g}")
-    print(f"latency   : {result.latency:.6g}")
-    print(result.mapping.describe())
+        print(f"solver    : {result.solver} ({solver.key}, {solver.family})")
+        print(f"feasible  : {result.feasible}")
+        print(f"period    : {result.period:.6g}")
+        print(f"latency   : {result.latency:.6g}")
+        print(f"wall time : {result.wall_time * 1e3:.3g} ms")
+        print(result.mapping.describe())
+        return 0
+
+    # group selection: run every applicable solver, skip the rest with a reason
+    header = f"{'key':<6} {'solver':<28} {'family':<10} {'status':<12} " \
+             f"{'period':>10} {'latency':>10} {'ms':>8}"
+    print(header)
+    print("-" * len(header))
+    for solver in solvers:
+        ok, reason = solver.supports(platform)
+        if not ok:
+            print(f"{solver.key:<6} {solver.name:<28} {solver.family:<10} "
+                  f"skipped      ({reason})")
+            continue
+        bounds = _solver_bounds(solver, args)
+        if isinstance(bounds, str):
+            print(f"{solver.key:<6} {solver.name:<28} {solver.family:<10} "
+                  f"skipped      (needs {bounds})")
+            continue
+        try:
+            result = solver.run(app, platform, **bounds)
+        except (ValueError, ConfigurationError) as exc:
+            print(f"{solver.key:<6} {solver.name:<28} {solver.family:<10} "
+                  f"skipped      ({exc})")
+            continue
+        status = "ok" if result.feasible else "infeasible"
+        print(f"{solver.key:<6} {solver.name:<28} {solver.family:<10} {status:<12} "
+              f"{result.period:>10.4g} {result.latency:>10.4g} "
+              f"{result.wall_time * 1e3:>8.2f}")
+    return 0
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    specs = solver_specs(args.family)
+    header = f"{'key':<6} {'name':<28} {'family':<10} {'objective':<28} capabilities"
+    print(header)
+    print("-" * len(header))
+    for spec in specs:
+        print(f"{spec.key:<6} {spec.name:<28} {spec.family:<10} "
+              f"{spec.objective:<28} {', '.join(sorted(spec.capabilities))}")
     return 0
 
 
@@ -223,30 +327,57 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
-def _validate_instance(n_datasets: int, instance) -> tuple[float, float, object]:
-    """Simulate one instance's H1 mapping (module-level, pool-picklable)."""
+def _validate_instance(
+    n_datasets: int, solver_name: str, instance
+) -> tuple[float, float, object]:
+    """Simulate one instance's solver mapping (module-level, pool-picklable).
+
+    The solver is dispatched by unified-registry name inside the worker;
+    fixed-period solvers are pushed to their best reachable period (see
+    :func:`repro.simulation.validate.validate_solver`).
+    """
+    from .simulation.validate import validate_solver
+
     app, platform = instance.application, instance.platform
-    # use the mapping H1 reaches when pushed to its best period
-    mapping = get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
-    report = validate_mapping(app, platform, mapping, n_datasets=n_datasets)
-    return report.period_relative_error, report.latency_relative_error, mapping
+    result, report = validate_solver(
+        app, platform, solver_name, n_datasets=n_datasets
+    )
+    return report.period_relative_error, report.latency_relative_error, result.mapping
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     config = experiment_config(
         args.family, args.stages, args.processors, n_instances=args.instances
     )
+    if args.solver.strip().lower() in GROUP_SELECTORS:
+        print(
+            "error: validate simulates a single solver; pass one name "
+            "(see 'repro solvers'), not a group",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        resolve_solvers(args.solver)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     instances = generate_instances(config, seed=args.seed)
-    reports = parallel_map(
-        partial(_validate_instance, args.datasets),
-        instances,
-        workers=args.workers,
-        batch_size=args.batch_size,
-    )
+    try:
+        reports = parallel_map(
+            partial(_validate_instance, args.datasets, args.solver),
+            instances,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
+    except ReproError as exc:
+        # e.g. a homogeneous-only solver against a heterogeneous E1–E4 stream
+        print(f"error: {args.solver} cannot solve this stream: {exc}", file=sys.stderr)
+        return 2
     worst_period_err = max(r[0] for r in reports)
     worst_latency_err = max(r[1] for r in reports)
     last = instances[-1]
     analytical = evaluate(last.application, last.platform, reports[-1][2])
+    print(f"solver validated           : {args.solver}")
     print(f"instances validated        : {len(instances)}")
     print(f"worst period rel. error    : {worst_period_err:.3%}")
     print(f"worst latency rel. error   : {worst_latency_err:.3%}")
@@ -260,6 +391,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
+        "solvers": _cmd_solvers,
         "sweep": _cmd_sweep,
         "failure": _cmd_failure,
         "ablation": _cmd_ablation,

@@ -269,6 +269,16 @@ class Platform:
             PlatformClass.COMMUNICATION_HOMOGENEOUS,
         )
 
+    @property
+    def is_fully_homogeneous(self) -> bool:
+        """``True`` for identical speeds *and* identical link bandwidths.
+
+        The single predicate shared by the homogeneous-only solvers and the
+        solver registry's capability checks, so both always agree on which
+        platforms qualify (Subhlok & Vondran setting).
+        """
+        return self.platform_class is PlatformClass.FULLY_HOMOGENEOUS
+
     def processors_by_speed(self, descending: bool = True) -> list[int]:
         """Processor indices sorted by speed.
 

@@ -32,6 +32,8 @@ __all__ = [
     "mapping_from_dict",
     "instance_to_dict",
     "instance_from_dict",
+    "solve_result_to_dict",
+    "solve_result_from_dict",
     "save_json",
     "load_json",
 ]
@@ -161,6 +163,58 @@ def instance_from_dict(
         mapping = mapping_from_dict(document["mapping"])
         mapping.validate(app, platform)
     return app, platform, mapping
+
+
+# --------------------------------------------------------------------------- #
+# solver results
+# --------------------------------------------------------------------------- #
+def solve_result_to_dict(result) -> dict[str, Any]:
+    """Convert a :class:`~repro.solvers.base.SolveResult` to a plain dictionary.
+
+    The mapping it carries goes through :func:`mapping_to_dict`; every other
+    field is a built-in scalar/list, so the document is JSON-safe and the
+    dump/load round trip is byte-stable (including infeasible results).
+    """
+    return {
+        "type": "solve-result",
+        "solver": str(result.solver),
+        "family": str(result.family),
+        "mapping": mapping_to_dict(result.mapping),
+        "period": float(result.period),
+        "latency": float(result.latency),
+        "feasible": bool(result.feasible),
+        "objective": str(result.objective),
+        "threshold": None if result.threshold is None else float(result.threshold),
+        "n_splits": int(result.n_splits),
+        "history": [[float(p), float(l)] for p, l in result.history],
+        "wall_time": float(result.wall_time),
+        "details": dict(result.details),
+    }
+
+
+def solve_result_from_dict(document: Mapping[str, Any]):
+    """Rebuild a :class:`~repro.solvers.base.SolveResult` from its document."""
+    # imported lazily: core must stay importable without the solver layer
+    from ..solvers.base import SolveResult
+
+    mapping = mapping_from_dict(_require(document, "mapping", "solve-result"))
+    threshold = document.get("threshold")
+    return SolveResult(
+        solver=str(_require(document, "solver", "solve-result")),
+        family=str(_require(document, "family", "solve-result")),
+        mapping=mapping,
+        period=float(_require(document, "period", "solve-result")),
+        latency=float(_require(document, "latency", "solve-result")),
+        feasible=bool(_require(document, "feasible", "solve-result")),
+        objective=str(_require(document, "objective", "solve-result")),
+        threshold=None if threshold is None else float(threshold),
+        n_splits=int(document.get("n_splits", 0)),
+        history=tuple(
+            (float(p), float(l)) for p, l in document.get("history", [])
+        ),
+        wall_time=float(document.get("wall_time", 0.0)),
+        details=dict(document.get("details", {})),
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -19,8 +19,6 @@ benchmarks.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from ..core.application import PipelineApplication

@@ -15,6 +15,13 @@ solvers below provide:
 
 They are used as baselines and as ground truth in the tests: on a homogeneous
 platform the heuristics of Section 4 can never beat them.
+
+Both DPs run their ``O(n^2)`` inner loops as NumPy prefix-sum / broadcast
+kernels (one ``(n, n)`` candidate matrix per processor level, reduced with
+``min``/``argmin``), in the style of :func:`repro.core.costs.evaluate_batch`.
+The original scalar loops are kept behind ``vectorized=False`` as the
+reference implementation; ``benchmarks/bench_exact_runtime.py`` records the
+speedup and the tests assert the two paths agree.
 """
 
 from __future__ import annotations
@@ -33,21 +40,64 @@ __all__ = [
     "homogeneous_min_period_for_latency",
 ]
 
+_INF = float("inf")
+
 
 def _check_homogeneous(platform: Platform) -> float:
-    speeds = platform.speeds
-    if not np.allclose(speeds, speeds[0]):
+    if not platform.is_fully_homogeneous:
         raise InvalidPlatformError(
-            "this solver requires identical processor speeds; "
-            "use the bitmask DP or the heuristics for heterogeneous platforms"
+            "this solver requires identical processor speeds and link "
+            "bandwidths; use the bitmask DP or the heuristics for "
+            "heterogeneous platforms"
         )
-    if not platform.is_communication_homogeneous:
-        raise InvalidPlatformError("this solver requires identical link bandwidths")
-    return float(speeds[0])
+    return float(platform.speeds[0])
+
+
+# --------------------------------------------------------------------------- #
+# interval matrices (vectorized + scalar reference)
+# --------------------------------------------------------------------------- #
+def _boundary_times(
+    app: PipelineApplication, platform: Platform
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-boundary input/output times: ``input_time[d]`` and ``output_time[e]``.
+
+    ``input_time[d]`` is the cost of reading ``delta_d`` when an interval
+    starts at stage ``d`` (through the platform input link for ``d = 0``);
+    ``output_time[e]`` the cost of writing ``delta_{e+1}`` when an interval
+    ends at stage ``e``.  Zero-size communications cost exactly 0.0, matching
+    the scalar cost model.
+    """
+    n = app.n_stages
+    b = platform.uniform_bandwidth
+    comm = app.comm_sizes
+    idx = np.arange(n)
+    in_bw = np.where(idx == 0, platform.input_bandwidth, b)
+    out_bw = np.where(idx == n - 1, platform.output_bandwidth, b)
+    input_time = np.where(comm[:n] == 0.0, 0.0, comm[:n] / in_bw)
+    output_time = np.where(comm[1:] == 0.0, 0.0, comm[1:] / out_bw)
+    return input_time, output_time
 
 
 def _cycle_matrix(app: PipelineApplication, platform: Platform) -> np.ndarray:
-    """``cycle[d, e]``: cycle time of interval ``[d, e]`` on any processor."""
+    """``cycle[d, e]``: cycle time of interval ``[d, e]`` on any processor.
+
+    Broadcast kernel: the compute term is a prefix-sum difference
+    ``(prefix[e + 1] - prefix[d]) / s`` over the full ``(d, e)`` grid, framed
+    by the per-boundary communication vectors; ``d > e`` cells are ``inf``.
+    """
+    n = app.n_stages
+    s = _check_homogeneous(platform)
+    prefix = np.concatenate(([0.0], np.cumsum(app.works)))
+    input_time, output_time = _boundary_times(app, platform)
+    compute = (prefix[None, 1:] - prefix[:n, None]) / s
+    cycle = input_time[:, None] + compute + output_time[None, :]
+    d = np.arange(n)
+    cycle[d[:, None] > d[None, :]] = _INF
+    return cycle
+
+
+def _cycle_matrix_scalar(app: PipelineApplication, platform: Platform) -> np.ndarray:
+    """Scalar reference of :func:`_cycle_matrix` (kept for the benchmark)."""
     n = app.n_stages
     s = _check_homogeneous(platform)
     b = platform.uniform_bandwidth
@@ -69,16 +119,11 @@ def _latency_term_matrix(app: PipelineApplication, platform: Platform) -> np.nda
     """``term[d, e]``: latency contribution (input + compute) of interval ``[d, e]``."""
     n = app.n_stages
     s = _check_homogeneous(platform)
-    b = platform.uniform_bandwidth
-    b_in = platform.input_bandwidth
-    comm = app.comm_sizes
     prefix = np.concatenate(([0.0], np.cumsum(app.works)))
-    term = np.full((n, n), np.inf)
-    for d in range(n):
-        in_bw = b_in if d == 0 else b
-        input_time = comm[d] / in_bw if comm[d] else 0.0
-        for e in range(d, n):
-            term[d, e] = input_time + (prefix[e + 1] - prefix[d]) / s
+    input_time, _ = _boundary_times(app, platform)
+    term = input_time[:, None] + (prefix[None, 1:] - prefix[:n, None]) / s
+    d = np.arange(n)
+    term[d[:, None] > d[None, :]] = _INF
     return term
 
 
@@ -97,87 +142,8 @@ def _mapping_from_boundaries(
     return IntervalMapping(intervals, processors)
 
 
-def homogeneous_min_period(
-    app: PipelineApplication, platform: Platform
-) -> tuple[IntervalMapping, float]:
-    """Optimal-period interval mapping on a fully homogeneous platform."""
-    n = app.n_stages
-    p = min(platform.n_processors, n)
-    cycle = _cycle_matrix(app, platform)
-
-    INF = float("inf")
-    # dp[k][i]: minimum over partitions of stages [0, i) into exactly k intervals
-    dp = np.full((p + 1, n + 1), INF)
-    dp[0, 0] = 0.0
-    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
-    for k in range(1, p + 1):
-        for i in range(1, n + 1):
-            best = INF
-            best_j = -1
-            for j in range(k - 1, i):
-                if dp[k - 1, j] == INF:
-                    continue
-                candidate = max(dp[k - 1, j], cycle[j, i - 1])
-                if candidate < best:
-                    best = candidate
-                    best_j = j
-            dp[k, i] = best
-            parent[k, i] = best_j
-
-    best_k = int(np.argmin(dp[1 : p + 1, n])) + 1
-    best_value = float(dp[best_k, n])
-    # rebuild boundaries
-    boundaries: list[int] = []
-    i, k = n, best_k
-    while k > 0:
-        j = int(parent[k, i])
-        boundaries.append(i)
-        i, k = j, k - 1
-    boundaries.reverse()
-    mapping = _mapping_from_boundaries(boundaries, n)
-    ev = evaluate(app, platform, mapping)
-    assert abs(ev.period - best_value) <= 1e-9 * max(1.0, best_value)
-    return mapping, float(ev.period)
-
-
-def homogeneous_min_latency_for_period(
-    app: PipelineApplication, platform: Platform, period_bound: float
-) -> tuple[IntervalMapping, float]:
-    """Optimal latency subject to ``period <= period_bound`` (homogeneous case)."""
-    n = app.n_stages
-    p = min(platform.n_processors, n)
-    cycle = _cycle_matrix(app, platform)
-    term = _latency_term_matrix(app, platform)
-
-    INF = float("inf")
-    # dp[k][i]: min accumulated latency of stages [0, i) split into exactly k
-    # intervals whose cycle times all respect the period bound
-    dp = np.full((p + 1, n + 1), INF)
-    dp[0, 0] = 0.0
-    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
-    for k in range(1, p + 1):
-        for i in range(k, n + 1):
-            best = INF
-            best_j = -1
-            for j in range(k - 1, i):
-                if dp[k - 1, j] == INF:
-                    continue
-                if cycle[j, i - 1] > period_bound + 1e-12:
-                    continue
-                candidate = dp[k - 1, j] + term[j, i - 1]
-                if candidate < best - 1e-15:
-                    best = candidate
-                    best_j = j
-            dp[k, i] = best
-            parent[k, i] = best_j
-
-    finite_levels = [k for k in range(1, p + 1) if dp[k, n] < INF]
-    if not finite_levels:
-        raise InfeasibleError(
-            f"no homogeneous interval mapping achieves period <= {period_bound:g}"
-        )
-    best_k = min(finite_levels, key=lambda k: dp[k, n])
-
+def _rebuild_boundaries(parent: np.ndarray, n: int, best_k: int) -> list[int]:
+    """Walk the parent table back from ``dp[best_k, n]`` to interval ends."""
     boundaries: list[int] = []
     i, k = n, best_k
     while k > 0:
@@ -187,7 +153,162 @@ def homogeneous_min_latency_for_period(
         boundaries.append(i)
         i, k = j, k - 1
     boundaries.reverse()
-    mapping = _mapping_from_boundaries(boundaries, n)
+    return boundaries
+
+
+# --------------------------------------------------------------------------- #
+# DP tables (vectorized + scalar reference)
+# --------------------------------------------------------------------------- #
+def _min_period_tables_vectorized(
+    cycle: np.ndarray, n: int, p: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bottleneck-partition DP, one broadcast/reduce per processor level.
+
+    Level ``k`` builds the candidate matrix ``M[j, i-1] = max(dp[k-1, j],
+    cycle[j, i-1])`` in one shot and reduces it column-wise; the triangular
+    ``inf`` structure of ``cycle`` enforces ``j <= i - 1`` for free.
+    """
+    dp = np.full((p + 1, n + 1), _INF)
+    dp[0, 0] = 0.0
+    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
+    for k in range(1, p + 1):
+        candidates = np.maximum(dp[k - 1, :n, None], cycle)
+        if k - 1 > 0:
+            candidates[: k - 1, :] = _INF  # j >= k - 1
+        dp[k, 1:] = candidates.min(axis=0)
+        best_j = candidates.argmin(axis=0)
+        parent[k, 1:] = np.where(np.isfinite(dp[k, 1:]), best_j, -1)
+    return dp, parent
+
+
+def _min_period_tables_scalar(
+    cycle: np.ndarray, n: int, p: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scalar reference of the bottleneck-partition DP (benchmark baseline)."""
+    dp = np.full((p + 1, n + 1), _INF)
+    dp[0, 0] = 0.0
+    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
+    for k in range(1, p + 1):
+        for i in range(1, n + 1):
+            best = _INF
+            best_j = -1
+            for j in range(k - 1, i):
+                if dp[k - 1, j] == _INF:
+                    continue
+                candidate = max(dp[k - 1, j], cycle[j, i - 1])
+                if candidate < best:
+                    best = candidate
+                    best_j = j
+            dp[k, i] = best
+            parent[k, i] = best_j
+    return dp, parent
+
+
+def homogeneous_min_period(
+    app: PipelineApplication, platform: Platform, *, vectorized: bool = True
+) -> tuple[IntervalMapping, float]:
+    """Optimal-period interval mapping on a fully homogeneous platform."""
+    n = app.n_stages
+    p = min(platform.n_processors, n)
+    if vectorized:
+        cycle = _cycle_matrix(app, platform)
+        dp, parent = _min_period_tables_vectorized(cycle, n, p)
+    else:
+        cycle = _cycle_matrix_scalar(app, platform)
+        dp, parent = _min_period_tables_scalar(cycle, n, p)
+
+    best_k = int(np.argmin(dp[1 : p + 1, n])) + 1
+    best_value = float(dp[best_k, n])
+    mapping = _mapping_from_boundaries(_rebuild_boundaries(parent, n, best_k), n)
+    ev = evaluate(app, platform, mapping)
+    assert abs(ev.period - best_value) <= 1e-9 * max(1.0, best_value)
+    return mapping, float(ev.period)
+
+
+def _min_latency_tables_vectorized(
+    cycle: np.ndarray,
+    term: np.ndarray,
+    period_bound: float,
+    n: int,
+    p: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Period-constrained additive DP, one broadcast/reduce per level.
+
+    Cells whose interval violates the period bound are masked to ``inf``
+    before the levels run, so every level is a plain ``min`` reduction of
+    ``dp[k-1, j] + term[j, i-1]`` over the candidate matrix.
+    """
+    allowed = np.where(cycle <= period_bound + 1e-12, term, _INF)
+    dp = np.full((p + 1, n + 1), _INF)
+    dp[0, 0] = 0.0
+    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
+    for k in range(1, p + 1):
+        candidates = dp[k - 1, :n, None] + allowed
+        if k - 1 > 0:
+            candidates[: k - 1, :] = _INF
+        dp[k, 1:] = candidates.min(axis=0)
+        best_j = candidates.argmin(axis=0)
+        parent[k, 1:] = np.where(np.isfinite(dp[k, 1:]), best_j, -1)
+    return dp, parent
+
+
+def _min_latency_tables_scalar(
+    cycle: np.ndarray,
+    term: np.ndarray,
+    period_bound: float,
+    n: int,
+    p: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scalar reference of the period-constrained DP (benchmark baseline)."""
+    dp = np.full((p + 1, n + 1), _INF)
+    dp[0, 0] = 0.0
+    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
+    for k in range(1, p + 1):
+        for i in range(k, n + 1):
+            best = _INF
+            best_j = -1
+            for j in range(k - 1, i):
+                if dp[k - 1, j] == _INF:
+                    continue
+                if cycle[j, i - 1] > period_bound + 1e-12:
+                    continue
+                candidate = dp[k - 1, j] + term[j, i - 1]
+                if candidate < best - 1e-15:
+                    best = candidate
+                    best_j = j
+            dp[k, i] = best
+            parent[k, i] = best_j
+    return dp, parent
+
+
+def homogeneous_min_latency_for_period(
+    app: PipelineApplication,
+    platform: Platform,
+    period_bound: float,
+    *,
+    vectorized: bool = True,
+) -> tuple[IntervalMapping, float]:
+    """Optimal latency subject to ``period <= period_bound`` (homogeneous case)."""
+    n = app.n_stages
+    p = min(platform.n_processors, n)
+    if vectorized:
+        cycle = _cycle_matrix(app, platform)
+    else:
+        cycle = _cycle_matrix_scalar(app, platform)
+    term = _latency_term_matrix(app, platform)
+    tables = (
+        _min_latency_tables_vectorized if vectorized else _min_latency_tables_scalar
+    )
+    dp, parent = tables(cycle, term, period_bound, n, p)
+
+    finite_levels = [k for k in range(1, p + 1) if dp[k, n] < _INF]
+    if not finite_levels:
+        raise InfeasibleError(
+            f"no homogeneous interval mapping achieves period <= {period_bound:g}"
+        )
+    best_k = min(finite_levels, key=lambda k: dp[k, n])
+
+    mapping = _mapping_from_boundaries(_rebuild_boundaries(parent, n, best_k), n)
     ev = evaluate(app, platform, mapping)
     if ev.period > period_bound + 1e-9:
         raise InfeasibleError("reconstructed mapping violates the period bound")
@@ -195,7 +316,11 @@ def homogeneous_min_latency_for_period(
 
 
 def homogeneous_min_period_for_latency(
-    app: PipelineApplication, platform: Platform, latency_bound: float
+    app: PipelineApplication,
+    platform: Platform,
+    latency_bound: float,
+    *,
+    vectorized: bool = True,
 ) -> tuple[IntervalMapping, float]:
     """Optimal period subject to ``latency <= latency_bound`` (homogeneous case).
 
@@ -203,8 +328,9 @@ def homogeneous_min_period_for_latency(
     exact binary search over the sorted candidate values is performed, using
     :func:`homogeneous_min_latency_for_period` as the feasibility oracle.
     """
-    n = app.n_stages
-    cycle = _cycle_matrix(app, platform)
+    cycle = _cycle_matrix(app, platform) if vectorized else _cycle_matrix_scalar(
+        app, platform
+    )
     candidates = np.unique(cycle[np.isfinite(cycle)])
 
     best: tuple[IntervalMapping, float] | None = None
@@ -214,7 +340,7 @@ def homogeneous_min_period_for_latency(
         period_bound = float(candidates[mid])
         try:
             mapping, latency = homogeneous_min_latency_for_period(
-                app, platform, period_bound
+                app, platform, period_bound, vectorized=vectorized
             )
             feasible = latency <= latency_bound + 1e-9
         except InfeasibleError:

@@ -27,8 +27,7 @@ import numpy as np
 from ..generators.experiments import ExperimentConfig, Instance, generate_instances
 from ..heuristics.base import FixedPeriodHeuristic, HeuristicResult
 from ..heuristics.engine import SelectionRule, SplittingState
-from ..heuristics.exploration import ThreeExploBi, ThreeExploMono
-from ..heuristics.splitting import SplittingMonoPeriod
+from ..solvers.registry import get_solver
 from ..utils.parallel import parallel_map
 from ..utils.rng import ensure_rng
 
@@ -185,7 +184,7 @@ def selection_rule_ablation(
     return [
         _summarise(
             "2-way / mono rule (H1)",
-            _run_variant(SplittingMonoPeriod(), instances, workers, batch_size),
+            _run_variant(get_solver("H1"), instances, workers, batch_size),
         ),
         _summarise(
             "2-way / ratio rule",
@@ -208,11 +207,11 @@ def exploration_width_ablation(
     return [
         _summarise(
             "2-way / mono (H1)",
-            _run_variant(SplittingMonoPeriod(), instances, workers, batch_size),
+            _run_variant(get_solver("H1"), instances, workers, batch_size),
         ),
         _summarise(
             "3-way / mono (H2)",
-            _run_variant(ThreeExploMono(), instances, workers, batch_size),
+            _run_variant(get_solver("H2"), instances, workers, batch_size),
         ),
         _summarise(
             "2-way / ratio",
@@ -220,7 +219,7 @@ def exploration_width_ablation(
         ),
         _summarise(
             "3-way / ratio (H3)",
-            _run_variant(ThreeExploBi(), instances, workers, batch_size),
+            _run_variant(get_solver("H3"), instances, workers, batch_size),
         ),
     ]
 

@@ -26,10 +26,13 @@ from typing import Sequence
 import numpy as np
 
 from ..core.costs import optimal_latency
+from ..core.exceptions import ConfigurationError
 from ..generators.experiments import ExperimentConfig, Instance, generate_instances
 from ..heuristics.base import Objective, PipelineHeuristic
-from ..heuristics.registry import resolve_heuristics
+from ..solvers.base import Capability
+from ..solvers.registry import as_solver, resolve_solvers
 from ..utils.parallel import parallel_map
+from .runner import AnySolver
 
 __all__ = ["FailureThreshold", "failure_thresholds", "failure_threshold_table"]
 
@@ -50,7 +53,7 @@ class FailureThreshold:
 
 
 def _instance_failure_threshold(
-    task: tuple[PipelineHeuristic, Instance]
+    task: tuple[AnySolver, Instance]
 ) -> float:
     """Per-instance failure threshold of one heuristic (pool-picklable)."""
     heuristic, instance = task
@@ -63,7 +66,7 @@ def _instance_failure_threshold(
 
 def failure_thresholds(
     config: ExperimentConfig,
-    heuristics: Sequence[PipelineHeuristic] | Sequence[str] | None = None,
+    heuristics: Sequence[AnySolver] | Sequence[str] | None = None,
     seed: int | None = 0,
     instances: Sequence[Instance] | None = None,
     *,
@@ -72,20 +75,42 @@ def failure_thresholds(
 ) -> list[FailureThreshold]:
     """Average failure thresholds of the heuristics for one experimental point.
 
-    With ``workers > 1`` the (heuristic, instance) cells are dispatched to a
+    ``heuristics`` accepts heuristic instances or unified-registry names and
+    defaults to the six heuristics resolved through the registry.  The
+    closed forms above assume best-effort solvers with a bounded objective
+    (the heuristic families of Section 4); unconstrained-objective and
+    exact solvers are rejected rather than silently mis-measured.  With
+    ``workers > 1`` the (heuristic, instance) cells are dispatched to a
     process pool; each cell is independent and results are re-assembled in a
     fixed order, so the table is identical for any worker count.
     """
     if instances is None:
         instances = generate_instances(config, seed=seed)
     resolved = (
-        resolve_heuristics(None)
+        resolve_solvers("heuristics")
         if heuristics is None
         else [
-            h if isinstance(h, PipelineHeuristic) else resolve_heuristics([h])[0]
+            h if isinstance(h, PipelineHeuristic) else as_solver(h)
             for h in heuristics
         ]
     )
+    bounded = (Objective.MIN_LATENCY_FOR_PERIOD, Objective.MIN_PERIOD_FOR_LATENCY)
+    for solver in resolved:
+        if solver.objective not in bounded:
+            raise ConfigurationError(
+                f"failure thresholds are defined for bounded-objective "
+                f"solvers only; {solver.name!r} optimises "
+                f"{solver.objective!r} without a threshold"
+            )
+        # exact solvers signal a hard miss (Lemma 1 fallback) instead of a
+        # best-effort mapping, so the unreachable-bound probe below would
+        # report the fallback's period — reject rather than mis-measure
+        if Capability.EXACT in getattr(solver, "capabilities", frozenset()):
+            raise ConfigurationError(
+                f"failure thresholds measure best-effort heuristics; the "
+                f"exact solver {solver.name!r} reports hard infeasibility "
+                "instead of a best reachable period"
+            )
     tasks = [(heuristic, inst) for heuristic in resolved for inst in instances]
     flat = parallel_map(
         _instance_failure_threshold, tasks, workers=workers, batch_size=batch_size
@@ -112,7 +137,7 @@ def failure_threshold_table(
     stage_counts: Sequence[int] = (5, 10, 20, 40),
     n_processors: int = 10,
     n_instances: int = 50,
-    heuristics: Sequence[PipelineHeuristic] | Sequence[str] | None = None,
+    heuristics: Sequence[AnySolver] | Sequence[str] | None = None,
     seed: int | None = 0,
     *,
     workers: int | None = None,

@@ -1,21 +1,33 @@
-"""Low-level experiment runner: apply heuristics to instance streams.
+"""Low-level experiment runner: apply solvers to instance streams.
 
 The runner turns an instance stream (from :mod:`repro.generators`) and a list
-of heuristics into per-instance :class:`~repro.heuristics.base.HeuristicResult`
-records and aggregated statistics.  The higher-level sweep (Figures 2–7) and
-failure-threshold (Table 1) drivers are built on top of it.
+of solvers into per-instance result records and aggregated statistics.  The
+higher-level sweep (Figures 2–7) and failure-threshold (Table 1) drivers are
+built on top of it.
+
+Work is dispatched through the unified solver layer
+(:mod:`repro.solvers.registry`): anything with the heuristic-style
+``run(app, platform, period_bound=..., latency_bound=...)`` entry point — a
+plain :class:`~repro.heuristics.base.PipelineHeuristic`, a registry
+:class:`~repro.solvers.registry.Solver` handle, or a registry *name* — can be
+run over an instance stream, so exact solvers and extensions plug into the
+same drivers as the six heuristics.
 
 Every driver takes ``workers=`` / ``batch_size=`` knobs: instances are
 independent, so the runs are dispatched to a process pool in contiguous
 chunks (see :mod:`repro.utils.parallel`) and re-assembled in instance order —
-a parallel run is byte-identical to a serial one.
+every *solution* field of a parallel run (mapping, period, latency,
+feasibility, trace) is byte-identical to the serial run; the only exception
+is the ``wall_time`` provenance stamp of :class:`~repro.solvers.base.
+SolveResult`, which measures the actual run.  (Registry solver handles
+pickle by name, ad-hoc heuristic instances by value.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -23,17 +35,25 @@ from ..core.costs import interval_cycle_time, optimal_latency
 from ..core.mapping import Interval
 from ..generators.experiments import Instance
 from ..heuristics.base import HeuristicResult, Objective, PipelineHeuristic
+from ..solvers.base import Objective as SolverObjective
+from ..solvers.base import SolveResult
+from ..solvers.registry import Solver, as_solver
 from ..utils.parallel import parallel_map
 
 __all__ = [
     "InstanceRun",
     "AggregateStats",
+    "AnySolver",
     "run_heuristic",
+    "run_solver",
     "aggregate_runs",
     "reference_period_range",
     "reference_latency_range",
     "reference_ranges",
 ]
+
+#: anything the runner can execute over an instance stream
+AnySolver = Union[PipelineHeuristic, Solver]
 
 
 @dataclass(frozen=True)
@@ -43,7 +63,7 @@ class InstanceRun:
     instance_index: int
     heuristic: str
     threshold: float
-    result: HeuristicResult
+    result: HeuristicResult | SolveResult
 
     @property
     def feasible(self) -> bool:
@@ -74,32 +94,41 @@ class AggregateStats:
 
 
 def _run_on_instance(
-    heuristic: PipelineHeuristic, threshold: float, instance: Instance
-) -> HeuristicResult:
-    """One heuristic run on one instance (module-level, pool-picklable)."""
-    if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
-        return heuristic.run(
-            instance.application, instance.platform, period_bound=threshold
-        )
-    return heuristic.run(
-        instance.application, instance.platform, latency_bound=threshold
-    )
+    solver: AnySolver, threshold: float | None, instance: Instance
+) -> HeuristicResult | SolveResult:
+    """One solver run on one instance (module-level, pool-picklable).
+
+    The threshold lands on the bound matching the solver's objective: period
+    bound for the fixed-period objectives, latency bound for fixed-latency.
+    For the unconstrained objectives the threshold is forwarded as the
+    opposite-criterion bound — brute force honours it, while the solvers
+    that cannot (homogeneous min-period DP, one-to-one) raise
+    ``ConfigurationError`` unless it is ``None``.
+    """
+    app, platform = instance.application, instance.platform
+    objective = solver.objective
+    if objective in (
+        Objective.MIN_LATENCY_FOR_PERIOD,
+        SolverObjective.MIN_LATENCY,
+    ):
+        return solver.run(app, platform, period_bound=threshold)
+    return solver.run(app, platform, latency_bound=threshold)
 
 
 def run_heuristic(
-    heuristic: PipelineHeuristic,
+    heuristic: AnySolver,
     instances: Sequence[Instance],
     threshold: float,
     *,
     workers: int | None = None,
     batch_size: int | None = None,
 ) -> list[InstanceRun]:
-    """Run one heuristic on every instance with the given threshold.
+    """Run one solver on every instance with the given threshold.
 
-    The threshold is interpreted according to the heuristic's objective
-    (period bound for the fixed-period family, latency bound otherwise).
-    With ``workers > 1`` the instances are chunked across a process pool;
-    results come back in instance order regardless.
+    The threshold is interpreted according to the solver's objective (period
+    bound for the fixed-period family, latency bound otherwise).  With
+    ``workers > 1`` the instances are chunked across a process pool; results
+    come back in instance order regardless.
     """
     results = parallel_map(
         partial(_run_on_instance, heuristic, threshold),
@@ -116,6 +145,32 @@ def run_heuristic(
         )
         for instance, result in zip(instances, results)
     ]
+
+
+def run_solver(
+    solver: AnySolver | str,
+    instances: Sequence[Instance],
+    threshold: float | None = None,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
+) -> list[InstanceRun]:
+    """Run any registered solver (by name or handle) over an instance stream.
+
+    The registry-name twin of :func:`run_heuristic`:
+    ``run_solver("hom-dp-period", instances)`` dispatches the homogeneous DP
+    exactly like ``run_solver("H1", instances, threshold)`` dispatches a
+    heuristic — same pool, same chunking, same deterministic re-assembly.
+    Leave ``threshold`` at ``None`` for the unconstrained exact solvers
+    (only brute force accepts an opposite-criterion bound).
+    """
+    return run_heuristic(
+        as_solver(solver) if not isinstance(solver, PipelineHeuristic) else solver,
+        instances,
+        threshold,
+        workers=workers,
+        batch_size=batch_size,
+    )
 
 
 def aggregate_runs(runs: Sequence[InstanceRun]) -> AggregateStats:

@@ -25,12 +25,14 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.exceptions import ConfigurationError
 from ..generators.experiments import ExperimentConfig, Instance, generate_instances
 from ..heuristics.base import Objective, PipelineHeuristic
-from ..heuristics.registry import resolve_heuristics
+from ..solvers.registry import as_solver, resolve_solvers
 from ..utils.parallel import parallel_map
 from .runner import (
     AggregateStats,
+    AnySolver,
     InstanceRun,
     aggregate_runs,
     reference_ranges,
@@ -141,16 +143,16 @@ def _threshold_grid(lo: float, hi: float, n_points: int) -> list[float]:
 
 
 def _sweep_task(
-    instances: Sequence[Instance], task: tuple[PipelineHeuristic, float]
+    instances: Sequence[Instance], task: tuple[AnySolver, float]
 ) -> list[InstanceRun]:
-    """One (heuristic, threshold) cell of the sweep (pool-picklable)."""
-    heuristic, threshold = task
-    return run_heuristic(heuristic, instances, threshold)
+    """One (solver, threshold) cell of the sweep (pool-picklable)."""
+    solver, threshold = task
+    return run_heuristic(solver, instances, threshold)
 
 
 def run_sweep(
     config: ExperimentConfig,
-    heuristics: Sequence[PipelineHeuristic] | Sequence[str] | None = None,
+    heuristics: Sequence[AnySolver] | Sequence[str] | None = None,
     n_thresholds: int = 10,
     seed: int | None = 0,
     instances: Sequence[Instance] | None = None,
@@ -166,8 +168,10 @@ def run_sweep(
         The experimental point (family, stage count, processor count,
         instance count).
     heuristics:
-        Heuristic instances or names; defaults to the six heuristics of the
-        paper.
+        Solvers to sweep: heuristic instances, registry solver handles or
+        registry *names* (any registered solver with a bounded objective,
+        e.g. ``"hom-dp-latency-for-period"``); defaults to the six
+        heuristics of the paper, resolved through the unified registry.
     n_thresholds:
         Number of threshold values per family (grid resolution of the curve).
     seed:
@@ -184,14 +188,23 @@ def run_sweep(
     """
     if instances is None:
         instances = generate_instances(config, seed=seed)
-    resolved: list[PipelineHeuristic]
+    resolved: list[AnySolver]
     if heuristics is None:
-        resolved = resolve_heuristics(None)
+        resolved = resolve_solvers("heuristics")
     else:
         resolved = [
-            h if isinstance(h, PipelineHeuristic) else resolve_heuristics([h])[0]
+            h if isinstance(h, PipelineHeuristic) else as_solver(h)
             for h in heuristics
         ]
+    bounded = (Objective.MIN_LATENCY_FOR_PERIOD, Objective.MIN_PERIOD_FOR_LATENCY)
+    for solver in resolved:
+        if solver.objective not in bounded:
+            raise ConfigurationError(
+                f"run_sweep sweeps a threshold, so {solver.name!r} "
+                f"(objective {solver.objective!r}) cannot be swept; use a "
+                "bounded-objective solver (e.g. its -for-period/-for-latency "
+                "variant)"
+            )
 
     (period_lo, period_hi), (latency_lo, latency_hi) = reference_ranges(
         instances, workers=workers, batch_size=batch_size

@@ -21,7 +21,6 @@ interval mapping while unused processors remain and the period improves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..core.application import PipelineApplication
 from ..core.exceptions import InvalidMappingError

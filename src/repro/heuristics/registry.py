@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Type
 
+from ..utils.validation import suggest_names
 from .base import Objective, PipelineHeuristic
 from .binary_search import SplittingBiPeriod
 from .exploration import ThreeExploBi, ThreeExploMono
@@ -84,8 +85,17 @@ def get_heuristic(name: str) -> PipelineHeuristic:
     """
     key = _normalise(name)
     if key not in _LOOKUP:
+        handles = [cls.name for cls in HEURISTIC_CLASSES] + [
+            cls.key for cls in HEURISTIC_CLASSES
+        ]
+        matches = suggest_names(name, handles)
+        hint = (
+            f" — did you mean {', '.join(map(repr, matches))}?" if matches else ""
+        )
         known = ", ".join(sorted({cls.name for cls in HEURISTIC_CLASSES}))
-        raise KeyError(f"unknown heuristic {name!r}; known heuristics: {known}")
+        raise KeyError(
+            f"unknown heuristic {name!r}{hint}; known heuristics: {known}"
+        )
     return _LOOKUP[key]()
 
 

@@ -16,7 +16,7 @@ one-port/ordering invariant checks used by the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..core.exceptions import SimulationError
 

@@ -10,14 +10,19 @@ For any mapping, three sources of (period, latency) numbers exist:
    runtime would do without global clock synchronisation).
 
 :func:`validate_mapping` runs all three and reports the relative deviations;
-the model-validation benchmark aggregates these deviations over E1–E4
-instances to show that the analytical model the heuristics optimise is
-faithful to an executable schedule.
+:func:`validate_solver` first dispatches any solver by unified-registry name
+and validates the mapping it produces, so the CLI and the benchmarks can
+cross-check arbitrary solvers — not only a hard-wired heuristic.  The
+model-validation benchmark aggregates these deviations over E1–E4 instances
+to show that the analytical model the solvers optimise is faithful to an
+executable schedule.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.application import PipelineApplication
 from ..core.costs import evaluate
@@ -26,7 +31,15 @@ from ..core.platform import Platform
 from .event_driven import simulate_mapping
 from .synchronous import synchronous_schedule
 
-__all__ = ["ModelValidation", "validate_mapping"]
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..solvers.base import SolveResult
+    from ..solvers.registry import Solver
+
+__all__ = ["ModelValidation", "validate_mapping", "validate_solver"]
+
+#: period bound that no mapping can meet: pushes fixed-period solvers to
+#: their best reachable period (the most interesting mapping to simulate)
+_UNREACHABLE_PERIOD = 1e-9
 
 
 @dataclass(frozen=True)
@@ -95,3 +108,50 @@ def validate_mapping(
         event_driven_max_latency=float(event_trace.max_latency),
         n_datasets=n_datasets,
     )
+
+
+def validate_solver(
+    app: PipelineApplication,
+    platform: Platform,
+    solver: "Solver | str",
+    *,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+    n_datasets: int = 50,
+) -> "tuple[SolveResult, ModelValidation]":
+    """Solve by registry name, then validate the produced mapping.
+
+    Default bounds make every solver family runnable without arguments:
+    fixed-period solvers are pushed to their best reachable period
+    (heuristics return their best-effort mapping at an unreachable bound;
+    exact solvers, which signal a hard miss instead — marked by the
+    ``infeasible_reason`` detail of the Lemma 1 fallback — are re-run at the
+    always-achievable whole-chain period so their *actual* optimal mapping
+    is what gets simulated).  Fixed-latency solvers get an unbounded latency
+    budget (they then minimise the period), and the unconstrained exact
+    solvers are run as-is.
+    """
+    from ..solvers.base import Objective
+    from ..solvers.registry import as_solver
+
+    handle = as_solver(solver)
+    if handle.objective == Objective.MIN_LATENCY_FOR_PERIOD and period_bound is None:
+        result = handle.run(app, platform, period_bound=_UNREACHABLE_PERIOD)
+        if not result.feasible and "infeasible_reason" in result.details:
+            whole_chain = evaluate(
+                app,
+                platform,
+                IntervalMapping.single_processor(
+                    app.n_stages, platform.fastest_processor
+                ),
+            )
+            result = handle.run(app, platform, period_bound=whole_chain.period)
+        report = validate_mapping(app, platform, result.mapping, n_datasets=n_datasets)
+        return result, report
+    if handle.objective == Objective.MIN_PERIOD_FOR_LATENCY and latency_bound is None:
+        latency_bound = math.inf
+    result = handle.run(
+        app, platform, period_bound=period_bound, latency_bound=latency_bound
+    )
+    report = validate_mapping(app, platform, result.mapping, n_datasets=n_datasets)
+    return result, report

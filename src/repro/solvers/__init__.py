@@ -1,0 +1,51 @@
+"""Unified solver layer: one registry and result type for every solver.
+
+Heuristics (Section 4), exact solvers (homogeneous DPs, bitmask DP, brute
+force, one-to-one) and extensions (replication, heterogeneous links) are all
+addressable by name through :func:`get_solver` / :func:`resolve_solvers` and
+return the same :class:`SolveResult`.
+
+>>> from repro.solvers import get_solver, SolveRequest
+>>> solver = get_solver("H1")
+>>> solver.family, solver.key
+('heuristic', 'H1')
+"""
+
+from . import adapters as _adapters  # noqa: F401  (registers the built-ins)
+from .base import (
+    Capability,
+    Objective,
+    SolveRequest,
+    SolveResult,
+    SolverFamily,
+    SolverProtocol,
+)
+from .registry import (
+    Solver,
+    SolverSpec,
+    as_solver,
+    get_solver,
+    register_solver,
+    resolve_solvers,
+    solver_names,
+    solver_specs,
+    solvers_for_platform,
+)
+
+__all__ = [
+    "Objective",
+    "SolverFamily",
+    "Capability",
+    "SolveRequest",
+    "SolveResult",
+    "SolverProtocol",
+    "Solver",
+    "SolverSpec",
+    "register_solver",
+    "get_solver",
+    "solver_names",
+    "solver_specs",
+    "resolve_solvers",
+    "solvers_for_platform",
+    "as_solver",
+]

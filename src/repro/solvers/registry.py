@@ -1,0 +1,363 @@
+"""Global solver registry: every solver addressable by one name lookup.
+
+The registry is the single dispatch surface of the repository: the CLI
+(``repro solve --solver NAME|all|exact|heuristics|extensions``), the
+experiment drivers and the benchmarks all resolve solvers here, so adding a
+solver to :mod:`repro.solvers.adapters` makes it reachable everywhere at
+once — the same move PR 1 made for cost evaluation with ``evaluate_batch``.
+
+Solvers are registered as :class:`SolverSpec` records (name, key, family,
+objective, capability tags, solve function) and handed out wrapped in a
+:class:`Solver` handle that
+
+* stamps every result with provenance (solver name, family, wall time);
+* offers the heuristic-style ``run(app, platform, period_bound=...,
+  latency_bound=...)`` convenience used by the experiment runner, so
+  registered solvers and plain heuristics are interchangeable there;
+* pickles by name, so the parallel experiment engine can ship it to worker
+  processes and every solution field stays byte-identical to a serial run
+  (only the ``wall_time`` stamp measures the actual run).
+
+Lookups accept the canonical name, the short key, or any registered alias,
+all case/punctuation-insensitively; unknown names raise a :class:`KeyError`
+with did-you-mean suggestions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from ..core.exceptions import ConfigurationError
+from ..heuristics.base import PipelineHeuristic
+from ..utils.validation import suggest_names
+from .base import Capability, Objective, SolveRequest, SolveResult, SolverFamily
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..core.application import PipelineApplication
+    from ..core.platform import Platform
+
+__all__ = [
+    "SolverSpec",
+    "Solver",
+    "GROUP_SELECTORS",
+    "register_solver",
+    "get_solver",
+    "solver_names",
+    "solver_specs",
+    "resolve_solvers",
+    "solvers_for_platform",
+    "as_solver",
+    "suggest_names",
+]
+
+#: group selectors accepted by :func:`resolve_solvers` (singular aliases too)
+_GROUPS = {
+    "all": None,
+    "heuristics": SolverFamily.HEURISTIC,
+    "heuristic": SolverFamily.HEURISTIC,
+    "exact": SolverFamily.EXACT,
+    "extensions": SolverFamily.EXTENSION,
+    "extension": SolverFamily.EXTENSION,
+}
+
+#: the group selectors, for CLI help text and selection checks
+GROUP_SELECTORS = tuple(_GROUPS)
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Registration record of one solver.
+
+    ``solve_fn(app, platform, request) -> SolveResult`` does the actual work;
+    provenance fields of its result are overwritten by the registry wrapper,
+    so adapters never need to repeat name/family.
+    """
+
+    name: str
+    key: str
+    family: str
+    objective: str
+    solve_fn: Callable[..., SolveResult]
+    capabilities: frozenset[str] = frozenset()
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.family not in SolverFamily.ALL:
+            raise ConfigurationError(f"unknown solver family {self.family!r}")
+        if self.objective not in Objective.ALL:
+            raise ConfigurationError(f"unknown solver objective {self.objective!r}")
+
+
+class Solver:
+    """Registry handle of a solver: uniform ``solve`` with provenance stamping."""
+
+    def __init__(self, spec: SolverSpec) -> None:
+        self.spec = spec
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    @property
+    def family(self) -> str:
+        return self.spec.family
+
+    @property
+    def objective(self) -> str:
+        return self.spec.objective
+
+    @property
+    def capabilities(self) -> frozenset[str]:
+        return self.spec.capabilities
+
+    @property
+    def description(self) -> str:
+        return self.spec.description
+
+    def __repr__(self) -> str:
+        return (
+            f"Solver(name={self.name!r}, key={self.key!r}, family={self.family!r})"
+        )
+
+    # -- platform compatibility ----------------------------------------- #
+    def supports(self, platform: "Platform") -> tuple[bool, str | None]:
+        """Whether the solver accepts ``platform`` (and why not, if not).
+
+        Uses the same platform predicates as the solvers themselves
+        (``Platform.is_fully_homogeneous`` / ``is_communication_homogeneous``),
+        so the registry's skip decision can never disagree with a solver's
+        own platform check.
+        """
+        caps = self.spec.capabilities
+        if Capability.HOMOGENEOUS_ONLY in caps and not platform.is_fully_homogeneous:
+            return False, "requires identical processor speeds and link bandwidths"
+        if Capability.COMM_HOMOGENEOUS_ONLY in caps:
+            if not platform.is_communication_homogeneous:
+                return False, "requires identical link bandwidths"
+        return True, None
+
+    # -- solving --------------------------------------------------------- #
+    def default_request(
+        self,
+        *,
+        period_bound: float | None = None,
+        latency_bound: float | None = None,
+    ) -> SolveRequest:
+        """Build the request matching this solver's objective from raw bounds."""
+        if self.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+            if period_bound is None:
+                raise ConfigurationError(f"{self.name} needs period_bound=")
+            return SolveRequest.fixed_period(period_bound)
+        if self.objective == Objective.MIN_PERIOD_FOR_LATENCY:
+            if latency_bound is None:
+                raise ConfigurationError(f"{self.name} needs latency_bound=")
+            return SolveRequest.fixed_latency(latency_bound)
+        if self.objective == Objective.MIN_PERIOD:
+            return SolveRequest.min_period(latency_bound)
+        return SolveRequest.min_latency(period_bound)
+
+    def solve(
+        self,
+        app: "PipelineApplication",
+        platform: "Platform",
+        request: SolveRequest,
+    ) -> SolveResult:
+        """Run the solver on an instance and stamp provenance on the result."""
+        if request.objective != self.objective:
+            raise ConfigurationError(
+                f"solver {self.name!r} optimises {self.objective!r}, "
+                f"got a request for {request.objective!r}"
+            )
+        start = time.perf_counter()
+        result = self.spec.solve_fn(app, platform, request)
+        elapsed = time.perf_counter() - start
+        return result.stamped(solver=self.name, family=self.family, wall_time=elapsed)
+
+    def run(
+        self,
+        app: "PipelineApplication",
+        platform: "Platform",
+        *,
+        period_bound: float | None = None,
+        latency_bound: float | None = None,
+    ) -> SolveResult:
+        """Heuristic-style entry point (used by the experiment runner).
+
+        The bounds are interpreted according to the solver's objective, so a
+        registered solver drops into any call site written for
+        :class:`~repro.heuristics.base.PipelineHeuristic`.
+        """
+        request = self.default_request(
+            period_bound=period_bound, latency_bound=latency_bound
+        )
+        return self.solve(app, platform, request)
+
+    # -- pickling: by name, re-resolved in the worker process ------------- #
+    def __reduce__(self):
+        return (get_solver, (self.name,))
+
+
+class _AdhocHeuristicSolver(Solver):
+    """Wrapper for heuristic *instances* that are not in the registry.
+
+    The ablation studies build one-off heuristic variants (custom processor
+    orders, isolated selection rules); :func:`as_solver` wraps them so the
+    generic runner treats them like registered solvers.  Pickles by value —
+    the wrapped instance carries its own configuration.
+    """
+
+    def __init__(self, heuristic: PipelineHeuristic) -> None:
+        from ..extensions.heterogeneous_links import HeterogeneousSplittingPeriod
+        from .adapters import heuristic_solve_fn
+
+        self._heuristic = heuristic
+        # mirror the registered heuristics: the Section 4 engine models
+        # communication-homogeneous platforms only, except the
+        # heterogeneous-links extension family
+        if isinstance(heuristic, HeterogeneousSplittingPeriod):
+            capabilities = frozenset(
+                {Capability.BICRITERIA, Capability.HETEROGENEOUS_LINKS}
+            )
+        else:
+            capabilities = frozenset(
+                {Capability.BICRITERIA, Capability.COMM_HOMOGENEOUS_ONLY}
+            )
+        super().__init__(
+            SolverSpec(
+                name=heuristic.name,
+                key=heuristic.key,
+                family=SolverFamily.HEURISTIC,
+                objective=heuristic.objective,
+                solve_fn=heuristic_solve_fn(heuristic),
+                capabilities=capabilities,
+                description=f"ad-hoc wrapper around {type(heuristic).__name__}",
+            )
+        )
+
+    def __reduce__(self):
+        return (_AdhocHeuristicSolver, (self._heuristic,))
+
+
+# --------------------------------------------------------------------------- #
+# the registry proper
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, SolverSpec] = {}
+_LOOKUP: dict[str, str] = {}  # normalised alias -> canonical name
+
+
+def _normalise(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+def register_solver(spec: SolverSpec) -> SolverSpec:
+    """Register a solver (name, key and aliases must not collide)."""
+    handles = (spec.name, spec.key, *spec.aliases)
+    for handle in handles:
+        norm = _normalise(handle)
+        if norm in _LOOKUP and _LOOKUP[norm] != spec.name:
+            raise ConfigurationError(
+                f"solver handle {handle!r} already registered for {_LOOKUP[norm]!r}"
+            )
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"solver {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    for handle in handles:
+        _LOOKUP[_normalise(handle)] = spec.name
+    return spec
+
+
+def get_solver(name: str) -> Solver:
+    """Look up a solver by name, key or alias.
+
+    >>> get_solver("H1").name
+    'Sp mono P'
+    >>> get_solver("hom-dp-period").family
+    'exact'
+    """
+    norm = _normalise(name)
+    if norm not in _LOOKUP:
+        handles = [s.name for s in _REGISTRY.values()] + [
+            s.key for s in _REGISTRY.values()
+        ]
+        suggestions = suggest_names(name, handles)
+        hint = f" — did you mean {', '.join(map(repr, suggestions))}?" if suggestions else ""
+        raise KeyError(
+            f"unknown solver {name!r}{hint} "
+            f"(known solvers: {', '.join(sorted(handles))})"
+        )
+    return Solver(_REGISTRY[_LOOKUP[norm]])
+
+
+def solver_specs(family: str | None = None) -> list[SolverSpec]:
+    """Registered specs, in registration order (optionally one family)."""
+    specs = list(_REGISTRY.values())
+    if family is not None:
+        specs = [s for s in specs if s.family == family]
+    return specs
+
+
+def solver_names(family: str | None = None) -> list[str]:
+    """Canonical names of the registered solvers, in registration order."""
+    return [spec.name for spec in solver_specs(family)]
+
+
+def resolve_solvers(
+    selection: str | Iterable[str] | Sequence[str] | None,
+) -> list[Solver]:
+    """Resolve a selection into solver handles.
+
+    ``selection`` may be ``None`` / ``"all"`` (every registered solver), a
+    group name (``"heuristics"``, ``"exact"``, ``"extensions"``), a single
+    solver name, or an iterable of names.
+    """
+    if selection is None:
+        return [Solver(spec) for spec in solver_specs()]
+    if isinstance(selection, str):
+        group = selection.strip().lower()
+        if group in _GROUPS:
+            return [Solver(spec) for spec in solver_specs(_GROUPS[group])]
+        return [get_solver(selection)]
+    return [
+        item if isinstance(item, Solver) else get_solver(item) for item in selection
+    ]
+
+
+def solvers_for_platform(
+    platform: "Platform",
+    selection: str | Iterable[str] | None = "all",
+    require: Iterable[str] = (),
+) -> list[Solver]:
+    """The selected solvers that accept ``platform`` and carry ``require`` tags.
+
+    The workhorse of capability-based dispatch: e.g. every exact solver valid
+    on a given platform is
+    ``solvers_for_platform(platform, require={Capability.EXACT})``.
+    """
+    required = frozenset(require)
+    chosen = []
+    for solver in resolve_solvers(selection):
+        if not required.issubset(solver.capabilities):
+            continue
+        ok, _ = solver.supports(platform)
+        if ok:
+            chosen.append(solver)
+    return chosen
+
+
+def as_solver(obj: "Solver | PipelineHeuristic | str") -> Solver:
+    """Coerce a name, heuristic instance or solver handle into a handle."""
+    if isinstance(obj, Solver):
+        return obj
+    if isinstance(obj, str):
+        return get_solver(obj)
+    if isinstance(obj, PipelineHeuristic):
+        return _AdhocHeuristicSolver(obj)
+    raise TypeError(f"cannot interpret {type(obj).__name__} as a solver")

@@ -2,9 +2,30 @@
 
 from __future__ import annotations
 
+import difflib
 import math
+from typing import Iterable
 
-__all__ = ["check_positive", "check_non_negative", "check_probability"]
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "suggest_names",
+]
+
+
+def suggest_names(name: str, candidates: Iterable[str], n: int = 3) -> list[str]:
+    """Did-you-mean suggestions for an unknown name (case-insensitive).
+
+    Shared by the heuristic and solver registries so both produce the same
+    error-message shape.  Candidates keep their original casing; duplicates
+    (after lowercasing) collapse onto the first occurrence.
+    """
+    by_lower: dict[str, str] = {}
+    for candidate in candidates:
+        by_lower.setdefault(candidate.lower(), candidate)
+    matches = difflib.get_close_matches(name.lower(), list(by_lower), n=n, cutoff=0.5)
+    return [by_lower[m] for m in matches]
 
 
 def check_positive(value: float, name: str) -> float:

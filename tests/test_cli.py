@@ -72,6 +72,147 @@ class TestSolveCommand:
         assert rc == 2
         assert "needs --period" in capsys.readouterr().err
 
+    def test_solve_by_registry_name(self, capsys):
+        """Exact solvers are reachable through the same subcommand."""
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3", "8", "2",
+                "--comms", "10", "4", "6", "2", "10",
+                "--speeds", "2", "2", "2",
+                "--solver", "hom-dp-period",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hom-dp-period" in out and "exact" in out
+
+    def test_solve_brute_force_honours_latency_bound(self, capsys):
+        """An opposite-criterion bound is forwarded, not silently dropped."""
+        args = [
+            "solve",
+            "--works", "5", "3", "8", "2",
+            "--comms", "10", "4", "6", "2", "10",
+            "--speeds", "4", "2", "1",
+            "--solver", "BF-P",
+        ]
+
+        def objective_lines(text: str) -> list[str]:
+            # wall time and mapping layout vary run to run; the objective
+            # values are what the bound must change
+            return [
+                line for line in text.splitlines()
+                if line.startswith(("period", "latency"))
+            ]
+
+        assert main(args) == 0
+        unconstrained = objective_lines(capsys.readouterr().out)
+        assert main(args + ["--latency", "7"]) == 0
+        bounded = objective_lines(capsys.readouterr().out)
+        # the latency bound excludes the unconstrained optimum (3.9, 9.85)
+        # on this instance, forcing a different optimal mapping
+        assert unconstrained != bounded
+
+    def test_solve_rejects_same_criterion_bound_on_unconstrained_solver(
+        self, capsys
+    ):
+        """--period with a min-period solver is an error, not silently dropped."""
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3", "8", "2",
+                "--comms", "10", "4", "6", "2", "10",
+                "--speeds", "2", "2", "2",
+                "--solver", "hom-dp-period",
+                "--period", "4",
+            ]
+        )
+        assert rc == 2
+        assert "--period does not apply" in capsys.readouterr().err
+
+    def test_solve_rejects_unsupported_bound_cleanly(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3",
+                "--comms", "1", "1", "1",
+                "--speeds", "4", "2",
+                "--solver", "one-to-one-period",
+                "--latency", "5",
+            ]
+        )
+        assert rc == 2
+        assert "does not take a latency bound" in capsys.readouterr().err
+
+    def test_solve_unknown_solver_suggests(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3",
+                "--comms", "1", "1", "1",
+                "--speeds", "4", "2",
+                "--solver", "hom-dp-perod",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "did you mean" in err and "hom-dp-period" in err
+
+    def test_solve_all_runs_every_family(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3", "8", "2",
+                "--comms", "10", "4", "6", "2", "10",
+                "--speeds", "4", "2", "1",
+                "--solver", "all",
+                "--period", "6",
+                "--latency", "20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        # one row per registered solver, every family represented
+        for key in ("H1", "H6", "BM-LP", "BF-P", "O2O-P", "REP", "X1"):
+            assert key in out
+        assert "heuristic" in out and "exact" in out and "extension" in out
+        # homogeneous-only DPs are skipped on this heterogeneous platform
+        assert "skipped" in out
+
+    def test_solve_exact_group_on_homogeneous_platform(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--works", "5", "3", "8", "2",
+                "--comms", "10", "4", "6", "2", "10",
+                "--speeds", "2", "2", "2",
+                "--solver", "exact",
+                "--period", "8",
+                "--latency", "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DP-P" in out and "BM-LP" in out
+        assert "(requires identical processor speeds)" not in out
+
+
+class TestSolversCommand:
+    def test_lists_all_families(self, capsys):
+        rc = main(["solvers"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("Sp mono P", "hom-dp-period", "greedy-replication"):
+            assert name in out
+        assert "capabilities" in out
+
+    def test_family_filter(self, capsys):
+        rc = main(["solvers", "--family", "exact"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hom-dp-period" in out
+        assert "Sp mono P" not in out
+
 
 class TestParallelFlags:
     def test_defaults(self):
@@ -146,3 +287,46 @@ class TestExperimentCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "rel. error" in out
+
+    def test_validate_with_registry_solver(self, capsys):
+        rc = main(
+            [
+                "validate", "--family", "E1", "--stages", "5", "--processors", "4",
+                "--instances", "2", "--datasets", "20",
+                "--solver", "bitmask-dp-period-for-latency",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bitmask-dp-period-for-latency" in out and "rel. error" in out
+
+    def test_validate_rejects_group_selectors(self, capsys):
+        rc = main(
+            [
+                "validate", "--family", "E1", "--stages", "5", "--processors", "4",
+                "--instances", "2", "--solver", "heuristics",
+            ]
+        )
+        assert rc == 2
+        assert "single solver" in capsys.readouterr().err
+
+    def test_validate_incompatible_solver_fails_cleanly(self, capsys):
+        """A homogeneous-only solver on a heterogeneous stream: no traceback."""
+        rc = main(
+            [
+                "validate", "--family", "E1", "--stages", "5", "--processors", "4",
+                "--instances", "2", "--solver", "hom-dp-period",
+            ]
+        )
+        assert rc == 2
+        assert "identical processor speeds" in capsys.readouterr().err
+
+    def test_validate_unknown_solver_rejected(self, capsys):
+        rc = main(
+            [
+                "validate", "--family", "E1", "--stages", "5", "--processors", "4",
+                "--instances", "2", "--solver", "nope",
+            ]
+        )
+        assert rc == 2
+        assert "unknown solver" in capsys.readouterr().err

@@ -88,3 +88,55 @@ class TestMinPeriodForLatency:
         app, platform = random_homogeneous_instance(2)
         with pytest.raises(InfeasibleError):
             homogeneous_min_period_for_latency(app, platform, 1e-9)
+
+
+class TestVectorizedKernels:
+    """The NumPy DP kernels must match the scalar reference loops."""
+
+    def test_cycle_matrix_identical(self):
+        from repro.exact.homogeneous_dp import _cycle_matrix, _cycle_matrix_scalar
+
+        for seed in range(6):
+            app, platform = random_homogeneous_instance(seed, n=9, p=4)
+            assert np.array_equal(
+                _cycle_matrix(app, platform), _cycle_matrix_scalar(app, platform)
+            )
+
+    def test_cycle_matrix_with_zero_communications(self):
+        from repro.exact.homogeneous_dp import _cycle_matrix, _cycle_matrix_scalar
+
+        app = PipelineApplication([4.0, 2.0, 6.0], [0.0, 3.0, 5.0, 0.0])
+        platform = Platform.fully_homogeneous(3, speed=2.0, bandwidth=10.0)
+        assert np.array_equal(
+            _cycle_matrix(app, platform), _cycle_matrix_scalar(app, platform)
+        )
+
+    def test_min_period_paths_agree(self):
+        for seed in range(6):
+            app, platform = random_homogeneous_instance(seed, n=10, p=4)
+            m_vec, v_vec = homogeneous_min_period(app, platform)
+            m_sca, v_sca = homogeneous_min_period(app, platform, vectorized=False)
+            assert v_vec == v_sca
+            assert m_vec == m_sca
+
+    def test_min_latency_for_period_paths_agree(self):
+        for seed in range(6):
+            app, platform = random_homogeneous_instance(seed, n=10, p=4)
+            _, optimum = homogeneous_min_period(app, platform)
+            for factor in (1.0, 1.3, 2.0):
+                bound = optimum * factor
+                _, l_vec = homogeneous_min_latency_for_period(app, platform, bound)
+                _, l_sca = homogeneous_min_latency_for_period(
+                    app, platform, bound, vectorized=False
+                )
+                assert l_vec == pytest.approx(l_sca, rel=1e-12)
+
+    def test_min_period_for_latency_paths_agree(self):
+        for seed in range(4):
+            app, platform = random_homogeneous_instance(seed, n=8, p=3)
+            bound = optimal_latency(app, platform) * 1.4
+            _, p_vec = homogeneous_min_period_for_latency(app, platform, bound)
+            _, p_sca = homogeneous_min_period_for_latency(
+                app, platform, bound, vectorized=False
+            )
+            assert p_vec == pytest.approx(p_sca, rel=1e-12)

@@ -14,7 +14,7 @@ import pytest
 
 from repro.experiments.ablation import processor_order_ablation, selection_rule_ablation
 from repro.experiments.failure import failure_thresholds
-from repro.experiments.runner import reference_ranges, run_heuristic
+from repro.experiments.runner import reference_ranges, run_heuristic, run_solver
 from repro.experiments.sweep import run_sweep, sweep_results_equal
 from repro.generators.experiments import experiment_config, generate_instances
 from repro.heuristics import get_heuristic
@@ -95,6 +95,22 @@ class TestRunnerDeterminism:
             instances, workers=2, batch_size=2
         )
 
+    def test_run_solver_by_registry_name_workers_identical(self, instances):
+        """An exact solver dispatched by name: workers=N byte-identical."""
+        serial = run_solver("bitmask-dp-latency-for-period", instances, 20.0)
+        parallel = run_solver(
+            "bitmask-dp-latency-for-period", instances, 20.0,
+            workers=3, batch_size=2,
+        )
+        for a, b in zip(serial, parallel):
+            assert a.instance_index == b.instance_index
+            assert a.result.period == b.result.period
+            assert a.result.latency == b.result.latency
+            assert a.result.feasible == b.result.feasible
+            assert a.result.mapping == b.result.mapping
+            assert a.result.solver == "bitmask-dp-latency-for-period"
+            assert a.result.family == "exact"
+
     def test_failure_thresholds_workers_identical(self, instances):
         cfg = instances[0].config
         serial = failure_thresholds(cfg, instances=instances)
@@ -123,6 +139,17 @@ class TestSweepDeterminism:
         serial = run_sweep(cfg, n_thresholds=4, seed=0, workers=1)
         parallel = run_sweep(cfg, n_thresholds=4, seed=0, workers=4)
         assert sweep_results_equal(serial, parallel)
+
+    def test_sweep_over_registry_names_workers_identical(self):
+        """Sweeping a mixed solver list (heuristic + exact) by name."""
+        cfg = experiment_config("E1", 6, 4, n_instances=3)
+        names = ["H1", "bitmask-dp-latency-for-period"]
+        serial = run_sweep(cfg, heuristics=names, n_thresholds=3, seed=7)
+        parallel = run_sweep(
+            cfg, heuristics=names, n_thresholds=3, seed=7, workers=3, batch_size=1
+        )
+        assert sweep_results_equal(serial, parallel)
+        assert set(serial.curves) == {"Sp mono P", "bitmask-dp-latency-for-period"}
 
     def test_sweep_results_equal_detects_differences(self):
         cfg = experiment_config("E1", 6, 4, n_instances=3)

@@ -8,8 +8,6 @@ case).
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.application import PipelineApplication
 from repro.core.costs import optimal_latency
 from repro.core.exceptions import InfeasibleError

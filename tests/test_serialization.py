@@ -19,9 +19,12 @@ from repro.core.serialization import (
     platform_from_dict,
     platform_to_dict,
     save_json,
+    solve_result_from_dict,
+    solve_result_to_dict,
 )
 from repro.generators.platforms import random_fully_heterogeneous_platform
 from repro.heuristics import get_heuristic
+from repro.solvers import get_solver
 from tests.conftest import random_instance
 
 
@@ -92,3 +95,63 @@ class TestFileHelpers:
         app, platform, _ = instance_from_dict(loaded)
         assert app == small_app
         assert platform == small_platform
+
+
+class TestSolveResultRoundTrip:
+    def _dump(self, document) -> str:
+        return json.dumps(document, indent=2, sort_keys=True)
+
+    def test_heuristic_result_round_trip(self, small_app, small_platform):
+        result = get_solver("H1").run(small_app, small_platform, period_bound=6.0)
+        document = solve_result_to_dict(result)
+        rebuilt = solve_result_from_dict(document)
+        assert rebuilt == result
+        assert rebuilt.mapping == result.mapping
+        assert rebuilt.history == result.history
+
+    def test_round_trip_is_byte_stable(self, small_app, small_platform):
+        """dump -> load -> dump must reproduce the exact same bytes."""
+        result = get_solver("H4").run(small_app, small_platform, period_bound=5.0)
+        first = self._dump(solve_result_to_dict(result))
+        second = self._dump(
+            solve_result_to_dict(solve_result_from_dict(json.loads(first)))
+        )
+        assert first == second
+
+    def test_infeasible_result_round_trip(self, small_app, small_platform):
+        result = get_solver("hom-dp-latency-for-period").run(
+            small_app,
+            Platform.communication_homogeneous([2.0, 2.0], bandwidth=10.0),
+            period_bound=1e-9,
+        )
+        assert not result.feasible
+        first = self._dump(solve_result_to_dict(result))
+        rebuilt = solve_result_from_dict(json.loads(first))
+        assert rebuilt == result
+        assert not rebuilt.feasible
+        assert rebuilt.details["infeasible_reason"]
+        assert self._dump(solve_result_to_dict(rebuilt)) == first
+
+    def test_exact_result_without_threshold(self, small_app):
+        platform = Platform.communication_homogeneous([3.0, 3.0], bandwidth=10.0)
+        result = get_solver("hom-dp-period").run(small_app, platform)
+        document = solve_result_to_dict(result)
+        assert document["threshold"] is None
+        rebuilt = solve_result_from_dict(document)
+        assert rebuilt.threshold is None
+        assert rebuilt.period == result.period
+
+    def test_document_is_json_serialisable(self, small_app, small_platform):
+        result = get_solver("greedy-replication").run(
+            small_app, small_platform, period_bound=3.0
+        )
+        json.dumps(solve_result_to_dict(result))
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError):
+            solve_result_from_dict({"type": "solve-result"})
+
+    def test_file_round_trip(self, tmp_path, small_app, small_platform):
+        result = get_solver("H1").run(small_app, small_platform, period_bound=6.0)
+        path = save_json(solve_result_to_dict(result), tmp_path / "result.json")
+        assert solve_result_from_dict(load_json(path)) == result

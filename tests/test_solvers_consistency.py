@@ -1,0 +1,99 @@
+"""Cross-family consistency: heuristics can never beat the exact solvers.
+
+Property-style checks over seeded random *homogeneous* instances, with every
+solver fetched through the unified registry: the homogeneous DP optimum is a
+floor for the period of every registered heuristic, and the DP's
+period-constrained latency is a floor for the latency of every feasible
+heuristic run at the same bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.application import PipelineApplication
+from repro.core.costs import optimal_latency
+from repro.core.platform import Platform
+from repro.solvers import Objective, get_solver, resolve_solvers
+
+#: relative tolerance of the floor comparisons (solvers use ~1e-9 epsilons)
+_REL_TOL = 1e-6
+
+
+def _random_homogeneous_instance(
+    seed: int,
+) -> tuple[PipelineApplication, Platform]:
+    rng = np.random.default_rng(987_000 + seed)
+    n = int(rng.integers(4, 10))
+    p = int(rng.integers(2, 6))
+    works = rng.uniform(1.0, 20.0, n)
+    comms = rng.uniform(1.0, 10.0, n + 1)
+    speed = float(rng.uniform(1.0, 8.0))
+    app = PipelineApplication(works, comms, name=f"consistency-{seed}")
+    platform = Platform.communication_homogeneous(
+        [speed] * p, bandwidth=10.0, name=f"hom-{seed}"
+    )
+    return app, platform
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_no_heuristic_beats_the_homogeneous_dp_period(seed):
+    """Registry-fetched DP optimum bounds every heuristic's period from below."""
+    app, platform = _random_homogeneous_instance(seed)
+    optimum = get_solver("hom-dp-period").run(app, platform).period
+    latency_floor = optimal_latency(app, platform)
+
+    for solver in resolve_solvers("heuristics"):
+        if solver.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+            # push the heuristic to its best reachable period
+            result = solver.run(app, platform, period_bound=1e-9)
+        else:
+            # an unbounded latency budget lets the heuristic chase the period
+            result = solver.run(app, platform, latency_bound=latency_floor * 100)
+        assert result.period >= optimum * (1 - _REL_TOL), (
+            f"{solver.name} reported period {result.period} below the "
+            f"homogeneous DP optimum {optimum}"
+        )
+        assert result.latency >= latency_floor * (1 - _REL_TOL), (
+            f"{solver.name} reported latency below the Lemma 1 optimum"
+        )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_feasible_heuristics_dominate_dp_latency_at_same_bound(seed):
+    """At a common period bound, the DP's latency is optimal."""
+    app, platform = _random_homogeneous_instance(seed)
+    optimum = get_solver("hom-dp-period").run(app, platform).period
+    bound = optimum * 1.5
+    dp_latency = get_solver("hom-dp-latency-for-period").run(
+        app, platform, period_bound=bound
+    )
+    assert dp_latency.feasible
+
+    for solver in resolve_solvers("heuristics"):
+        if solver.objective != Objective.MIN_LATENCY_FOR_PERIOD:
+            continue
+        result = solver.run(app, platform, period_bound=bound)
+        if not result.feasible:
+            continue
+        assert result.latency >= dp_latency.latency * (1 - _REL_TOL), (
+            f"{solver.name} reported latency {result.latency} below the DP "
+            f"optimum {dp_latency.latency} at period bound {bound}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_brute_force_agrees_with_homogeneous_dp(seed):
+    """On tiny homogeneous instances the two exact families must agree."""
+    rng = np.random.default_rng(55_000 + seed)
+    n = int(rng.integers(3, 7))
+    p = int(rng.integers(2, 4))
+    app = PipelineApplication(
+        rng.uniform(1.0, 20.0, n), rng.uniform(1.0, 10.0, n + 1)
+    )
+    platform = Platform.communication_homogeneous([3.0] * p, bandwidth=10.0)
+
+    dp = get_solver("hom-dp-period").run(app, platform)
+    bf = get_solver("brute-force-period").run(app, platform)
+    assert bf.period == pytest.approx(dp.period, rel=1e-9)
