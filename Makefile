@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench sweep-demo clean-results
+.PHONY: test lint bench-smoke bench fuzz-smoke sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
@@ -24,6 +24,12 @@ bench-smoke:
 ## full benchmark suite (paper-scale sizing via REPRO_BENCH_* env knobs)
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
+
+## fast differential-verification slice; CI's PR gate runs exactly this
+## target (the nightly job runs the same command with --count 2000) and
+## uploads anything written to fuzz-counterexamples/ as an artifact
+fuzz-smoke:
+	$(PYTHON) -m repro.cli fuzz --count 100 --seed 0 --corpus fuzz-counterexamples
 
 ## one parallel figure panel end to end (smoke test of the --workers path)
 sweep-demo:

@@ -1,0 +1,57 @@
+"""Throughput of the differential verification pipeline.
+
+Not a figure of the paper: this benchmark sizes the guard-rail itself.  It
+streams a scenario sample through :func:`repro.scenarios.run_fuzz` (every
+applicable solver plus both simulators per instance, the exact configuration
+of the CLI ``fuzz`` subcommand and the nightly CI job) and reports
+
+* end-to-end throughput in scenarios/second and comparisons/second — the
+  number that decides how many instances a nightly budget buys;
+* the per-family instance counts of the sample.
+
+The run must find zero disagreements; a counterexample in a benchmark run is
+a real regression and fails the suite with the rendered report.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_utils import instance_count, worker_count, write_report
+from repro.scenarios import FuzzReport, render_fuzz_report, run_fuzz
+from repro.utils.tables import format_table
+
+#: seed fixed independently of the figure benchmarks: the fuzz stream must
+#: stay comparable run to run
+_FUZZ_SEED = 0
+
+
+def run_fuzz_sample(count: int) -> tuple[FuzzReport, float]:
+    start = time.perf_counter()
+    report = run_fuzz(count=count, seed=_FUZZ_SEED, workers=worker_count())
+    return report, time.perf_counter() - start
+
+
+def test_fuzz_throughput(benchmark):
+    count = max(16, instance_count() * 4)
+    report, elapsed = benchmark.pedantic(
+        run_fuzz_sample, args=(count,), rounds=1, iterations=1
+    )
+    scenarios_per_s = count / elapsed if elapsed > 0 else float("inf")
+    comparisons_per_s = report.n_comparisons / elapsed if elapsed > 0 else float("inf")
+    rows = [
+        ("scenarios", count, f"{scenarios_per_s:.1f}/s"),
+        ("comparisons", report.n_comparisons, f"{comparisons_per_s:.0f}/s"),
+    ] + [
+        (f"family {name}", n, "")
+        for name, n in report.per_family.items()
+    ]
+    text = format_table(
+        ["metric", "count", "throughput"],
+        rows,
+        title=f"Differential verification throughput "
+        f"({count} scenarios, seed {_FUZZ_SEED}, {elapsed:.2f}s)",
+    )
+    write_report("fuzz_throughput", text)
+    assert report.ok, render_fuzz_report(report)
+    assert report.n_comparisons > count  # every scenario ran real comparisons

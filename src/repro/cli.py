@@ -8,7 +8,11 @@ The ``repro-pipeline`` entry point exposes the main workflows:
 * ``sweep``     — reproduce one latency-versus-period figure panel (Figs. 2–7);
 * ``failure``   — reproduce one quadrant of Table 1 (failure thresholds);
 * ``ablation``  — run the design-choice ablations;
-* ``validate``  — cross-check the analytical model against the simulators.
+* ``validate``  — cross-check the analytical model against the simulators;
+* ``fuzz``      — differential verification: stream random scenarios through
+  every applicable solver and both simulators, shrink any disagreement to a
+  minimal counterexample (optionally persisting it into the regression
+  corpus under ``tests/corpus/``).
 
 All output is plain text (the environment is headless); every command accepts
 ``--seed`` so results are reproducible.  The experiment commands additionally
@@ -109,6 +113,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="number of data sets pushed through the simulators")
     validate.add_argument("--solver", default="H1",
                           help="registered solver whose mapping is simulated")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential verification: fuzz every solver against the simulators",
+    )
+    fuzz.add_argument(
+        "--families", nargs="+", default=None, metavar="FAMILY",
+        help="scenario families to draw from (default: all; "
+             "see --list-families)",
+    )
+    fuzz.add_argument("--count", type=_positive_int_arg, default=1000,
+                      help="number of scenarios to stream through the oracle")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--datasets", type=_positive_int_arg, default=16,
+                      help="data sets pushed through the simulators per mapping")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="persist shrunk counterexamples into this directory "
+                           "(regression-corpus format)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report raw disagreeing instances without minimising")
+    fuzz.add_argument("--list-families", action="store_true",
+                      help="list the scenario families and exit")
+    _add_parallel_arguments(fuzz)
 
     return parser
 
@@ -385,6 +412,36 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .scenarios import FAMILIES, render_fuzz_report, run_fuzz
+
+    if args.list_families:
+        header = f"{'family':<22} description"
+        print(header)
+        print("-" * len(header))
+        for family in FAMILIES.values():
+            print(f"{family.name:<22} {family.description}")
+        return 0
+    try:
+        report = run_fuzz(
+            count=args.count,
+            families=args.families,
+            seed=args.seed,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            n_datasets=args.datasets,
+            shrink=not args.no_shrink,
+            corpus_dir=args.corpus,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(render_fuzz_report(report))
+    if not report.ok and args.corpus:
+        print(f"(counterexamples persisted under {args.corpus})", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-pipeline`` console script."""
     parser = build_parser()
@@ -396,6 +453,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "failure": _cmd_failure,
         "ablation": _cmd_ablation,
         "validate": _cmd_validate,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

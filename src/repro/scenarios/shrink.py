@@ -1,0 +1,225 @@
+"""Counterexample minimisation: shrink a disagreeing instance.
+
+When the differential harness finds an instance on which two solvers (or a
+solver and a simulator) disagree, the raw instance is rarely the best bug
+report: a 10-stage pipeline with six-digit costs usually hides a two-stage
+core with unit costs.  :func:`shrink_instance` reduces the instance greedily
+while a caller-supplied predicate (typically "the same check still fails",
+see :func:`repro.scenarios.harness.run_fuzz`) keeps holding:
+
+1. drop stages, one at a time;
+2. drop processors, one at a time;
+3. simplify the surviving numbers — zero a communication, zero a work, snap
+   values to ``1``, round to integers, collapse the platform to unit speeds
+   and bandwidths.
+
+Every candidate is accepted only if it still builds a valid instance *and*
+the predicate still fails, so the result is a locally minimal counterexample:
+no single transformation can shrink it further.  The predicate-evaluation
+budget bounds worst-case runtime; shrinking is deterministic (fixed
+transformation order, no randomness), so a fuzz run reports the same minimal
+counterexample at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..core.application import PipelineApplication
+from ..core.platform import Platform
+
+__all__ = ["ShrinkResult", "shrink_instance"]
+
+#: predicate signature: does the disagreement still reproduce on the instance?
+FailsPredicate = Callable[[PipelineApplication, Platform], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimised instance plus the bookkeeping of the search."""
+
+    application: PipelineApplication
+    platform: Platform
+    n_evaluations: int
+    n_accepted: int
+
+
+def _drop_stage(app: PipelineApplication, i: int) -> PipelineApplication:
+    works = np.delete(app.works, i)
+    comms = np.delete(app.comm_sizes, i + 1)
+    return PipelineApplication(works, comms, name=app.name)
+
+
+def _with_app_values(
+    app: PipelineApplication, works: np.ndarray, comms: np.ndarray
+) -> PipelineApplication:
+    return PipelineApplication(works, comms, name=app.name)
+
+
+def _drop_processor(platform: Platform, u: int) -> Platform:
+    keep = [v for v in range(platform.n_processors) if v != u]
+    return platform.restrict(keep, name=platform.name)
+
+
+def _unit_platform(platform: Platform) -> Platform:
+    return Platform(
+        np.ones(platform.n_processors),
+        1.0,
+        input_bandwidth=1.0,
+        output_bandwidth=1.0,
+        name=platform.name,
+    )
+
+
+def _size_key(app: PipelineApplication, platform: Platform) -> tuple:
+    """Well-founded "simplicity" order of instances (smaller is simpler).
+
+    Every accepted shrink step must strictly decrease this key, which makes
+    the greedy loop terminate and rules out toggling between equally-failing
+    states (e.g. a work value flipping 0 -> 1 -> 0).  Components, most
+    significant first: stage count, processor count, heterogeneous links,
+    non-zero application values, non-integer values anywhere, total magnitude
+    (distance of the platform from the all-ones platform plus the application
+    mass).
+    """
+    works = app.works
+    comms = app.comm_sizes
+    speeds = platform.speeds
+    hetero = 0 if platform.is_communication_homogeneous else 1
+    if hetero:
+        matrix = platform.bandwidth_matrix()
+        off_diag = matrix[~np.eye(platform.n_processors, dtype=bool)]
+        bandwidth_values = off_diag if off_diag.size else np.ones(1)
+    else:
+        bandwidth_values = np.array([platform.uniform_bandwidth])
+    platform_values = np.concatenate(
+        (
+            speeds,
+            bandwidth_values,
+            [platform.input_bandwidth, platform.output_bandwidth],
+        )
+    )
+    app_values = np.concatenate((works, comms))
+    non_integer = int(np.sum(app_values != np.round(app_values))) + int(
+        np.sum(platform_values != np.round(platform_values))
+    )
+    magnitude = float(app_values.sum() + np.abs(platform_values - 1.0).sum())
+    return (
+        app.n_stages,
+        platform.n_processors,
+        hetero,
+        int(np.count_nonzero(app_values)),
+        non_integer,
+        magnitude,
+    )
+
+
+def _candidates(
+    app: PipelineApplication, platform: Platform
+) -> Iterator[tuple[PipelineApplication, Platform]]:
+    """All single-step simplifications, in deterministic order."""
+    n, p = app.n_stages, platform.n_processors
+    # 1. structural: fewer stages, fewer processors (highest payoff first)
+    if n > 1:
+        for i in range(n):
+            yield _drop_stage(app, i), platform
+    if p > 1:
+        for u in range(p):
+            yield app, _drop_processor(platform, u)
+    # 2. whole-platform collapse
+    yield app, _unit_platform(platform)
+    # 3. value-level simplification of the application
+    works = app.works
+    comms = app.comm_sizes
+    for target in (0.0, 1.0):
+        for i in range(n):
+            if works[i] != target:
+                new = works.copy()
+                new[i] = target
+                yield _with_app_values(app, new, comms), platform
+        for i in range(n + 1):
+            if comms[i] != target:
+                new = comms.copy()
+                new[i] = target
+                yield _with_app_values(app, works, new), platform
+    # 4. rounding (integerise surviving values)
+    rounded_works = np.round(works)
+    rounded_comms = np.round(comms)
+    if not np.array_equal(rounded_works, works):
+        yield _with_app_values(app, rounded_works, comms), platform
+    if not np.array_equal(rounded_comms, comms):
+        yield _with_app_values(app, works, rounded_comms), platform
+    # 5. value-level simplification of the platform speeds
+    speeds = platform.speeds
+    for i in range(p):
+        if speeds[i] != 1.0:
+            new_speeds = speeds.copy()
+            new_speeds[i] = 1.0
+            if platform.is_communication_homogeneous:
+                yield app, Platform(
+                    new_speeds,
+                    platform.uniform_bandwidth,
+                    input_bandwidth=platform.input_bandwidth,
+                    output_bandwidth=platform.output_bandwidth,
+                    name=platform.name,
+                )
+            else:
+                yield app, Platform(
+                    new_speeds,
+                    platform.bandwidth_matrix(),
+                    input_bandwidth=platform.input_bandwidth,
+                    output_bandwidth=platform.output_bandwidth,
+                    name=platform.name,
+                )
+
+
+def shrink_instance(
+    app: PipelineApplication,
+    platform: Platform,
+    still_fails: FailsPredicate,
+    *,
+    max_evaluations: int = 400,
+) -> ShrinkResult:
+    """Greedily minimise an instance while ``still_fails`` keeps holding.
+
+    ``still_fails`` must be ``True`` for the input instance (the
+    counterexample being shrunk); it is evaluated on every candidate, and a
+    candidate is adopted as the new current instance exactly when it returns
+    ``True``.  Candidate construction or predicate errors discard the
+    candidate — shrinking never raises on a weird intermediate instance.
+    """
+    evaluations = 0
+    accepted = 0
+    current_app, current_platform = app, platform
+    current_key = _size_key(app, platform)
+    progress = True
+    while progress and evaluations < max_evaluations:
+        progress = False
+        for cand_app, cand_platform in _candidates(current_app, current_platform):
+            if evaluations >= max_evaluations:
+                break
+            try:
+                candidate_key = _size_key(cand_app, cand_platform)
+            except Exception:  # noqa: BLE001 - invalid intermediate instance
+                continue
+            if candidate_key >= current_key:
+                continue  # not a simplification: skip without spending budget
+            evaluations += 1
+            try:
+                if still_fails(cand_app, cand_platform):
+                    current_app, current_platform = cand_app, cand_platform
+                    current_key = candidate_key
+                    accepted += 1
+                    progress = True
+                    break  # restart the candidate scan from the smaller instance
+            except Exception:  # noqa: BLE001 - invalid intermediate instance
+                continue
+    return ShrinkResult(
+        application=current_app,
+        platform=current_platform,
+        n_evaluations=evaluations,
+        n_accepted=accepted,
+    )

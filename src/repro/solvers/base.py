@@ -20,7 +20,7 @@ site — the same contract the heuristics already honoured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Any, Mapping, Protocol, runtime_checkable
 
 from ..core.exceptions import ConfigurationError
@@ -239,6 +239,28 @@ class SolveResult:
     def stamped(self, *, solver: str, family: str, wall_time: float) -> "SolveResult":
         """Copy with provenance filled in (used by the registry wrapper)."""
         return replace(self, solver=solver, family=family, wall_time=wall_time)
+
+    #: provenance fields that measure the actual run and therefore differ
+    #: between byte-identical solves (serial vs pooled, machine to machine)
+    NONDETERMINISTIC_FIELDS = ("wall_time",)
+
+    def identity(self) -> dict[str, Any]:
+        """Byte-comparable view: every solution field, no timing provenance.
+
+        ``wall_time`` measures the actual run, so two byte-identical solves
+        (serial versus process pool, or across machines) legitimately differ
+        on it.  Every comparison asserting the engine's determinism contract
+        must go through this single exclusion point instead of hand-picking
+        fields: two results describe the same solution iff their ``identity()``
+        dictionaries are equal, and new fields added to :class:`SolveResult`
+        are compared automatically unless explicitly listed in
+        :attr:`NONDETERMINISTIC_FIELDS`.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in self.NONDETERMINISTIC_FIELDS
+        }
 
 
 @runtime_checkable

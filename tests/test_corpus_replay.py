@@ -1,0 +1,123 @@
+"""Tier-1 replay of the regression corpus (``tests/corpus/``).
+
+Every corpus entry — curated seed instance or shrunk fuzz counterexample —
+is replayed through the full differential oracle on every test run, so a
+disagreement fixed once can never silently come back.  On top of the oracle,
+the corpus carries the strict simulator-agreement contract: the event-driven
+and synchronous simulators must produce *identical* steady-state periods on
+every corpus instance (1e-9 relative, i.e. floating-point noise only —
+corpus instances reach steady state by construction).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.costs import evaluate, optimal_latency_mapping
+from repro.core.serialization import SerializationError
+from repro.heuristics import get_heuristic
+from repro.scenarios import (
+    CORPUS_SCHEMA,
+    differential_check,
+    instance_digest,
+    load_corpus,
+    load_corpus_entry,
+    save_counterexample,
+)
+from repro.simulation.event_driven import simulate_mapping
+from repro.simulation.synchronous import synchronous_schedule
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def _entry_ids():
+    return [entry.label for entry in ENTRIES]
+
+
+class TestCorpusContents:
+    def test_corpus_is_not_empty(self):
+        assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+    def test_entries_carry_provenance(self):
+        for entry in ENTRIES:
+            assert entry.family
+            assert entry.check
+            assert entry.note
+            assert entry.digest == instance_digest(entry.application, entry.platform)
+            assert entry.path is not None and entry.path.name.endswith(".json")
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_ids())
+class TestCorpusReplay:
+    def test_differential_oracle_passes(self, entry):
+        report = differential_check(entry.application, entry.platform)
+        assert report.ok, (
+            f"corpus regression {entry.label} ({entry.check}): "
+            + "; ".join(str(f) for f in report.failures)
+        )
+
+    def test_simulators_agree_on_steady_state_period(self, entry):
+        """Event-driven and synchronous steady-state periods are identical."""
+        app, platform = entry.application, entry.platform
+        mappings = [optimal_latency_mapping(app, platform)]
+        if platform.is_communication_homogeneous:
+            mappings.append(
+                get_heuristic("H1").run(app, platform, period_bound=1e-9).mapping
+            )
+        for mapping in mappings:
+            datasets = max(60, 4 * mapping.n_intervals)
+            sync = synchronous_schedule(app, platform, mapping, n_datasets=datasets)
+            event = simulate_mapping(app, platform, mapping, n_datasets=datasets)
+            s, e = sync.measured_period(), event.measured_period()
+            assert e == pytest.approx(s, rel=1e-9, abs=1e-9), (
+                f"{entry.label}: event-driven steady-state period {e!r} != "
+                f"synchronous {s!r} on {mapping!r}"
+            )
+            analytical = evaluate(app, platform, mapping)
+            assert s == pytest.approx(analytical.period, rel=1e-9, abs=1e-9)
+
+
+class TestCorpusFormat:
+    def test_round_trip_through_save_and_load(self, tmp_path):
+        entry = ENTRIES[0]
+        path = save_counterexample(
+            tmp_path,
+            entry.application,
+            entry.platform,
+            family=entry.family,
+            check=entry.check,
+            note="round-trip",
+        )
+        loaded = load_corpus_entry(path)
+        assert loaded.digest == entry.digest
+        assert loaded.application == entry.application
+        assert loaded.platform == entry.platform
+        # content-addressed: saving again is an idempotent overwrite
+        assert save_counterexample(
+            tmp_path, entry.application, entry.platform,
+            family=entry.family, check=entry.check, note="round-trip",
+        ) == path
+        assert len(load_corpus(tmp_path)) == 1
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        document = json.loads(ENTRIES[0].path.read_text(encoding="utf-8"))
+        document["schema"] = CORPUS_SCHEMA + 1
+        bad = tmp_path / "bad-schema.json"
+        bad.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(SerializationError, match="schema"):
+            load_corpus_entry(bad)
+
+    def test_digest_mismatch_is_rejected(self, tmp_path):
+        document = json.loads(ENTRIES[0].path.read_text(encoding="utf-8"))
+        document["instance"]["application"]["works"][0] += 1.0
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(SerializationError, match="digest mismatch"):
+            load_corpus_entry(tampered)
+
+    def test_missing_directory_is_an_empty_corpus(self, tmp_path):
+        assert load_corpus(tmp_path / "does-not-exist") == []

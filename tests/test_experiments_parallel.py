@@ -90,6 +90,19 @@ class TestRunnerDeterminism:
             assert a.result.feasible == b.result.feasible
             assert a.result.mapping == b.result.mapping
 
+    def test_run_solver_results_identity_workers_identical(self, instances):
+        """Full-result byte identity modulo the wall-time provenance stamp.
+
+        ``SolveResult.identity()`` is the single place excluding ``wall_time``
+        from determinism comparisons; everything else must match field by
+        field between a serial and a pooled run.
+        """
+        serial = run_solver("H1", instances, 6.0)
+        parallel = run_solver("H1", instances, 6.0, workers=3, batch_size=2)
+        assert [a.result.identity() for a in serial] == [
+            b.result.identity() for b in parallel
+        ]
+
     def test_reference_ranges_workers_identical(self, instances):
         assert reference_ranges(instances) == reference_ranges(
             instances, workers=2, batch_size=2
@@ -104,10 +117,7 @@ class TestRunnerDeterminism:
         )
         for a, b in zip(serial, parallel):
             assert a.instance_index == b.instance_index
-            assert a.result.period == b.result.period
-            assert a.result.latency == b.result.latency
-            assert a.result.feasible == b.result.feasible
-            assert a.result.mapping == b.result.mapping
+            assert a.result.identity() == b.result.identity()
             assert a.result.solver == "bitmask-dp-latency-for-period"
             assert a.result.family == "exact"
 

@@ -1,0 +1,198 @@
+"""Hypothesis property tests of the core kernels and mapping invariants.
+
+Two contracts the rest of the repository leans on:
+
+* the vectorized batch kernels of :mod:`repro.core.costs` are *the same
+  function* as the scalar evaluation — on any instance, any platform class
+  and any structurally valid batch of mappings;
+* :class:`repro.core.mapping.IntervalMapping` round-trips through every one
+  of its alternate representations (boundaries, serialisation documents)
+  and its stage-navigation helpers agree with the raw partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.application import PipelineApplication
+from repro.core.costs import (
+    evaluate,
+    evaluate_batch,
+    interval_cycle_time,
+    interval_time_components,
+)
+from repro.core.mapping import Interval, IntervalMapping
+from repro.core.platform import Platform
+from repro.core.serialization import mapping_from_dict, mapping_to_dict
+
+# ----------------------------------------------------------------------------- #
+# strategies
+# ----------------------------------------------------------------------------- #
+works_values = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+comm_values = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+speed_values = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+bandwidth_values = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def applications(draw, max_stages: int = 10):
+    n = draw(st.integers(min_value=1, max_value=max_stages))
+    works = draw(st.lists(works_values, min_size=n, max_size=n))
+    comms = draw(st.lists(comm_values, min_size=n + 1, max_size=n + 1))
+    return PipelineApplication(works, comms)
+
+
+@st.composite
+def platforms(draw, max_procs: int = 6, heterogeneous_links: bool = False):
+    p = draw(st.integers(min_value=1, max_value=max_procs))
+    speeds = draw(st.lists(speed_values, min_size=p, max_size=p))
+    if heterogeneous_links:
+        raw = draw(
+            st.lists(
+                st.lists(bandwidth_values, min_size=p, max_size=p),
+                min_size=p,
+                max_size=p,
+            )
+        )
+        matrix = np.asarray(raw, dtype=float)
+        matrix = (matrix + matrix.T) / 2.0
+        np.fill_diagonal(matrix, 1.0)
+        return Platform.fully_heterogeneous(
+            speeds,
+            matrix,
+            input_bandwidth=draw(bandwidth_values),
+            output_bandwidth=draw(bandwidth_values),
+        )
+    return Platform.communication_homogeneous(speeds, draw(bandwidth_values))
+
+
+@st.composite
+def mappings_for(draw, n_stages: int, n_processors: int):
+    """A structurally valid interval mapping of ``n_stages`` onto ``p`` procs."""
+    m = draw(st.integers(min_value=1, max_value=min(n_stages, n_processors)))
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_stages - 2),
+            min_size=m - 1,
+            max_size=m - 1,
+            unique=True,
+        )
+        if m > 1
+        else st.just([])
+    )
+    processors = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_processors - 1),
+            min_size=m,
+            max_size=m,
+            unique=True,
+        )
+    )
+    return IntervalMapping.from_boundaries(sorted(cuts), processors, n_stages)
+
+
+@st.composite
+def instances_with_mappings(draw, heterogeneous_links: bool = False, max_batch: int = 5):
+    app = draw(applications())
+    platform = draw(platforms(heterogeneous_links=heterogeneous_links))
+    batch = draw(
+        st.lists(
+            mappings_for(app.n_stages, platform.n_processors),
+            min_size=1,
+            max_size=max_batch,
+        )
+    )
+    return app, platform, batch
+
+
+# ----------------------------------------------------------------------------- #
+# batch kernel == scalar kernel
+# ----------------------------------------------------------------------------- #
+class TestBatchKernelEquivalence:
+    @given(instances_with_mappings())
+    @settings(max_examples=80, deadline=None)
+    def test_batch_matches_scalar_comm_homogeneous(self, case):
+        app, platform, batch = case
+        result = evaluate_batch(app, platform, batch)
+        for i, mapping in enumerate(batch):
+            scalar = evaluate(app, platform, mapping)
+            assert np.isclose(result.periods[i], scalar.period, rtol=1e-12, atol=0.0)
+            assert np.isclose(result.latencies[i], scalar.latency, rtol=1e-12, atol=0.0)
+
+    @given(instances_with_mappings(heterogeneous_links=True))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_scalar_heterogeneous_links(self, case):
+        app, platform, batch = case
+        result = evaluate_batch(app, platform, batch)
+        for i, mapping in enumerate(batch):
+            scalar = evaluate(app, platform, mapping)
+            assert np.isclose(result.periods[i], scalar.period, rtol=1e-12, atol=0.0)
+            assert np.isclose(result.latencies[i], scalar.latency, rtol=1e-12, atol=0.0)
+
+    @given(applications(), platforms())
+    @settings(max_examples=60, deadline=None)
+    def test_interval_time_components_match_cycle_time(self, app, platform):
+        """The broadcastable kernel equals the scalar per-interval helper on
+        whole-chain intervals (the only predecessor/successor-free case both
+        sides define identically)."""
+        interval = Interval(0, app.n_stages - 1)
+        for proc in range(platform.n_processors):
+            input_time, compute_time, output_time = interval_time_components(
+                app.work_prefix,
+                app.comm_sizes,
+                interval.start,
+                interval.end,
+                platform.speed(proc),
+                bandwidth=platform.uniform_bandwidth,
+                input_bandwidth=platform.input_bandwidth,
+                output_bandwidth=platform.output_bandwidth,
+                n_stages=app.n_stages,
+            )
+            total = float(input_time + compute_time + output_time)
+            scalar = interval_cycle_time(app, platform, interval, proc)
+            assert np.isclose(total, scalar, rtol=1e-12, atol=0.0)
+
+    @given(instances_with_mappings())
+    @settings(max_examples=30, deadline=None)
+    def test_empty_batch_and_order(self, case):
+        app, platform, batch = case
+        empty = evaluate_batch(app, platform, [])
+        assert len(empty) == 0
+        doubled = evaluate_batch(app, platform, batch + batch)
+        assert np.array_equal(doubled.periods[: len(batch)], doubled.periods[len(batch):])
+
+
+# ----------------------------------------------------------------------------- #
+# mapping round-trip invariants
+# ----------------------------------------------------------------------------- #
+class TestMappingRoundTrips:
+    @given(instances_with_mappings(max_batch=1))
+    @settings(max_examples=80, deadline=None)
+    def test_boundaries_round_trip(self, case):
+        _, _, (mapping,) = case
+        rebuilt = IntervalMapping.from_boundaries(
+            mapping.boundaries(), mapping.processors, mapping.n_stages
+        )
+        assert rebuilt == mapping
+        assert hash(rebuilt) == hash(mapping)
+
+    @given(instances_with_mappings(max_batch=1))
+    @settings(max_examples=80, deadline=None)
+    def test_serialization_round_trip(self, case):
+        _, _, (mapping,) = case
+        document = mapping_to_dict(mapping)
+        assert mapping_from_dict(document) == mapping
+
+    @given(instances_with_mappings(max_batch=1))
+    @settings(max_examples=60, deadline=None)
+    def test_stage_navigation_agrees_with_partition(self, case):
+        app, platform, (mapping,) = case
+        mapping.validate(app, platform)
+        for j, (interval, proc) in enumerate(mapping.items()):
+            for stage in interval.stages():
+                assert mapping.interval_of_stage(stage) == j
+                assert mapping.processor_of_stage(stage) == proc
+        # the partition covers [0, n) exactly once
+        covered = [s for iv in mapping.intervals for s in iv.stages()]
+        assert covered == list(range(mapping.n_stages))

@@ -1,0 +1,133 @@
+"""Differential oracle and fuzz harness: clean streams pass, planted bugs fail.
+
+Three layers are under test:
+
+* a fuzz slice over every scenario family reports **zero** disagreements and
+  is byte-identical at any worker count (the determinism contract of the
+  report itself);
+* the oracle actually *detects* defects: a planted lying solver (wrong
+  metrics / optimum-beating claims) produces failures, which the harness
+  shrinks and persists into a loadable, digest-consistent corpus entry;
+* the structural sub-checks flag corrupt results in isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+import repro.scenarios.differential as differential_module
+from repro.scenarios import (
+    differential_check,
+    generate_scenarios,
+    load_corpus,
+    render_fuzz_report,
+    run_fuzz,
+)
+from repro.solvers.registry import get_solver as real_get_solver
+
+
+class TestCleanStream:
+    def test_fuzz_slice_is_clean_and_worker_invariant(self):
+        serial = run_fuzz(count=48, seed=0)
+        assert serial.ok, render_fuzz_report(serial)
+        assert serial.count == 48
+        assert sum(serial.per_family.values()) == 48
+        assert serial.n_comparisons > 1000
+        pooled = run_fuzz(count=48, seed=0, workers=3, batch_size=5)
+        assert render_fuzz_report(serial) == render_fuzz_report(pooled)
+
+    def test_single_instance_report_shape(self):
+        scenario = generate_scenarios(1, "heterogeneous-chain", seed=1)[0]
+        report = differential_check(scenario.application, scenario.platform)
+        assert report.ok
+        assert report.failures == ()
+        assert report.failed_checks() == ()
+        assert report.n_comparisons > 10
+
+
+class _LyingSolver:
+    """Wraps a real solver and corrupts the reported metrics."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def run(self, app, platform, **bounds):
+        result = self._inner.run(app, platform, **bounds)
+        # claim an impossible solution: zero period and zero latency
+        return dataclasses.replace(result, period=0.0, latency=0.0, feasible=True)
+
+
+@pytest.fixture
+def lying_h1(monkeypatch):
+    def fake_get_solver(name):
+        solver = real_get_solver(name)
+        if solver.key == "H1":
+            return _LyingSolver(solver)
+        return solver
+
+    monkeypatch.setattr(differential_module, "get_solver", fake_get_solver)
+
+
+class TestPlantedBug:
+    def test_oracle_flags_a_lying_solver(self, lying_h1):
+        scenario = generate_scenarios(1, "heterogeneous-chain", seed=2)[0]
+        report = differential_check(scenario.application, scenario.platform)
+        assert not report.ok
+        assert "metric-recompute" in report.failed_checks()
+
+    def test_harness_shrinks_and_persists(self, lying_h1, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        report = run_fuzz(
+            count=2,
+            families="heterogeneous-chain",
+            seed=2,
+            corpus_dir=corpus_dir,
+        )
+        assert not report.ok
+        counterexample = report.counterexamples[0]
+        # shrunk hard: a lying H1 lies on every instance, so the minimal
+        # counterexample must be tiny
+        assert counterexample.application.n_stages <= 2
+        assert counterexample.platform.n_processors <= 2
+        text = render_fuzz_report(report)
+        assert "DISAGREEMENT" in text
+        assert counterexample.check in text
+        entries = load_corpus(corpus_dir)
+        assert entries
+        assert entries[0].check == counterexample.check
+        assert entries[0].digest == counterexample.digest
+
+    def test_no_shrink_keeps_original_instance(self, lying_h1):
+        scenario = generate_scenarios(1, "heterogeneous-chain", seed=2)[0]
+        report = run_fuzz(
+            count=1, families="heterogeneous-chain", seed=2, shrink=False
+        )
+        assert not report.ok
+        assert report.counterexamples[0].digest == scenario.digest
+
+
+class TestStructuralChecks:
+    def test_crashing_solver_is_a_finding_not_an_abort(self, monkeypatch):
+        class Exploding:
+            def __getattr__(self, name):
+                return getattr(real_get_solver("H2"), name)
+
+            def run(self, app, platform, **bounds):
+                raise RuntimeError("planted crash")
+
+        def fake_get_solver(name):
+            solver = real_get_solver(name)
+            if solver.key == "H2":
+                return Exploding()
+            return solver
+
+        monkeypatch.setattr(differential_module, "get_solver", fake_get_solver)
+        scenario = generate_scenarios(1, "heterogeneous-chain", seed=3)[0]
+        report = differential_check(scenario.application, scenario.platform)
+        assert "solver-crash" in report.failed_checks()
+        assert any("planted crash" in f.detail for f in report.failures)

@@ -1,0 +1,137 @@
+"""Scenario-family engine: determinism, canonical hashing, sweep glue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.application import PipelineApplication
+from repro.core.platform import Platform, PlatformClass
+from repro.experiments.sweep import run_sweep
+from repro.scenarios import (
+    FAMILIES,
+    canonical_instance_document,
+    family_names,
+    generate_scenarios,
+    get_family,
+    instance_digest,
+    resolve_families,
+    scenario_instances,
+    scenario_sweep_config,
+)
+
+_UNIT_DIGEST = instance_digest(
+    PipelineApplication([1.0], [1.0, 1.0]), Platform([1.0], 1.0)
+)
+
+
+class TestHashing:
+    def test_digest_is_stable_and_name_free(self):
+        app_a = PipelineApplication([1.0], [1.0, 1.0], name="alpha")
+        app_b = PipelineApplication([1.0], [1.0, 1.0], name="beta")
+        platform_a = Platform([1.0], 1.0, name="gamma")
+        platform_b = Platform([1.0], 1.0, name="delta")
+        assert instance_digest(app_a, platform_a) == instance_digest(app_b, platform_b)
+        assert instance_digest(app_a, platform_a) == _UNIT_DIGEST
+        assert len(_UNIT_DIGEST) == 64
+
+    def test_digest_distinguishes_values(self):
+        app = PipelineApplication([1.0], [1.0, 1.0])
+        platform = Platform([1.0], 1.0)
+        changed_app = PipelineApplication([2.0], [1.0, 1.0])
+        changed_platform = Platform([1.0], 2.0)
+        assert instance_digest(changed_app, platform) != _UNIT_DIGEST
+        assert instance_digest(app, changed_platform) != _UNIT_DIGEST
+
+    def test_heterogeneous_platform_document_has_matrix(self):
+        matrix = [[0.0, 2.0, 3.0], [2.0, 0.0, 4.0], [3.0, 4.0, 0.0]]
+        platform = Platform.fully_heterogeneous([1.0, 2.0, 3.0], matrix)
+        app = PipelineApplication([1.0], [1.0, 1.0])
+        document = canonical_instance_document(app, platform)
+        assert "bandwidth_matrix" in document["platform"]
+        assert "bandwidth" not in document["platform"]
+        # display metadata is stripped from the hashed encoding
+        for sub_document in document.values():
+            assert "name" not in sub_document
+            assert "type" not in sub_document
+
+
+class TestFamilies:
+    def test_registry_lookup_and_suggestions(self):
+        assert get_family("homogeneous-chain").name == "homogeneous-chain"
+        with pytest.raises(KeyError, match="did you mean"):
+            get_family("homogeneus-chain")
+        assert [f.name for f in resolve_families(None)] == family_names()
+        assert [f.name for f in resolve_families("all")] == family_names()
+        assert [f.name for f in resolve_families(["single-stage"])] == ["single-stage"]
+
+    def test_streams_are_deterministic_and_prefix_stable(self):
+        first = generate_scenarios(24, seed=7)
+        second = generate_scenarios(24, seed=7)
+        assert [s.digest for s in first] == [s.digest for s in second]
+        prefix = generate_scenarios(8, seed=7)
+        assert [s.digest for s in prefix] == [s.digest for s in first[:8]]
+        different = generate_scenarios(8, seed=8)
+        assert [s.digest for s in prefix] != [s.digest for s in different]
+
+    def test_streams_are_worker_invariant(self):
+        serial = generate_scenarios(12, seed=3)
+        pooled = generate_scenarios(12, seed=3, workers=3, batch_size=2)
+        assert [s.digest for s in serial] == [s.digest for s in pooled]
+
+    def test_round_robin_covers_selected_families(self):
+        scenarios = generate_scenarios(
+            6, ["single-stage", "bottleneck-link"], seed=0
+        )
+        assert [s.family for s in scenarios] == [
+            "single-stage", "bottleneck-link",
+        ] * 3
+
+    def test_every_family_builds_valid_instances(self):
+        for name, family in FAMILIES.items():
+            for scenario in generate_scenarios(6, name, seed=1):
+                app, platform = scenario.application, scenario.platform
+                assert app.n_stages >= 1
+                assert platform.n_processors >= 1
+                assert np.all(app.works >= 0)
+                assert np.all(app.comm_sizes >= 0)
+                assert np.all(platform.speeds > 0)
+                assert scenario.family == name
+
+    def test_family_corners(self):
+        for scenario in generate_scenarios(5, "homogeneous-chain", seed=2):
+            assert scenario.platform.is_fully_homogeneous
+        for scenario in generate_scenarios(5, "single-stage", seed=2):
+            assert scenario.application.n_stages == 1
+        hetero = generate_scenarios(8, "heterogeneous-links", seed=2)
+        assert any(
+            s.platform.platform_class is PlatformClass.FULLY_HETEROGENEOUS
+            for s in hetero
+        )
+        zero = generate_scenarios(8, "zero-cost-stages", seed=2)
+        assert any(np.any(s.application.works == 0.0) for s in zero)
+        assert any(np.any(s.application.comm_sizes == 0.0) for s in zero)
+        large = generate_scenarios(3, "large-chain", seed=2)
+        assert all(s.application.n_stages >= 24 for s in large)
+
+
+class TestSweepGlue:
+    def test_scenario_instances_feed_the_sweep_driver(self):
+        instances = scenario_instances(6, "heterogeneous-chain", seed=4)
+        config = scenario_sweep_config("heterogeneous-chain", 6)
+        assert config.family == "scenario:heterogeneous-chain"
+        result = run_sweep(
+            config, heuristics=["H1", "H5"], n_thresholds=3, instances=instances
+        )
+        assert set(result.curves) == {"Sp mono P", "Sp mono L"}
+        for curve in result.curves.values():
+            assert len(curve.points) == 3
+            assert all(point.n_instances == 6 for point in curve.points)
+
+    def test_scenario_instances_are_deterministic(self):
+        a = scenario_instances(5, "extreme-skew", seed=9)
+        b = scenario_instances(5, "extreme-skew", seed=9)
+        for x, y in zip(a, b):
+            assert x.application == y.application
+            assert x.platform == y.platform
+            assert x.index == y.index

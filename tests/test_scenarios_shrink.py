@@ -1,0 +1,107 @@
+"""Greedy counterexample minimisation: progress, termination, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.application import PipelineApplication
+from repro.core.platform import Platform
+from repro.scenarios import generate_scenarios
+from repro.scenarios.shrink import _size_key, shrink_instance
+
+
+def _scenario(family: str, seed: int, index: int = 0):
+    scenario = generate_scenarios(index + 1, family, seed)[index]
+    return scenario.application, scenario.platform
+
+
+class TestShrink:
+    def test_shrinks_to_the_predicate_core(self):
+        app, platform = _scenario("heterogeneous-chain", seed=5, index=3)
+
+        def fails(a, p):
+            return a.n_stages >= 2 and a.total_work > 1.0
+
+        result = shrink_instance(app, platform, fails)
+        assert fails(result.application, result.platform)
+        assert result.application.n_stages == 2
+        assert result.platform.n_processors == 1
+        # every remaining value is as simple as the predicate allows
+        assert np.all(result.application.comm_sizes == 0.0)
+        assert result.platform.uniform_bandwidth == 1.0
+        assert np.all(result.platform.speeds == 1.0)
+
+    def test_result_is_locally_minimal_under_size_key(self):
+        app, platform = _scenario("extreme-skew", seed=1, index=2)
+
+        def fails(a, p):
+            return a.total_work > 0.0
+
+        result = shrink_instance(app, platform, fails)
+        # single stage, unit-ish platform: nothing below it still fails
+        assert result.application.n_stages == 1
+        assert result.platform.n_processors == 1
+        assert _size_key(result.application, result.platform) <= _size_key(
+            app, platform
+        )
+
+    def test_deterministic(self):
+        app, platform = _scenario("bottleneck-link", seed=9, index=1)
+
+        def fails(a, p):
+            return a.n_stages >= 2
+
+        first = shrink_instance(app, platform, fails)
+        second = shrink_instance(app, platform, fails)
+        assert first.application == second.application
+        assert first.platform == second.platform
+        assert first.n_evaluations == second.n_evaluations
+
+    def test_budget_is_respected(self):
+        app, platform = _scenario("large-chain", seed=0, index=0)
+        calls = {"n": 0}
+
+        def fails(a, p):
+            calls["n"] += 1
+            return True
+
+        result = shrink_instance(app, platform, fails, max_evaluations=25)
+        assert result.n_evaluations <= 25
+        assert calls["n"] <= 25
+
+    def test_non_reproducing_predicate_keeps_instance(self):
+        app, platform = _scenario("homogeneous-chain", seed=4, index=0)
+        result = shrink_instance(app, platform, lambda a, p: False)
+        assert result.application == app
+        assert result.platform == platform
+        assert result.n_accepted == 0
+
+    def test_predicate_errors_discard_candidates(self):
+        app, platform = _scenario("heterogeneous-chain", seed=6, index=0)
+
+        def fragile(a, p):
+            if a.n_stages < app.n_stages:
+                raise RuntimeError("cannot evaluate the smaller instance")
+            return True
+
+        result = shrink_instance(app, platform, fragile)
+        # stage drops all error out; the platform still shrinks
+        assert result.application.n_stages == app.n_stages
+
+    def test_heterogeneous_platform_collapse(self):
+        app, platform = _scenario("heterogeneous-links", seed=2, index=2)
+
+        def fails(a, p):
+            return True
+
+        result = shrink_instance(app, platform, fails)
+        assert result.platform.n_processors == 1
+        assert result.platform.is_communication_homogeneous
+
+    def test_size_key_orders_simplicity(self):
+        simple = PipelineApplication([1.0], [0.0, 0.0])
+        rich = PipelineApplication([1.5, 2.0], [1.0, 3.5, 2.0])
+        unit = Platform([1.0], 1.0)
+        big = Platform([3.0, 2.0], 5.0)
+        assert _size_key(simple, unit) < _size_key(rich, unit)
+        assert _size_key(simple, unit) < _size_key(simple, big)

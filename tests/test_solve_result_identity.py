@@ -1,0 +1,61 @@
+"""`SolveResult.identity()`: the single wall-time exclusion point.
+
+The parallel engine's contract is that every *solution* field of a result is
+byte-identical between serial and pooled runs; only the ``wall_time``
+provenance stamp measures the actual run and legitimately differs.  These
+tests pin down the contract's single implementation point:
+
+* ``identity()`` covers every dataclass field except the declared
+  nondeterministic ones — automatically, so a future field cannot silently
+  escape determinism comparisons;
+* two runs of the same solve differ (at most) on ``wall_time`` and compare
+  equal through ``identity()``, byte-for-byte (pickled);
+* the remaining fields are byte-stable across worker counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+from repro.experiments.runner import run_solver
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.solvers.base import SolveResult
+from repro.solvers.registry import get_solver
+
+
+def _instances(n: int = 4):
+    config = experiment_config("E2", 6, 5, n_instances=n)
+    return generate_instances(config, seed=11)
+
+
+class TestIdentityContract:
+    def test_identity_covers_every_field_except_wall_time(self):
+        field_names = {f.name for f in dataclasses.fields(SolveResult)}
+        instance = _instances(1)[0]
+        result = get_solver("H1").run(
+            instance.application, instance.platform, period_bound=10.0
+        )
+        identity = result.identity()
+        assert set(identity) == field_names - {"wall_time"}
+        assert SolveResult.NONDETERMINISTIC_FIELDS == ("wall_time",)
+
+    def test_identity_ignores_wall_time_only(self):
+        instance = _instances(1)[0]
+        solver = get_solver("bitmask-dp-latency-for-period")
+        first = solver.run(instance.application, instance.platform, period_bound=20.0)
+        second = solver.run(instance.application, instance.platform, period_bound=20.0)
+        # two measured runs: identical solutions, (almost surely) distinct stamps
+        assert first.identity() == second.identity()
+        assert first.wall_time > 0.0 and second.wall_time > 0.0
+        # a result that differs on a *solution* field must not compare equal
+        tweaked = dataclasses.replace(first, period=first.period + 1.0)
+        assert tweaked.identity() != first.identity()
+
+    def test_identity_byte_stable_across_workers(self):
+        instances = _instances(5)
+        serial = run_solver("H1", instances, 8.0)
+        pooled = run_solver("H1", instances, 8.0, workers=3, batch_size=2)
+        serial_bytes = [pickle.dumps(r.result.identity()) for r in serial]
+        pooled_bytes = [pickle.dumps(r.result.identity()) for r in pooled]
+        assert serial_bytes == pooled_bytes
