@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench fuzz-smoke sweep-demo clean-results
+.PHONY: test lint bench-smoke bench bench-cache cache-smoke fuzz-smoke sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
@@ -24,6 +24,25 @@ bench-smoke:
 ## full benchmark suite (paper-scale sizing via REPRO_BENCH_* env knobs)
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
+
+## solve-cache throughput: warm-vs-cold solve_many on a repeated-instance
+## workload (asserts >= 5x), refreshes benchmarks/results/cache_throughput.txt
+bench-cache:
+	$(PYTHON) -m pytest benchmarks/bench_cache_throughput.py -q \
+		-o python_files='bench_*.py' --benchmark-disable
+
+## CI's cache smoke slice: run `cli batch` twice against one --cache-dir and
+## assert the cold and warm stdout reports are byte-identical
+cache-smoke:
+	rm -rf .cache-smoke && mkdir -p .cache-smoke
+	$(PYTHON) -m repro.cli batch --family E1 --stages 8 --processors 6 \
+		--instances 10 --repeat 2 --period 12 --latency 60 \
+		--cache-dir .cache-smoke/store > .cache-smoke/cold.txt
+	$(PYTHON) -m repro.cli batch --family E1 --stages 8 --processors 6 \
+		--instances 10 --repeat 2 --period 12 --latency 60 \
+		--cache-dir .cache-smoke/store > .cache-smoke/warm.txt
+	cmp .cache-smoke/cold.txt .cache-smoke/warm.txt
+	rm -rf .cache-smoke
 
 ## fast differential-verification slice; CI's PR gate runs exactly this
 ## target (the nightly job runs the same command with --count 2000) and

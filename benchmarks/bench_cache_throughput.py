@@ -1,0 +1,116 @@
+"""Warm-versus-cold throughput of the memoising batch service.
+
+The acceptance case of the solve-cache work: a repeated-instance workload
+(every instance appears twice, i.e. >= 50% repeats) pushed through
+:func:`repro.solvers.service.solve_many` must be **at least 5x** faster
+against a warm cache than against a cold one, while the returned solutions
+stay byte-identical through ``SolveResult.identity()``.
+
+Three timings are recorded in ``benchmarks/results/cache_throughput.txt``:
+
+* **uncached** — the service with no cache at all (deduplication only);
+* **cold** — first pass over an empty in-memory cache (pays the stores);
+* **warm** — second pass over the now-populated cache (pure lookups).
+
+Sizes follow the shared ``REPRO_BENCH_INSTANCES`` knob so the smoke pass
+stays fast; the speedup assertion holds at any size because the warm pass
+does no solver work at all.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from bench_utils import BENCH_SEED, instance_count, write_report
+from repro.cache import SolveCache
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.solvers.service import solve_many
+
+#: the six Section 4 heuristics: the production fan-out of the sweep drivers
+SOLVERS = ("H1", "H2", "H3", "H4", "H5", "H6")
+N_STAGES = 24
+N_PROCESSORS = 8
+PERIOD_BOUND = 40.0
+LATENCY_BOUND = 400.0
+
+_LINES: list[str] = []
+
+
+def _workload():
+    config = experiment_config(
+        "E3", N_STAGES, N_PROCESSORS, n_instances=max(4, instance_count(8))
+    )
+    base = generate_instances(config, seed=BENCH_SEED)
+    return config, list(base) * 2  # every instance twice: >= 50% repeats
+
+
+def _timed_solve(stream, cache):
+    start = time.perf_counter()
+    outcome = solve_many(
+        stream,
+        SOLVERS,
+        period_bound=PERIOD_BOUND,
+        latency_bound=LATENCY_BOUND,
+        cache=cache,
+    )
+    return time.perf_counter() - start, outcome
+
+
+def test_warm_cache_is_5x_faster_than_cold():
+    config, stream = _workload()
+    t_uncached, uncached = _timed_solve(stream, None)
+    cache = SolveCache()
+    t_cold, cold = _timed_solve(stream, cache)
+    t_warm, warm = _timed_solve(stream, cache)
+
+    # correctness before speed: identical solutions in all three regimes
+    reference = [
+        pickle.dumps(r.identity()) for row in uncached.results for r in row
+    ]
+    for outcome in (cold, warm):
+        assert [
+            pickle.dumps(r.identity()) for row in outcome.results for r in row
+        ] == reference
+
+    # the warm pass did no solver work and hit on every unique task
+    assert warm.stats.n_solved == 0
+    assert warm.stats.n_cache_hits == warm.stats.n_unique
+    assert cache.stats.hit_rate >= 0.5
+    n = len(stream) // 2
+    assert cold.stats.n_unique == n * len(SOLVERS)  # dedupe saw the repeats
+
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    _LINES.extend(
+        [
+            f"workload: {config.label}, {len(stream)} instance rows "
+            f"({n} distinct, every one repeated), {len(SOLVERS)} solvers",
+            f"uncached (dedupe only) : {t_uncached * 1e3:10.2f} ms",
+            f"cold cache             : {t_cold * 1e3:10.2f} ms "
+            f"({cold.stats.n_solved} solves, {cold.stats.n_deduplicated} deduped)",
+            f"warm cache             : {t_warm * 1e3:10.2f} ms "
+            f"({warm.stats.n_cache_hits} hits, hit rate "
+            f"{cache.stats.hit_rate:.1%})",
+            f"warm vs cold speedup   : {speedup:10.1f}x",
+        ]
+    )
+    write_report("cache_throughput", "\n".join(_LINES))
+    assert speedup >= 5.0, f"warm cache only {speedup:.2f}x faster than cold"
+
+
+def test_disk_cache_spans_processes(tmp_path):
+    """A second service call against a fresh handle on the same directory
+    solves nothing — the cross-run/cross-worker story of ``--cache-dir``."""
+    _, stream = _workload()
+    store = tmp_path / "store"
+    _, cold = _timed_solve(stream, SolveCache(directory=store))
+    t_warm, warm = _timed_solve(stream, SolveCache(directory=store))
+    assert warm.stats.n_solved == 0
+    assert [pickle.dumps(r.identity()) for row in warm.results for r in row] == [
+        pickle.dumps(r.identity()) for row in cold.results for r in row
+    ]
+    _LINES.append(
+        f"disk-backed warm pass  : {t_warm * 1e3:10.2f} ms "
+        f"(fresh process image, {warm.stats.n_cache_hits} blob hits)"
+    )
+    write_report("cache_throughput", "\n".join(_LINES))

@@ -1,11 +1,44 @@
 """Setuptools shim.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-legacy (non-PEP-517) editable installs — ``pip install -e . --no-use-pep517``
-— keep working in offline environments where the ``wheel`` package is not
-available for the modern editable-install path.
+Kept so that legacy (non-PEP-517) editable installs — ``pip install -e .
+--no-use-pep517`` — keep working in offline environments where the ``wheel``
+package is not available for the modern editable-install path.
+
+The package version is single-sourced from ``src/repro/__init__.py``
+(``repro.__version__``, also surfaced by ``repro-pipeline --version``); it
+is read here textually so building never imports the package (or its
+runtime dependencies).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    """Read ``__version__`` out of ``src/repro/__init__.py`` without importing."""
+    text = (
+        Path(__file__).resolve().parent / "src" / "repro" / "__init__.py"
+    ).read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-pipeline",
+    version=_version(),
+    description=(
+        "Reproduction of Benoit, Rehn-Sonigo & Robert (2007): bi-criteria "
+        "mapping of pipeline workflows"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["repro-pipeline = repro.cli:main"],
+    },
+)

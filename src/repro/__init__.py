@@ -37,7 +37,12 @@ Sub-packages
     (Sec. 7 future work).
 ``repro.solvers``
     Unified solver layer: one registry and one result type across the
-    heuristics, the exact solvers and the extensions.
+    heuristics, the exact solvers and the extensions — plus the batch
+    service (``solve_many``) that dedupes and memoises whole workloads.
+``repro.cache``
+    Content-addressed solve cache (in-memory LRU + optional on-disk store)
+    keyed by the canonical instance/solver/request identities of
+    ``repro.core.identity``.
 
 >>> from repro import get_solver
 >>> get_solver("hom-dp-period").family
@@ -68,6 +73,8 @@ from .heuristics import (
     get_heuristic,
     heuristic_names,
 )
+from .cache import SolveCache
+from .core import instance_digest
 from .solvers import (
     Capability,
     SolveRequest,
@@ -76,11 +83,14 @@ from .solvers import (
     SolverFamily,
     get_solver,
     resolve_solvers,
+    solve_many,
     solver_names,
     solvers_for_platform,
 )
 
-__version__ = "1.1.0"
+#: single source of the package version: read textually by ``setup.py`` and
+#: surfaced by ``repro-pipeline --version``
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -116,4 +126,8 @@ __all__ = [
     "resolve_solvers",
     "solver_names",
     "solvers_for_platform",
+    # batch service + cache re-exports
+    "solve_many",
+    "SolveCache",
+    "instance_digest",
 ]

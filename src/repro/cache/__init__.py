@@ -1,0 +1,48 @@
+"""Content-addressed solve cache: memoise solver runs across a whole fleet.
+
+The paper's experimental method — and the production workloads the roadmap
+targets — re-solve the *same* (application, platform) instances under many
+solvers, thresholds and sweep points.  Solvers are deterministic pure
+functions of ``(instance, request)``, so their results are perfectly
+cacheable; this sub-package provides the store the batch service
+(:mod:`repro.solvers.service`) and the experiment drivers put in front of
+every solver run:
+
+* :class:`~repro.cache.keys.CacheKey` / :func:`~repro.cache.keys.solve_key`
+  — the content-addressed key ``(instance_hash, solver_name,
+  solver_version, request_digest)``, built from the canonical identities of
+  :mod:`repro.core.identity`.  The **solver version** is an explicit
+  invalidation tag: bumping ``version=`` on a solver's registration retires
+  every cached result of that solver without touching the rest of the store;
+* :class:`~repro.cache.store.InMemoryLRUCache` — bounded in-process LRU;
+* :class:`~repro.cache.store.DiskCacheStore` — optional on-disk store of
+  JSON blobs (one file per key digest, written atomically), reusing the
+  byte-stable :class:`~repro.solvers.base.SolveResult` serialisation, so a
+  cache directory is shared between processes, worker pools and sessions;
+* :class:`~repro.cache.store.SolveCache` — the facade combining both, with
+  hit/miss/eviction statistics.
+
+Results served from the cache are stamped ``cache_hit=True`` — run
+provenance excluded from :meth:`~repro.solvers.base.SolveResult.identity`,
+so a warm replay is byte-identical to the cold solve it memoised.
+"""
+
+from .keys import DEFAULT_SOLVER_VERSION, CacheKey, solve_key
+from .store import (
+    CACHE_BLOB_SCHEMA,
+    CacheStats,
+    DiskCacheStore,
+    InMemoryLRUCache,
+    SolveCache,
+)
+
+__all__ = [
+    "DEFAULT_SOLVER_VERSION",
+    "CacheKey",
+    "solve_key",
+    "CACHE_BLOB_SCHEMA",
+    "CacheStats",
+    "DiskCacheStore",
+    "InMemoryLRUCache",
+    "SolveCache",
+]

@@ -1,0 +1,85 @@
+"""Content-addressed keys of the solve cache.
+
+A solver run is a pure function of three things — the instance, the solver
+implementation and the request — so its cache key is the triple of their
+canonical identities:
+
+* ``instance_hash`` — :func:`repro.core.identity.instance_digest` of the
+  (application, platform) pair: name-free, byte-stable across processes;
+* ``solver_name`` + ``solver_version`` — the registered solver and its
+  explicit invalidation tag.  A behavioural change to a solver (bug fix,
+  different tie-breaking) must bump ``version=`` in its registration, which
+  retires every cached result of that solver while leaving the rest of a
+  shared store valid;
+* ``request_digest`` — :meth:`repro.solvers.base.SolveRequest.canonical_hash`
+  of the objective and bounds.
+
+:attr:`CacheKey.digest` folds the triple into one SHA-256 used as the
+storage address (LRU dictionary key, on-disk file name).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..core.identity import instance_digest
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..core.application import PipelineApplication
+    from ..core.platform import Platform
+    from ..solvers.base import SolveRequest
+
+__all__ = ["DEFAULT_SOLVER_VERSION", "CacheKey", "solve_key"]
+
+#: version tag assumed for solvers that do not declare one
+DEFAULT_SOLVER_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Content address of one solver run: what was solved, by what, how."""
+
+    instance_hash: str
+    solver_name: str
+    solver_version: str
+    request_digest: str
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 of the key components (the storage address), cached."""
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            payload = "\n".join(
+                (
+                    self.instance_hash,
+                    self.solver_name,
+                    self.solver_version,
+                    self.request_digest,
+                )
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            # frozen dataclass: cache outside the declared fields
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+
+def solve_key(
+    app: "PipelineApplication",
+    platform: "Platform",
+    solver: Any,
+    request: "SolveRequest",
+) -> CacheKey:
+    """Build the cache key of ``solver`` applied to ``(app, platform, request)``.
+
+    ``solver`` is duck-typed (anything with ``name`` and optionally
+    ``version`` attributes, i.e. a registry handle) so the cache layer does
+    not depend on the solver layer.
+    """
+    return CacheKey(
+        instance_hash=instance_digest(app, platform),
+        solver_name=str(getattr(solver, "name", solver)),
+        solver_version=str(getattr(solver, "version", DEFAULT_SOLVER_VERSION)),
+        request_digest=request.canonical_hash(),
+    )

@@ -1,0 +1,291 @@
+"""The solve-cache stores: bounded in-memory LRU, optional on-disk blobs.
+
+Three classes, layered:
+
+* :class:`InMemoryLRUCache` — a bounded ``OrderedDict`` keyed by the cache
+  key digest; the cheapest possible hit (one dictionary lookup) and the
+  store of choice inside a single process;
+* :class:`DiskCacheStore` — one JSON blob per key digest under a cache
+  directory, written atomically (temp file + ``os.replace``) so concurrent
+  writers — e.g. the worker processes of a parallel fuzz run sharing one
+  ``--cache-dir`` — can never expose a half-written blob.  Blobs carry the
+  full key, which is verified on load; an unreadable or mismatching blob is
+  treated as a miss, never as an error (a cache must degrade, not crash);
+* :class:`SolveCache` — the facade the rest of the repository passes
+  around: LRU in front, disk behind (when a directory is given), one
+  :class:`CacheStats` counter block.  It pickles by configuration
+  (``maxsize``, ``directory``), so handing a cache to the process pool
+  re-attaches workers to the shared directory while the in-memory layer
+  stays per-process.
+
+Results go in exactly once and come back out stamped ``cache_hit=True``;
+everything else about them — including the original ``wall_time`` — is the
+byte-stable :func:`~repro.core.serialization.solve_result_to_dict` round
+trip, so a warm replay has the same :meth:`~repro.solvers.base.SolveResult.
+identity` as the cold solve it memoised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..core.serialization import solve_result_from_dict, solve_result_to_dict
+from .keys import CacheKey
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..solvers.base import SolveResult
+
+__all__ = [
+    "CACHE_BLOB_SCHEMA",
+    "CacheStats",
+    "InMemoryLRUCache",
+    "DiskCacheStore",
+    "SolveCache",
+]
+
+#: current on-disk blob format version (unknown versions are misses)
+CACHE_BLOB_SCHEMA = 1
+
+#: default capacity of the in-memory layer
+_DEFAULT_MAXSIZE = 4096
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache: how often it helped and what it cost."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls answered (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot (counters plus the derived hit rate)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class InMemoryLRUCache:
+    """Bounded least-recently-used map from key digests to results."""
+
+    def __init__(self, maxsize: int = _DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be at least 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[str, "SolveResult"] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def get(self, digest: str) -> "SolveResult | None":
+        """Look up a digest; a hit refreshes its recency."""
+        result = self._entries.get(digest)
+        if result is not None:
+            self._entries.move_to_end(digest)
+        return result
+
+    def put(self, digest: str, result: "SolveResult") -> int:
+        """Insert (or refresh) an entry; returns how many were evicted."""
+        self._entries[digest] = result
+        self._entries.move_to_end(digest)
+        evicted = 0
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class DiskCacheStore:
+    """Content-addressed JSON blobs under a directory, one per key digest.
+
+    Blobs are sharded into 256 sub-directories by digest prefix (the usual
+    object-store layout) and written atomically, so a directory can be
+    shared by concurrent processes.  The embedded key is verified on load:
+    a blob that cannot be read, parsed or matched is a miss.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, key: CacheKey) -> Path:
+        """Where a key's blob lives (whether or not it exists yet)."""
+        digest = key.digest
+        return self.directory / digest[:2] / f"{digest}.json"
+
+    def get(self, key: CacheKey) -> "SolveResult | None":
+        path = self.path_for(key)
+        try:
+            blob = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(blob, dict) or blob.get("schema") != CACHE_BLOB_SCHEMA:
+                return None
+            if (
+                blob.get("instance_hash") != key.instance_hash
+                or blob.get("solver_name") != key.solver_name
+                or blob.get("solver_version") != key.solver_version
+                or blob.get("request_digest") != key.request_digest
+            ):
+                return None
+            return solve_result_from_dict(blob["result"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # missing, corrupt or foreign blob: a miss, never a crash
+            # (TypeError/AttributeError cover wrong-typed fields inside an
+            # otherwise well-formed JSON document)
+            return None
+
+    def put(self, key: CacheKey, result: "SolveResult") -> Path | None:
+        """Persist a result blob atomically; returns the blob path.
+
+        Storage failures (full disk, permissions on a shared directory)
+        degrade to "not stored" — ``None`` — by the same contract as
+        :meth:`get`: a cache must degrade, not crash, and must never turn
+        into a spurious solver failure in the callers' exception handling.
+        """
+        path = self.path_for(key)
+        blob = {
+            "schema": CACHE_BLOB_SCHEMA,
+            "instance_hash": key.instance_hash,
+            "solver_name": key.solver_name,
+            "solver_version": key.solver_version,
+            "request_digest": key.request_digest,
+            "result": solve_result_to_dict(result),
+        }
+        # unique temp name per writer + atomic rename: concurrent workers
+        # racing on the same key both succeed, last writer wins whole blobs
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(blob, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        return path
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+
+class SolveCache:
+    """The solve cache handed around the repository: LRU + optional disk.
+
+    Parameters
+    ----------
+    maxsize:
+        Capacity of the in-memory LRU layer.
+    directory:
+        When given, every stored result is also persisted as a
+        content-addressed JSON blob under this directory, and misses fall
+        through to it (a disk hit is promoted into the LRU).  The directory
+        outlives the process: a second run — or a worker process handed
+        this cache through the pool — starts warm.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = _DEFAULT_MAXSIZE,
+        directory: str | Path | None = None,
+    ) -> None:
+        self.maxsize = int(maxsize)
+        self.directory = None if directory is None else Path(directory)
+        self._memory = InMemoryLRUCache(maxsize)
+        self._disk = None if directory is None else DiskCacheStore(directory)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, key: CacheKey) -> "SolveResult | None":
+        """The memoised result for ``key`` (stamped ``cache_hit=True``), or None."""
+        digest = key.digest
+        result = self._memory.get(digest)
+        if result is not None:
+            self.stats.memory_hits += 1
+        elif self._disk is not None:
+            result = self._disk.get(key)
+            if result is not None:
+                self.stats.disk_hits += 1
+                # promote: the next lookup is a dictionary hit
+                self.stats.evictions += self._memory.put(digest, result)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return replace(result, cache_hit=True)
+
+    def put(self, key: CacheKey, result: "SolveResult") -> None:
+        """Memoise a freshly solved result under ``key``."""
+        stored = replace(result, cache_hit=False)
+        self.stats.evictions += self._memory.put(key.digest, stored)
+        self.stats.stores += 1
+        if self._disk is not None:
+            self._disk.put(key, stored)
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Entries resident in the in-memory layer."""
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk store, if any, is kept)."""
+        self._memory.clear()
+
+    def describe(self) -> str:
+        """One-line summary of configuration and counters."""
+        backing = "memory-only" if self.directory is None else str(self.directory)
+        s = self.stats
+        return (
+            f"solve cache [{backing}, maxsize={self.maxsize}]: "
+            f"{s.hits} hit(s) ({s.memory_hits} memory, {s.disk_hits} disk), "
+            f"{s.misses} miss(es), {s.stores} store(s), "
+            f"{s.evictions} eviction(s), hit rate {s.hit_rate:.1%}"
+        )
+
+    def __repr__(self) -> str:
+        backing = "None" if self.directory is None else repr(str(self.directory))
+        return f"SolveCache(maxsize={self.maxsize}, directory={backing})"
+
+    # pickling: by configuration.  A disk-backed cache re-attaches to the
+    # shared directory in the worker; the in-memory layer is per-process.
+    def __reduce__(self):
+        directory = None if self.directory is None else str(self.directory)
+        return (SolveCache, (self.maxsize, directory))

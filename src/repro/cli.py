@@ -5,6 +5,10 @@ The ``repro-pipeline`` entry point exposes the main workflows:
 * ``solve``     — run any registered solver (or a whole family) on an
   explicit instance, via the unified solver registry;
 * ``solvers``   — list the registered solvers and their capability tags;
+* ``batch``     — batch-solve an instance stream through the memoising
+  service layer (:func:`repro.solvers.service.solve_many`): identical
+  instances are deduped, cached results are reused, only the rest is
+  solved;
 * ``sweep``     — reproduce one latency-versus-period figure panel (Figs. 2–7);
 * ``failure``   — reproduce one quadrant of Table 1 (failure thresholds);
 * ``ablation``  — run the design-choice ablations;
@@ -19,6 +23,14 @@ All output is plain text (the environment is headless); every command accepts
 take ``--workers`` / ``--batch-size``: the experiment engine dispatches
 independent work items (instances, thresholds) to a process pool in chunks,
 and reports are byte-identical whatever the worker count.
+
+``solve``, ``batch``, ``sweep`` and ``fuzz`` take ``--cache`` /
+``--no-cache`` / ``--cache-dir DIR``: solver runs are memoised in the
+content-addressed solve cache (:mod:`repro.cache`).  ``--cache-dir`` makes
+the store persistent and shareable — a second invocation (or a worker
+process) starts warm — and since solvers are deterministic, reports are
+byte-identical whether the cache is cold, warm or absent (cache statistics
+go to stderr).
 """
 
 from __future__ import annotations
@@ -28,9 +40,12 @@ import sys
 from functools import partial
 from typing import Sequence
 
+from . import __version__
+from .cache import SolveCache
 from .core.application import PipelineApplication
 from .core.costs import evaluate
 from .core.exceptions import ConfigurationError, ReproError
+from .core.identity import instance_digest
 from .core.platform import Platform
 from .experiments.ablation import (
     exploration_width_ablation,
@@ -47,6 +62,7 @@ from .experiments.sweep import run_sweep
 from .generators.experiments import experiment_config, generate_instances
 from .solvers.base import Objective
 from .solvers.registry import GROUP_SELECTORS, resolve_solvers, solver_specs
+from .solvers.service import solve_many, solve_with_cache
 from .utils.parallel import parallel_map
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pipeline",
         description="Bi-criteria pipeline mapping (Benoit, Rehn-Sonigo, Robert 2007).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
+        help="print the package version (single-sourced from repro.__version__)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -75,6 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "all, heuristics, exact, extensions (see 'repro solvers')")
     solve.add_argument("--period", type=float, default=None, help="period bound")
     solve.add_argument("--latency", type=float, default=None, help="latency bound")
+    _add_cache_arguments(solve)
+
+    batch = sub.add_parser(
+        "batch",
+        help="batch-solve an instance stream through the memoising service layer",
+    )
+    _add_experiment_arguments(batch)
+    batch.add_argument("--solver", default="heuristics",
+                       help="solver name/key or group to fan out "
+                            "(inapplicable solvers of a group are skipped)")
+    batch.add_argument("--period", type=float, default=None, help="period bound")
+    batch.add_argument("--latency", type=float, default=None, help="latency bound")
+    batch.add_argument("--repeat", type=_positive_int_arg, default=1,
+                       help="replicate the instance stream N times (a "
+                            "repeated-instance workload: the service solves "
+                            "each distinct instance once)")
+    _add_cache_arguments(batch)
 
     solvers = sub.add_parser(
         "solvers", help="list the registered solvers and their capability tags"
@@ -88,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_arguments(sweep)
     sweep.add_argument("--thresholds", type=_positive_int_arg, default=10,
                        help="number of threshold values per heuristic family")
+    _add_cache_arguments(sweep)
 
     failure = sub.add_parser("failure", help="reproduce one quadrant of Table 1")
     failure.add_argument("--family", default="E1", help="experiment family E1..E4")
@@ -136,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--list-families", action="store_true",
                       help="list the scenario families and exit")
     _add_parallel_arguments(fuzz)
+    _add_cache_arguments(fuzz)
 
     return parser
 
@@ -180,6 +219,67 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         "--batch-size", type=_positive_int_arg, default=None,
         help="work items per worker chunk (default: sized automatically)",
     )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", dest="use_cache", action="store_true", default=None,
+        help="memoise solver runs in an in-memory LRU solve cache "
+             "(results are identical with or without it)",
+    )
+    parser.add_argument(
+        "--no-cache", dest="use_cache", action="store_false",
+        help="disable solve-result memoisation (the default; an explicit "
+             "--no-cache also overrides --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the solve cache as content-addressed JSON blobs under "
+             "DIR (implies --cache; shared across runs and worker processes)",
+    )
+
+
+def _build_cache(args: argparse.Namespace) -> SolveCache | None:
+    """The solve cache requested by --cache/--no-cache/--cache-dir, if any.
+
+    ``use_cache`` is tri-state: ``None`` (neither flag given), ``True``
+    (``--cache``) or ``False`` (an explicit ``--no-cache``, which wins over
+    ``--cache-dir`` — the user asked for a cold, unmemoised run).
+    """
+    if args.use_cache is False:
+        if args.cache_dir:
+            print(
+                "note: --no-cache overrides --cache-dir; "
+                "solve memoisation disabled",
+                file=sys.stderr,
+            )
+        return None
+    if args.cache_dir:
+        return SolveCache(directory=args.cache_dir)
+    if args.use_cache:
+        return SolveCache()
+    return None
+
+
+def _report_cache(cache: SolveCache | None, workers: int | None = None) -> None:
+    """Cache statistics go to stderr: stdout reports stay byte-identical.
+
+    With ``workers > 1`` the sweep/failure/fuzz drivers probe the cache
+    *inside* the worker processes, whose counters are not aggregated back;
+    flag that instead of printing misleading zeros.
+    """
+    if cache is None:
+        return
+    print(cache.describe(), file=sys.stderr)
+    if workers is not None and workers not in (0, 1):
+        kind = "shared via its directory" if cache.directory else (
+            "per worker chunk only — use --cache-dir to share it"
+        )
+        print(
+            f"(workers={workers}: cache activity inside worker processes is "
+            f"not counted above; the store is {kind})",
+            file=sys.stderr,
+        )
 
 
 def _solver_bounds(
@@ -233,6 +333,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    cache = _build_cache(args)
 
     if not is_group:
         solver = solvers[0]
@@ -243,7 +344,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print(f"error: {bounds}", file=sys.stderr)
             return 2
         try:
-            result = solver.run(app, platform, **bounds)
+            request = solver.default_request(**bounds)
+            result = solve_with_cache(solver, app, platform, request, cache)
         except (ValueError, ConfigurationError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -253,6 +355,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"latency   : {result.latency:.6g}")
         print(f"wall time : {result.wall_time * 1e3:.3g} ms")
         print(result.mapping.describe())
+        _report_cache(cache)
         return 0
 
     # group selection: run every applicable solver, skip the rest with a reason
@@ -272,7 +375,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                   f"skipped      (needs {bounds})")
             continue
         try:
-            result = solver.run(app, platform, **bounds)
+            request = solver.default_request(**bounds)
+            result = solve_with_cache(solver, app, platform, request, cache)
         except (ValueError, ConfigurationError) as exc:
             print(f"{solver.key:<6} {solver.name:<28} {solver.family:<10} "
                   f"skipped      ({exc})")
@@ -281,6 +385,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"{solver.key:<6} {solver.name:<28} {solver.family:<10} {status:<12} "
               f"{result.period:>10.4g} {result.latency:>10.4g} "
               f"{result.wall_time * 1e3:>8.2f}")
+    _report_cache(cache)
     return 0
 
 
@@ -295,18 +400,111 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Batch-solve an instance stream through :func:`solve_many`.
+
+    The stdout report carries only deterministic solution data (canonical
+    instance digests, periods, latencies, feasibility), so a cold run and a
+    warm ``--cache-dir`` replay are byte-identical; cache statistics and
+    skip notes go to stderr.
+    """
+    config = experiment_config(
+        args.family, args.stages, args.processors, n_instances=args.instances
+    )
+    base = generate_instances(config, seed=args.seed)
+    stream = [instance for _ in range(args.repeat) for instance in base]
+    try:
+        solvers = resolve_solvers(args.solver)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    runnable = []
+    for solver in solvers:
+        bounds = _solver_bounds(solver, args)
+        if isinstance(bounds, str):
+            print(f"note: skipping {solver.name} (needs {bounds})", file=sys.stderr)
+            continue
+        reason = None
+        for instance in base:
+            ok, why = solver.supports(instance.platform)
+            if not ok:
+                reason = why
+                break
+        if reason is not None:
+            print(f"note: skipping {solver.name} ({reason})", file=sys.stderr)
+            continue
+        runnable.append(solver)
+    if not runnable:
+        print("error: no applicable solver in the selection", file=sys.stderr)
+        return 2
+
+    cache = _build_cache(args)
+    # one service call per solver: a solver that rejects the given bounds at
+    # solve time (e.g. one-to-one with an opposite-criterion bound) is
+    # skipped with a note instead of aborting the whole batch
+    per_solver = []
+    for solver in runnable:
+        try:
+            outcome = solve_many(
+                stream,
+                [solver],
+                period_bound=args.period,
+                latency_bound=args.latency,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                cache=cache,
+            )
+        except (ValueError, ConfigurationError) as exc:
+            print(f"note: skipping {solver.name} ({exc})", file=sys.stderr)
+            continue
+        per_solver.append((solver, outcome))
+    if not per_solver:
+        print("error: every selected solver was skipped", file=sys.stderr)
+        return 2
+
+    n_tasks = sum(o.stats.n_tasks for _, o in per_solver)
+    n_unique = sum(o.stats.n_unique for _, o in per_solver)
+    n_solved = sum(o.stats.n_solved for _, o in per_solver)
+    n_hits = sum(o.stats.n_cache_hits for _, o in per_solver)
+    print(f"batch solve : {config.label} — {len(base)} instance(s) "
+          f"x {args.repeat} repeat(s), {len(per_solver)} solver(s)")
+    print(f"tasks       : {n_tasks} requested, "
+          f"{n_unique} unique after deduplication")
+    print()
+    header = (f"{'#':>4} {'instance':<14} {'key':<6} {'status':<12} "
+              f"{'period':>12} {'latency':>12}")
+    print(header)
+    print("-" * len(header))
+    for i, instance in enumerate(stream):
+        digest = instance_digest(instance.application, instance.platform)[:12]
+        for solver, outcome in per_solver:
+            result = outcome.results[i][0]
+            status = "ok" if result.feasible else "infeasible"
+            print(f"{i:>4} {digest:<14} {solver.key:<6} {status:<12} "
+                  f"{result.period:>12.6g} {result.latency:>12.6g}")
+    print(f"\nsolved {n_solved} of {n_tasks} requested task(s)"
+          f" ({n_tasks - n_unique} deduplicated, {n_hits} cache hit(s))",
+          file=sys.stderr)
+    _report_cache(cache)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     config = experiment_config(
         args.family, args.stages, args.processors, n_instances=args.instances
     )
+    cache = _build_cache(args)
     result = run_sweep(
         config,
         n_thresholds=args.thresholds,
         seed=args.seed,
         workers=args.workers,
         batch_size=args.batch_size,
+        cache=cache,
     )
     print(render_sweep(result))
+    _report_cache(cache, workers=args.workers)
     return 0
 
 
@@ -422,6 +620,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for family in FAMILIES.values():
             print(f"{family.name:<22} {family.description}")
         return 0
+    cache = _build_cache(args)
+    if cache is not None and cache.directory is not None:
+        # verification verdicts are only as fresh as the store: a warm blob
+        # written by an older build is served instead of exercising the live
+        # solver unless its SolverSpec.version was bumped
+        print(
+            "warning: fuzz with a persistent --cache-dir can replay results "
+            "from previous builds; behavioural solver changes are only "
+            "re-verified after a SolverSpec.version bump (prefer --cache for "
+            "a session-local store)",
+            file=sys.stderr,
+        )
     try:
         report = run_fuzz(
             count=args.count,
@@ -432,11 +642,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             n_datasets=args.datasets,
             shrink=not args.no_shrink,
             corpus_dir=args.corpus,
+            cache=cache,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     print(render_fuzz_report(report))
+    _report_cache(cache, workers=args.workers)
     if not report.ok and args.corpus:
         print(f"(counterexamples persisted under {args.corpus})", file=sys.stderr)
     return 0 if report.ok else 1
@@ -449,6 +661,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "solve": _cmd_solve,
         "solvers": _cmd_solvers,
+        "batch": _cmd_batch,
         "sweep": _cmd_sweep,
         "failure": _cmd_failure,
         "ablation": _cmd_ablation,

@@ -33,6 +33,14 @@ from .exceptions import (
     ReproError,
     SimulationError,
 )
+from .identity import (
+    application_payload,
+    canonical_document_payload,
+    canonical_instance_document,
+    digest_document,
+    instance_digest,
+    platform_payload,
+)
 from .mapping import Interval, IntervalMapping
 from .pareto import (
     BicriteriaPoint,
@@ -70,6 +78,13 @@ __all__ = [
     "instance_from_dict",
     "save_json",
     "load_json",
+    # identity
+    "application_payload",
+    "canonical_document_payload",
+    "canonical_instance_document",
+    "digest_document",
+    "instance_digest",
+    "platform_payload",
     # application
     "PipelineApplication",
     "Stage",

@@ -17,6 +17,7 @@ period (eq. 1) and the latency (eq. 2) — is available in O(1).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -85,7 +86,7 @@ class PipelineApplication:
     12.0
     """
 
-    __slots__ = ("_works", "_comm", "_prefix", "name")
+    __slots__ = ("_works", "_comm", "_prefix", "name", "_canonical_payload", "_canonical_hash")
 
     def __init__(
         self,
@@ -118,6 +119,10 @@ class PipelineApplication:
         self._prefix = np.concatenate(([0.0], np.cumsum(works_arr)))
         self._prefix.setflags(write=False)
         self.name = name
+        # canonical-identity caches (repro.core.identity); the hashed vectors
+        # above are frozen, so the cached values can never go stale
+        self._canonical_payload: bytes | None = None
+        self._canonical_hash: str | None = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -278,6 +283,23 @@ class PipelineApplication:
                 f"stage index {i} out of range [0, {self.n_stages - 1}]"
             )
         return int(i)
+
+    def canonical_hash(self) -> str:
+        """Name-free SHA-256 identity of this application, cached.
+
+        Hashes only the numbers (works and communication sizes), never the
+        display ``name``; two numerically identical applications share one
+        hash across processes and sessions.  Backed by the frozen work /
+        communication vectors, so the cached value can never go stale —
+        repeated calls (the common case in a memoised batch-solve workload)
+        cost a dictionary lookup.  See :mod:`repro.core.identity`.
+        """
+        if self._canonical_hash is None:
+            from .identity import application_payload
+
+            payload = application_payload(self)
+            self._canonical_hash = hashlib.sha256(payload).hexdigest()
+        return self._canonical_hash
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PipelineApplication):

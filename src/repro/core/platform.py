@@ -25,6 +25,7 @@ default to the common link bandwidth for communication-homogeneous platforms.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -98,6 +99,8 @@ class Platform:
         "_input_bandwidth",
         "_output_bandwidth",
         "name",
+        "_canonical_payload",
+        "_canonical_hash",
     )
 
     def __init__(
@@ -151,6 +154,10 @@ class Platform:
         if self._input_bandwidth <= 0 or self._output_bandwidth <= 0:
             raise InvalidPlatformError("input/output bandwidths must be positive")
         self.name = name
+        # canonical-identity caches (repro.core.identity); the hashed vectors
+        # above are frozen, so the cached values can never go stale
+        self._canonical_payload: bytes | None = None
+        self._canonical_hash: str | None = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -376,6 +383,22 @@ class Platform:
                 f"processor index {u} out of range [0, {self.n_processors - 1}]"
             )
         return int(u)
+
+    def canonical_hash(self) -> str:
+        """Name-free SHA-256 identity of this platform, cached.
+
+        Hashes only the numbers (speeds, link bandwidths, I/O bandwidths),
+        never the display ``name``; two numerically identical platforms share
+        one hash across processes and sessions.  Backed by the frozen speed
+        and bandwidth vectors, so the cached value can never go stale.  See
+        :mod:`repro.core.identity`.
+        """
+        if self._canonical_hash is None:
+            from .identity import platform_payload
+
+            payload = platform_payload(self)
+            self._canonical_hash = hashlib.sha256(payload).hexdigest()
+        return self._canonical_hash
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Platform):

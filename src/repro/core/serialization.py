@@ -188,6 +188,7 @@ def solve_result_to_dict(result) -> dict[str, Any]:
         "n_splits": int(result.n_splits),
         "history": [[float(p), float(l)] for p, l in result.history],
         "wall_time": float(result.wall_time),
+        "cache_hit": bool(result.cache_hit),
         "details": dict(result.details),
     }
 
@@ -213,6 +214,7 @@ def solve_result_from_dict(document: Mapping[str, Any]):
             (float(p), float(l)) for p, l in document.get("history", [])
         ),
         wall_time=float(document.get("wall_time", 0.0)),
+        cache_hit=bool(document.get("cache_hit", False)),
         details=dict(document.get("details", {})),
     )
 

@@ -21,7 +21,8 @@ the full table for a list of stage counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from functools import partial
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -29,10 +30,14 @@ from ..core.costs import optimal_latency
 from ..core.exceptions import ConfigurationError
 from ..generators.experiments import ExperimentConfig, Instance, generate_instances
 from ..heuristics.base import Objective, PipelineHeuristic
-from ..solvers.base import Capability
+from ..solvers.base import Capability, SolveRequest
 from ..solvers.registry import as_solver, resolve_solvers
+from ..solvers.service import solve_with_cache
 from ..utils.parallel import parallel_map
 from .runner import AnySolver
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..cache.store import SolveCache
 
 __all__ = ["FailureThreshold", "failure_thresholds", "failure_threshold_table"]
 
@@ -53,13 +58,23 @@ class FailureThreshold:
 
 
 def _instance_failure_threshold(
-    task: tuple[AnySolver, Instance]
+    cache: "SolveCache | None", task: tuple[AnySolver, Instance]
 ) -> float:
-    """Per-instance failure threshold of one heuristic (pool-picklable)."""
+    """Per-instance failure threshold of one heuristic (pool-picklable).
+
+    The fixed-period probe goes through the solve service, so a shared
+    cache memoises it across repeated table builds.
+    """
     heuristic, instance = task
     app, platform = instance.application, instance.platform
     if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
-        result = heuristic.run(app, platform, period_bound=_UNREACHABLE_PERIOD)
+        result = solve_with_cache(
+            heuristic,
+            app,
+            platform,
+            SolveRequest.fixed_period(_UNREACHABLE_PERIOD),
+            cache,
+        )
         return result.period
     return optimal_latency(app, platform)
 
@@ -72,6 +87,7 @@ def failure_thresholds(
     *,
     workers: int | None = None,
     batch_size: int | None = None,
+    cache: "SolveCache | None" = None,
 ) -> list[FailureThreshold]:
     """Average failure thresholds of the heuristics for one experimental point.
 
@@ -113,7 +129,10 @@ def failure_thresholds(
             )
     tasks = [(heuristic, inst) for heuristic in resolved for inst in instances]
     flat = parallel_map(
-        _instance_failure_threshold, tasks, workers=workers, batch_size=batch_size
+        partial(_instance_failure_threshold, cache),
+        tasks,
+        workers=workers,
+        batch_size=batch_size,
     )
     rows: list[FailureThreshold] = []
     n = len(instances)
@@ -142,6 +161,7 @@ def failure_threshold_table(
     *,
     workers: int | None = None,
     batch_size: int | None = None,
+    cache: "SolveCache | None" = None,
 ) -> dict[str, dict[int, float]]:
     """One quadrant of Table 1: heuristic key -> {stage count -> threshold}.
 
@@ -155,7 +175,7 @@ def failure_threshold_table(
         config = experiment_config(family, n_stages, n_processors, n_instances)
         rows = failure_thresholds(
             config, heuristics=heuristics, seed=seed,
-            workers=workers, batch_size=batch_size,
+            workers=workers, batch_size=batch_size, cache=cache,
         )
         for row in rows:
             table.setdefault(row.key, {})[n_stages] = row.mean_threshold

@@ -5,40 +5,46 @@ of solvers into per-instance result records and aggregated statistics.  The
 higher-level sweep (Figures 2–7) and failure-threshold (Table 1) drivers are
 built on top of it.
 
-Work is dispatched through the unified solver layer
-(:mod:`repro.solvers.registry`): anything with the heuristic-style
-``run(app, platform, period_bound=..., latency_bound=...)`` entry point — a
-plain :class:`~repro.heuristics.base.PipelineHeuristic`, a registry
-:class:`~repro.solvers.registry.Solver` handle, or a registry *name* — can be
-run over an instance stream, so exact solvers and extensions plug into the
-same drivers as the six heuristics.
+Work is dispatched through the batch solve service
+(:func:`repro.solvers.service.solve_many`): anything with the
+heuristic-style ``run(app, platform, period_bound=..., latency_bound=...)``
+entry point — a plain :class:`~repro.heuristics.base.PipelineHeuristic`, a
+registry :class:`~repro.solvers.registry.Solver` handle, or a registry
+*name* — can be run over an instance stream, so exact solvers and
+extensions plug into the same drivers as the six heuristics.  The service
+dedupes numerically identical instances up front and, when a
+:class:`~repro.cache.store.SolveCache` is passed via ``cache=``, serves
+previously solved cells from the cache instead of re-solving them.
 
 Every driver takes ``workers=`` / ``batch_size=`` knobs: instances are
-independent, so the runs are dispatched to a process pool in contiguous
-chunks (see :mod:`repro.utils.parallel`) and re-assembled in instance order —
-every *solution* field of a parallel run (mapping, period, latency,
-feasibility, trace) is byte-identical to the serial run; the only exception
-is the ``wall_time`` provenance stamp of :class:`~repro.solvers.base.
-SolveResult`, which measures the actual run.  (Registry solver handles
-pickle by name, ad-hoc heuristic instances by value.)
+independent, so the cache-missing runs are dispatched to a process pool in
+contiguous chunks (see :mod:`repro.utils.parallel`) and re-assembled in
+instance order — every *solution* field of a parallel (or warm-cache) run
+(mapping, period, latency, feasibility, trace) is byte-identical to the
+serial cold run; the only exceptions are the ``wall_time`` / ``cache_hit``
+run-provenance stamps of :class:`~repro.solvers.base.SolveResult`.
+(Registry solver handles pickle by name, ad-hoc heuristic instances by
+value, caches by configuration.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
-from typing import Sequence, Union
+from typing import TYPE_CHECKING, Sequence, Union
 
 import numpy as np
 
 from ..core.costs import interval_cycle_time, optimal_latency
 from ..core.mapping import Interval
 from ..generators.experiments import Instance
-from ..heuristics.base import HeuristicResult, Objective, PipelineHeuristic
-from ..solvers.base import Objective as SolverObjective
+from ..heuristics.base import PipelineHeuristic
 from ..solvers.base import SolveResult
 from ..solvers.registry import Solver, as_solver
+from ..solvers.service import solve_many
 from ..utils.parallel import parallel_map
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..cache.store import SolveCache
 
 __all__ = [
     "InstanceRun",
@@ -63,7 +69,7 @@ class InstanceRun:
     instance_index: int
     heuristic: str
     threshold: float
-    result: HeuristicResult | SolveResult
+    result: SolveResult
 
     @property
     def feasible(self) -> bool:
@@ -93,28 +99,6 @@ class AggregateStats:
         return (self.mean_period, self.mean_latency)
 
 
-def _run_on_instance(
-    solver: AnySolver, threshold: float | None, instance: Instance
-) -> HeuristicResult | SolveResult:
-    """One solver run on one instance (module-level, pool-picklable).
-
-    The threshold lands on the bound matching the solver's objective: period
-    bound for the fixed-period objectives, latency bound for fixed-latency.
-    For the unconstrained objectives the threshold is forwarded as the
-    opposite-criterion bound — brute force honours it, while the solvers
-    that cannot (homogeneous min-period DP, one-to-one) raise
-    ``ConfigurationError`` unless it is ``None``.
-    """
-    app, platform = instance.application, instance.platform
-    objective = solver.objective
-    if objective in (
-        Objective.MIN_LATENCY_FOR_PERIOD,
-        SolverObjective.MIN_LATENCY,
-    ):
-        return solver.run(app, platform, period_bound=threshold)
-    return solver.run(app, platform, latency_bound=threshold)
-
-
 def run_heuristic(
     heuristic: AnySolver,
     instances: Sequence[Instance],
@@ -122,28 +106,40 @@ def run_heuristic(
     *,
     workers: int | None = None,
     batch_size: int | None = None,
+    cache: "SolveCache | None" = None,
 ) -> list[InstanceRun]:
     """Run one solver on every instance with the given threshold.
 
-    The threshold is interpreted according to the solver's objective (period
-    bound for the fixed-period family, latency bound otherwise).  With
-    ``workers > 1`` the instances are chunked across a process pool; results
-    come back in instance order regardless.
+    The threshold is interpreted according to the solver's objective: period
+    bound for the fixed-period (and unconstrained min-latency) family,
+    latency bound otherwise.  For the unconstrained objectives it is
+    forwarded as the opposite-criterion bound — brute force honours it,
+    while the solvers that cannot (homogeneous min-period DP, one-to-one)
+    raise ``ConfigurationError`` unless it is ``None``.
+
+    Dispatched through :func:`repro.solvers.service.solve_many`: repeated
+    instances are solved once, a ``cache`` serves previously solved cells,
+    and with ``workers > 1`` the remaining runs are chunked across a
+    process pool; results come back in instance order regardless.
     """
-    results = parallel_map(
-        partial(_run_on_instance, heuristic, threshold),
+    outcome = solve_many(
         instances,
+        [heuristic],
+        period_bound=threshold,
+        latency_bound=threshold,
         workers=workers,
         batch_size=batch_size,
+        cache=cache,
     )
+    name = outcome.solvers[0]
     return [
         InstanceRun(
             instance_index=instance.index,
-            heuristic=heuristic.name,
+            heuristic=name,
             threshold=threshold,
-            result=result,
+            result=row[0],
         )
-        for instance, result in zip(instances, results)
+        for instance, row in zip(instances, outcome.results)
     ]
 
 
@@ -154,6 +150,7 @@ def run_solver(
     *,
     workers: int | None = None,
     batch_size: int | None = None,
+    cache: "SolveCache | None" = None,
 ) -> list[InstanceRun]:
     """Run any registered solver (by name or handle) over an instance stream.
 
@@ -170,6 +167,7 @@ def run_solver(
         threshold,
         workers=workers,
         batch_size=batch_size,
+        cache=cache,
     )
 
 

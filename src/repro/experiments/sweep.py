@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from .runner import (
     reference_ranges,
     run_heuristic,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..cache.store import SolveCache
 
 __all__ = [
     "SweepPoint",
@@ -143,11 +146,13 @@ def _threshold_grid(lo: float, hi: float, n_points: int) -> list[float]:
 
 
 def _sweep_task(
-    instances: Sequence[Instance], task: tuple[AnySolver, float]
+    instances: Sequence[Instance],
+    cache: "SolveCache | None",
+    task: tuple[AnySolver, float],
 ) -> list[InstanceRun]:
     """One (solver, threshold) cell of the sweep (pool-picklable)."""
     solver, threshold = task
-    return run_heuristic(solver, instances, threshold)
+    return run_heuristic(solver, instances, threshold, cache=cache)
 
 
 def run_sweep(
@@ -159,6 +164,7 @@ def run_sweep(
     *,
     workers: int | None = None,
     batch_size: int | None = None,
+    cache: "SolveCache | None" = None,
 ) -> SweepResult:
     """Reproduce one latency-versus-period figure panel (Figs. 2–7).
 
@@ -185,6 +191,12 @@ def run_sweep(
         its instance stream serially inside one worker — and aggregates the
         cells in a fixed order, so results are byte-identical for any
         ``workers`` value.
+    cache:
+        Optional :class:`~repro.cache.store.SolveCache` memoising the
+        per-cell solver runs (results are byte-identical with or without
+        it).  With ``workers > 1`` an on-disk cache is shared by the
+        worker processes through its directory; a memory-only cache is
+        per-process.
     """
     if instances is None:
         instances = generate_instances(config, seed=seed)
@@ -226,7 +238,10 @@ def run_sweep(
         tasks.extend((heuristic, threshold) for threshold in thresholds)
 
     cell_runs = parallel_map(
-        partial(_sweep_task, instances), tasks, workers=workers, batch_size=batch_size
+        partial(_sweep_task, instances, cache),
+        tasks,
+        workers=workers,
+        batch_size=batch_size,
     )
 
     for (heuristic, threshold), runs in zip(tasks, cell_runs):

@@ -48,6 +48,7 @@ from ..simulation.event_driven import simulate_mapping
 from ..simulation.synchronous import synchronous_schedule
 from ..solvers.base import SolveResult
 from ..solvers.registry import get_solver
+from ..solvers.service import solve_with_cache
 
 __all__ = ["CheckFailure", "DifferentialReport", "differential_check"]
 
@@ -98,11 +99,17 @@ class DifferentialReport:
 
 
 class _Session:
-    """Failure collector: every expectation counts as one comparison."""
+    """Failure collector: every expectation counts as one comparison.
 
-    def __init__(self) -> None:
+    Also carries the (optional) solve cache of the run, so the solver
+    fan-out helpers can memoise without threading one more parameter
+    through every call site.
+    """
+
+    def __init__(self, cache=None) -> None:
         self.failures: list[CheckFailure] = []
         self.n_comparisons = 0
+        self.cache = cache
 
     def expect(self, condition: bool, check: str, detail: str) -> bool:
         self.n_comparisons += 1
@@ -143,9 +150,23 @@ def _run(
     platform: Platform,
     **bounds: float | None,
 ) -> SolveResult | None:
-    """Run a registry solver; any exception is a ``solver-crash`` failure."""
+    """Run a registry solver through the (optional) session solve cache.
+
+    Any exception is a ``solver-crash`` failure.  Solvers are deterministic,
+    so a cached result is byte-identical to a fresh run and the oracle's
+    verdict cannot depend on the cache state.  The solver stays duck-typed
+    (anything ``get_solver`` returns with a heuristic-style ``run``), so the
+    oracle's planted-bug tests can wrap solvers without implementing the
+    full registry interface.
+    """
     try:
-        return get_solver(name).run(app, platform, **bounds)
+        solver = get_solver(name)
+        if sess.cache is None or not getattr(solver, "cacheable", False):
+            return solver.run(app, platform, **bounds)
+        # a cacheable solver is a real registry handle: delegate to the
+        # service's single get/solve/put cycle
+        request = solver.default_request(**bounds)
+        return solve_with_cache(solver, app, platform, request, sess.cache)
     except Exception as exc:  # noqa: BLE001 - crashes are findings, not aborts
         sess.fail("solver-crash", f"{name}{bounds!r}: {type(exc).__name__}: {exc}")
         return None
@@ -241,9 +262,15 @@ def differential_check(
     *,
     n_datasets: int = 16,
     simulate: bool = True,
+    cache=None,
 ) -> DifferentialReport:
-    """Cross-check every applicable solver and simulator on one instance."""
-    sess = _Session()
+    """Cross-check every applicable solver and simulator on one instance.
+
+    ``cache`` (a :class:`~repro.cache.store.SolveCache`) memoises the
+    per-solver runs of the fan-out; solvers are deterministic, so the
+    report is identical with a cold cache, a warm cache or none at all.
+    """
+    sess = _Session(cache=cache)
     n, p = app.n_stages, platform.n_processors
     comm_homog = platform.is_communication_homogeneous
     fully_homog = platform.is_fully_homogeneous

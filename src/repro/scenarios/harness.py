@@ -88,18 +88,24 @@ class FuzzReport:
         return not self.counterexamples
 
 
-def _check_scenario(n_datasets: int, scenario: Scenario) -> DifferentialReport:
+def _check_scenario(
+    n_datasets: int, cache, scenario: Scenario
+) -> DifferentialReport:
     """Oracle on one scenario (module-level, pool-picklable, pure)."""
     return differential_check(
-        scenario.application, scenario.platform, n_datasets=n_datasets
+        scenario.application, scenario.platform, n_datasets=n_datasets, cache=cache
     )
 
 
 def _still_fails_check(
-    check: str, n_datasets: int, app: PipelineApplication, platform: Platform
+    check: str,
+    n_datasets: int,
+    cache,
+    app: PipelineApplication,
+    platform: Platform,
 ) -> bool:
     """Shrink predicate: does the *same* check still fail on the instance?"""
-    report = differential_check(app, platform, n_datasets=n_datasets)
+    report = differential_check(app, platform, n_datasets=n_datasets, cache=cache)
     return check in report.failed_checks()
 
 
@@ -114,6 +120,7 @@ def run_fuzz(
     shrink: bool = True,
     shrink_budget: int = 300,
     corpus_dir: str | Path | None = None,
+    cache=None,
 ) -> FuzzReport:
     """Fuzz every applicable solver/simulator pair over a scenario stream.
 
@@ -135,6 +142,12 @@ def run_fuzz(
     corpus_dir:
         When given, persist every (shrunk) counterexample into this directory
         in the regression-corpus format.
+    cache:
+        Optional :class:`~repro.cache.store.SolveCache` memoising the
+        oracle's per-solver runs (notably across the shrinker's repeated
+        re-evaluations).  Solvers are deterministic, so the report is
+        byte-identical with or without it; an on-disk cache is shared by
+        the worker processes.
     """
     resolved = resolve_families(families)
     family_names = tuple(family.name for family in resolved)
@@ -142,7 +155,7 @@ def run_fuzz(
         count, family_names, seed, workers=workers, batch_size=batch_size
     )
     reports = parallel_map(
-        partial(_check_scenario, n_datasets),
+        partial(_check_scenario, n_datasets, cache),
         scenarios,
         workers=workers,
         batch_size=batch_size,
@@ -171,7 +184,7 @@ def run_fuzz(
             shrunk = shrink_instance(
                 app,
                 platform,
-                partial(_still_fails_check, check, n_datasets),
+                partial(_still_fails_check, check, n_datasets, cache),
                 max_evaluations=shrink_budget,
             )
             app, platform = shrunk.application, shrunk.platform

@@ -1,69 +1,18 @@
-"""Canonical hashing of problem instances.
+"""Canonical hashing of problem instances — moved to :mod:`repro.core.identity`.
 
-The differential harness (:mod:`repro.scenarios.harness`) and the regression
-corpus (:mod:`repro.scenarios.corpus`) both need a stable identity for an
-(application, platform) pair: the corpus must detect duplicates, counterexample
-files need collision-free names, and a shrunk instance must be recognisable
-across sessions.  Python's ``hash()`` is salted per process and the repr of the
-objects carries display names, so neither qualifies.
+Instance identity started here as a scenario-layer concern (the fuzz harness
+and the regression corpus were its only consumers) and was promoted into the
+core once the solve cache (:mod:`repro.cache`) and the batch service
+(:mod:`repro.solvers.service`) made it load-bearing for every repeated
+workload.  This module remains as a compatibility re-export so existing
+imports — and, crucially, the digests embedded in the ``tests/corpus/``
+fixtures — stay byte-identical.
 
-:func:`instance_digest` hashes only the *numbers* that define the instance —
-stage works, communication sizes, processor speeds, link bandwidths and the
-I/O bandwidths — via a canonical JSON encoding (sorted keys, no whitespace,
-shortest round-trip float repr).  Display names are deliberately excluded:
-``scenario-extreme-skew-17`` and a hand-written copy of the same instance hash
-identically.
+Prefer importing from :mod:`repro.core.identity` in new code.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-from typing import Any
-
-from ..core.application import PipelineApplication
-from ..core.platform import Platform
-from ..core.serialization import application_to_dict, platform_to_dict
+from ..core.identity import canonical_instance_document, instance_digest
 
 __all__ = ["canonical_instance_document", "instance_digest"]
-
-#: serialisation fields that carry identity/display metadata, not numbers
-_METADATA_KEYS = ("name", "type")
-
-
-def canonical_instance_document(
-    app: PipelineApplication, platform: Platform
-) -> dict[str, Any]:
-    """Name-free, JSON-safe document capturing exactly the instance numbers.
-
-    Derived from the shared serialisation converters
-    (:func:`~repro.core.serialization.application_to_dict` /
-    :func:`~repro.core.serialization.platform_to_dict`) with the display
-    metadata stripped, so the hashed encoding can never drift from the
-    persisted one: a field added to the instance model changes both in the
-    same place.
-    """
-    document = {
-        "application": application_to_dict(app),
-        "platform": platform_to_dict(platform),
-    }
-    for sub_document in document.values():
-        for key in _METADATA_KEYS:
-            sub_document.pop(key, None)
-    return document
-
-
-def instance_digest(app: PipelineApplication, platform: Platform) -> str:
-    """SHA-256 hex digest of the canonical instance document.
-
-    Stable across processes and sessions: the document is serialised with
-    sorted keys and compact separators, and JSON floats use the shortest
-    round-trip representation, so numerically identical instances always
-    produce the same digest.
-    """
-    payload = json.dumps(
-        canonical_instance_document(app, platform),
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

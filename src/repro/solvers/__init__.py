@@ -31,6 +31,12 @@ from .registry import (
     solver_specs,
     solvers_for_platform,
 )
+from .service import (
+    BatchResult,
+    BatchStats,
+    solve_many,
+    solve_with_cache,
+)
 
 __all__ = [
     "Objective",
@@ -48,4 +54,8 @@ __all__ = [
     "resolve_solvers",
     "solvers_for_platform",
     "as_solver",
+    "BatchResult",
+    "BatchStats",
+    "solve_many",
+    "solve_with_cache",
 ]

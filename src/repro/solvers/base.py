@@ -164,6 +164,31 @@ class SolveRequest:
             return self.latency_bound
         return None
 
+    def canonical_hash(self) -> str:
+        """SHA-256 identity of the request, cached on the instance.
+
+        Hashes the canonical JSON encoding of the three request fields —
+        the same convention as :func:`repro.core.identity.instance_digest`
+        — so numerically identical requests share one digest across
+        processes and sessions.  Together with the instance digest and the
+        solver name/version it forms the solve-cache key
+        (:mod:`repro.cache`).
+        """
+        cached = getattr(self, "_canonical_hash", None)
+        if cached is None:
+            from ..core.identity import digest_document
+
+            cached = digest_document(
+                {
+                    "objective": self.objective,
+                    "period_bound": self.period_bound,
+                    "latency_bound": self.latency_bound,
+                }
+            )
+            # frozen dataclass: cache outside the declared fields
+            object.__setattr__(self, "_canonical_hash", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class SolveResult:
@@ -191,6 +216,11 @@ class SolveResult:
         ``(period, latency)`` trajectory (empty for the direct solvers).
     wall_time:
         Wall-clock seconds of the solve call (stamped by the registry).
+    cache_hit:
+        ``True`` when this result was served from a solve cache
+        (:mod:`repro.cache`) instead of an actual solver run.  Run
+        provenance, not solution data: excluded from :meth:`identity`, so a
+        cold solve and its warm replay compare byte-identical.
     details:
         Solver-specific extras as JSON-safe scalars/lists (e.g. the replica
         groups of a replicated mapping).
@@ -207,6 +237,7 @@ class SolveResult:
     n_splits: int = 0
     history: tuple[tuple[float, float], ...] = field(default_factory=tuple)
     wall_time: float = 0.0
+    cache_hit: bool = False
     details: Mapping[str, Any] = field(default_factory=dict)
 
     @property
@@ -240,16 +271,19 @@ class SolveResult:
         """Copy with provenance filled in (used by the registry wrapper)."""
         return replace(self, solver=solver, family=family, wall_time=wall_time)
 
-    #: provenance fields that measure the actual run and therefore differ
-    #: between byte-identical solves (serial vs pooled, machine to machine)
-    NONDETERMINISTIC_FIELDS = ("wall_time",)
+    #: provenance fields that describe the actual run and therefore differ
+    #: between byte-identical solves (serial vs pooled, machine to machine,
+    #: cold solve vs warm cache replay)
+    NONDETERMINISTIC_FIELDS = ("wall_time", "cache_hit")
 
     def identity(self) -> dict[str, Any]:
-        """Byte-comparable view: every solution field, no timing provenance.
+        """Byte-comparable view: every solution field, no run provenance.
 
-        ``wall_time`` measures the actual run, so two byte-identical solves
-        (serial versus process pool, or across machines) legitimately differ
-        on it.  Every comparison asserting the engine's determinism contract
+        ``wall_time`` measures the actual run and ``cache_hit`` records how
+        the result was obtained, so two byte-identical solves (serial versus
+        process pool, cold versus warm cache, or across machines)
+        legitimately differ on them.  Every comparison asserting the
+        engine's determinism contract
         must go through this single exclusion point instead of hand-picking
         fields: two results describe the same solution iff their ``identity()``
         dictionaries are equal, and new fields added to :class:`SolveResult`

@@ -73,6 +73,12 @@ class SolverSpec:
     ``solve_fn(app, platform, request) -> SolveResult`` does the actual work;
     provenance fields of its result are overwritten by the registry wrapper,
     so adapters never need to repeat name/family.
+
+    ``version`` is the solver's cache-invalidation tag: the solve cache
+    (:mod:`repro.cache`) keys results by ``(instance, solver name, solver
+    version, request)``, so a behavioural change — a bug fix, different
+    tie-breaking, a new cost model — must bump the version to retire the
+    solver's cached results without touching the rest of a shared store.
     """
 
     name: str
@@ -83,6 +89,7 @@ class SolverSpec:
     capabilities: frozenset[str] = frozenset()
     description: str = ""
     aliases: tuple[str, ...] = ()
+    version: str = "1"
 
     def __post_init__(self) -> None:
         if self.family not in SolverFamily.ALL:
@@ -93,6 +100,11 @@ class SolverSpec:
 
 class Solver:
     """Registry handle of a solver: uniform ``solve`` with provenance stamping."""
+
+    #: registered solvers are pure functions of (instance, request) fully
+    #: identified by (name, version), so their results may be memoised; the
+    #: ad-hoc wrapper below opts out (one name covers many configurations)
+    cacheable = True
 
     def __init__(self, spec: SolverSpec) -> None:
         self.spec = spec
@@ -117,6 +129,11 @@ class Solver:
     @property
     def capabilities(self) -> frozenset[str]:
         return self.spec.capabilities
+
+    @property
+    def version(self) -> str:
+        """Cache-invalidation tag of the solver (see :class:`SolverSpec`)."""
+        return self.spec.version
 
     @property
     def description(self) -> str:
@@ -211,8 +228,12 @@ class _AdhocHeuristicSolver(Solver):
     The ablation studies build one-off heuristic variants (custom processor
     orders, isolated selection rules); :func:`as_solver` wraps them so the
     generic runner treats them like registered solvers.  Pickles by value —
-    the wrapped instance carries its own configuration.
+    the wrapped instance carries its own configuration.  Not cacheable: two
+    differently-configured variants share one display name, so a name-keyed
+    cache entry could be served to the wrong configuration.
     """
+
+    cacheable = False
 
     def __init__(self, heuristic: PipelineHeuristic) -> None:
         from ..extensions.heterogeneous_links import HeterogeneousSplittingPeriod

@@ -1,0 +1,255 @@
+"""Batch solve service: dedupe, memoise, shard — one entry point for fleets.
+
+:func:`solve_many` is the service layer on top of the unified registry and
+the solve cache (:mod:`repro.cache`): given an instance stream and a solver
+selection it
+
+1. **dedupes** identical ``(instance, solver, request)`` tasks up front —
+   instance identity is the canonical digest of
+   :mod:`repro.core.identity`, so two numerically identical instances
+   (whatever their display names) are solved once;
+2. **probes the cache** for every unique task (when a cache is given),
+   so work done by a previous batch, a previous process, or another worker
+   sharing the same ``--cache-dir`` is never repeated;
+3. **shards only the cache misses** across the process pool
+   (:func:`repro.utils.parallel.parallel_map`);
+4. **back-fills** results in input order, so the output shape is simply
+   ``results[instance][solver]``.
+
+Determinism contract (the same one the experiment engine honours): the
+returned solutions are byte-identical — through
+:meth:`~repro.solvers.base.SolveResult.identity` — whatever the worker
+count, and whether the cache was cold or warm; only the ``wall_time`` /
+``cache_hit`` run-provenance stamps differ.
+
+:func:`solve_with_cache` is the scalar sibling used by call sites that
+solve one instance at a time inside their own loop (the differential
+oracle, the failure-threshold probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..cache.keys import CacheKey, solve_key
+from ..core.identity import instance_digest
+from ..utils.parallel import parallel_map
+from .base import SolveRequest, SolveResult
+from .registry import Solver, as_solver, resolve_solvers
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..cache.store import SolveCache
+    from ..core.application import PipelineApplication
+    from ..core.platform import Platform
+
+__all__ = [
+    "BatchStats",
+    "BatchResult",
+    "as_instance_pair",
+    "solve_with_cache",
+    "solve_many",
+]
+
+
+def as_instance_pair(item: Any) -> tuple["PipelineApplication", "Platform"]:
+    """Coerce a work item into an ``(application, platform)`` pair.
+
+    Accepts the experiment layer's :class:`~repro.generators.experiments.
+    Instance` records (anything with ``application`` / ``platform``
+    attributes, e.g. scenarios converted via ``scenario_instances``) and
+    plain 2-tuples.
+    """
+    app = getattr(item, "application", None)
+    if app is not None:
+        return app, item.platform
+    app, platform = item
+    return app, platform
+
+
+def solve_with_cache(
+    solver: Any,
+    app: "PipelineApplication",
+    platform: "Platform",
+    request: SolveRequest,
+    cache: "SolveCache | None" = None,
+) -> SolveResult:
+    """One solver run through the cache (the scalar core of the service).
+
+    With ``cache=None`` — or for a non-cacheable ad-hoc solver — this is
+    exactly ``solver.solve(app, platform, request)``; otherwise the run is
+    served from the cache when possible and memoised when not.  Either way
+    the returned solution is identical (``cache_hit`` aside).
+    """
+    handle = as_solver(solver)
+    if cache is None or not handle.cacheable:
+        return handle.solve(app, platform, request)
+    key = solve_key(app, platform, handle, request)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    result = handle.solve(app, platform, request)
+    cache.put(key, result)
+    return result
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """How much work a :func:`solve_many` call actually had to do."""
+
+    n_instances: int
+    n_solvers: int
+    n_tasks: int
+    n_unique: int
+    n_cache_hits: int
+    n_solved: int
+
+    @property
+    def n_deduplicated(self) -> int:
+        """Tasks answered by pointing at another identical task's result."""
+        return self.n_tasks - self.n_unique
+
+    @property
+    def solve_fraction(self) -> float:
+        """Fraction of requested tasks that needed an actual solver run."""
+        return self.n_solved / self.n_tasks if self.n_tasks else 0.0
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one :func:`solve_many` call, in input order.
+
+    ``results[i][j]`` is the :class:`~repro.solvers.base.SolveResult` of
+    solver ``j`` (of :attr:`solvers`) on instance ``i`` of the input stream.
+    """
+
+    solvers: tuple[str, ...]
+    results: tuple[tuple[SolveResult, ...], ...]
+    stats: BatchStats
+
+    def for_solver(self, j: int) -> tuple[SolveResult, ...]:
+        """Column ``j``: one solver's results over the whole stream."""
+        return tuple(row[j] for row in self.results)
+
+
+def _solve_task(
+    task: tuple[Solver, "PipelineApplication", "Platform", SolveRequest],
+) -> SolveResult:
+    """One unique (solver, instance, request) cell (module-level, picklable)."""
+    handle, app, platform, request = task
+    return handle.solve(app, platform, request)
+
+
+def _resolve_handles(solvers: Any) -> list[Solver]:
+    """Solver selection -> handles (group string, names, handles, heuristics)."""
+    if solvers is None or isinstance(solvers, str):
+        return resolve_solvers(solvers)
+    if isinstance(solvers, Iterable):
+        return [as_solver(item) for item in solvers]
+    return [as_solver(solvers)]
+
+
+def solve_many(
+    instances: Sequence[Any],
+    solvers: Any,
+    *,
+    period_bound: float | None = None,
+    latency_bound: float | None = None,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    cache: "SolveCache | None" = None,
+) -> BatchResult:
+    """Solve every instance with every selected solver, doing minimal work.
+
+    Parameters
+    ----------
+    instances:
+        The stream: :class:`~repro.generators.experiments.Instance` records
+        or plain ``(application, platform)`` pairs.  Repeated instances are
+        detected by canonical digest and solved once.
+    solvers:
+        A solver selection: registry names/handles, heuristic instances, an
+        iterable thereof, or a group string (``"heuristics"``, ``"exact"``,
+        ...).  Each solver's request is built from the bounds below
+        according to its objective, exactly like
+        :meth:`~repro.solvers.registry.Solver.run`.
+    period_bound / latency_bound:
+        The thresholds; each solver picks the bound(s) its objective needs.
+    workers / batch_size:
+        Process-pool knobs (:func:`~repro.utils.parallel.parallel_map`) for
+        the cache-missing unique tasks.  Results are byte-identical at any
+        value.
+    cache:
+        A :class:`~repro.cache.store.SolveCache`.  ``None`` disables
+        memoisation (deduplication still applies).
+    """
+    pairs = [as_instance_pair(item) for item in instances]
+    handles = _resolve_handles(solvers)
+    requests = [
+        handle.default_request(
+            period_bound=period_bound, latency_bound=latency_bound
+        )
+        for handle in handles
+    ]
+
+    # -- dedupe: one slot per distinct (instance digest, solver column) ---- #
+    slot_of: dict[tuple[str, int], int] = {}
+    unique_tasks: list[tuple[Solver, Any, Any, SolveRequest]] = []
+    assignment: list[list[int]] = []
+    for app, platform in pairs:
+        digest = None
+        row: list[int] = []
+        for j, handle in enumerate(handles):
+            if digest is None:
+                digest = instance_digest(app, platform)
+            task_key = (digest, j)
+            slot = slot_of.get(task_key)
+            if slot is None:
+                slot = len(unique_tasks)
+                slot_of[task_key] = slot
+                unique_tasks.append((handle, app, platform, requests[j]))
+            row.append(slot)
+        assignment.append(row)
+
+    # -- probe the cache; only misses reach the pool ----------------------- #
+    unique_results: list[SolveResult | None] = [None] * len(unique_tasks)
+    keys: list[CacheKey | None] = [None] * len(unique_tasks)
+    misses: list[int] = []
+    n_cache_hits = 0
+    for u, (handle, app, platform, request) in enumerate(unique_tasks):
+        if cache is not None and handle.cacheable:
+            keys[u] = solve_key(app, platform, handle, request)
+            unique_results[u] = cache.get(keys[u])
+        if unique_results[u] is None:
+            misses.append(u)
+        else:
+            n_cache_hits += 1
+
+    solved = parallel_map(
+        _solve_task,
+        [unique_tasks[u] for u in misses],
+        workers=workers,
+        batch_size=batch_size,
+    )
+    for u, result in zip(misses, solved):
+        unique_results[u] = result
+        if cache is not None and keys[u] is not None:
+            cache.put(keys[u], result)
+
+    # -- back-fill in input order ------------------------------------------ #
+    results = tuple(
+        tuple(unique_results[slot] for slot in row) for row in assignment
+    )
+    stats = BatchStats(
+        n_instances=len(pairs),
+        n_solvers=len(handles),
+        n_tasks=len(pairs) * len(handles),
+        n_unique=len(unique_tasks),
+        n_cache_hits=n_cache_hits,
+        n_solved=len(misses),
+    )
+    return BatchResult(
+        solvers=tuple(handle.name for handle in handles),
+        results=results,
+        stats=stats,
+    )

@@ -1,0 +1,220 @@
+"""The solve cache: keys, LRU semantics, disk store, invalidation, stats.
+
+The cache's contract is behavioural transparency: a result served from the
+cache must have the same :meth:`~repro.solvers.base.SolveResult.identity`
+as the solver run it memoised (``cache_hit`` / ``wall_time`` aside), keys
+must separate every component that can change a result (instance, solver
+name, solver *version*, request), and a damaged or foreign store must read
+as cold, never as wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.cache import (
+    CacheKey,
+    DiskCacheStore,
+    InMemoryLRUCache,
+    SolveCache,
+    solve_key,
+)
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.heuristics import get_heuristic
+from repro.solvers.base import SolveRequest
+from repro.solvers.registry import get_solver
+from repro.solvers.service import solve_with_cache
+
+
+@pytest.fixture(scope="module")
+def instance():
+    config = experiment_config("E2", 6, 5, n_instances=1)
+    return generate_instances(config, seed=7)[0]
+
+
+@pytest.fixture(scope="module")
+def solved(instance):
+    solver = get_solver("H1")
+    request = SolveRequest.fixed_period(9.0)
+    key = solve_key(instance.application, instance.platform, solver, request)
+    result = solver.solve(instance.application, instance.platform, request)
+    return key, result
+
+
+class TestCacheKey:
+    def test_every_component_reaches_the_digest(self, instance, solved):
+        key, _ = solved
+        assert key.solver_version == "1"
+        for field, other in (
+            ("instance_hash", "0" * 64),
+            ("solver_name", "someone-else"),
+            ("solver_version", "2"),
+            ("request_digest", "f" * 64),
+        ):
+            changed = dataclasses.replace(key, **{field: other})
+            assert changed.digest != key.digest
+
+    def test_key_is_reproducible(self, instance, solved):
+        key, _ = solved
+        again = solve_key(
+            instance.application,
+            instance.platform,
+            get_solver("H1"),
+            SolveRequest.fixed_period(9.0),
+        )
+        assert again == key and again.digest == key.digest
+
+
+class TestInMemoryLRU:
+    def test_eviction_is_least_recently_used(self, solved):
+        _, result = solved
+        lru = InMemoryLRUCache(maxsize=2)
+        assert lru.put("a", result) == 0
+        assert lru.put("b", result) == 0
+        assert lru.get("a") is result  # refresh "a": "b" is now oldest
+        assert lru.put("c", result) == 1
+        assert "b" not in lru and "a" in lru and "c" in lru
+        assert lru.get("b") is None
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            InMemoryLRUCache(maxsize=0)
+
+
+class TestSolveCacheMemory:
+    def test_miss_then_hit_with_cache_hit_stamp(self, solved):
+        key, result = solved
+        cache = SolveCache()
+        assert cache.get(key) is None
+        cache.put(key, result)
+        hit = cache.get(key)
+        assert hit.cache_hit is True
+        assert hit.identity() == result.identity()
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.memory_hits == 1 and stats.disk_hits == 0
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_eviction_counted(self, solved):
+        key, result = solved
+        cache = SolveCache(maxsize=1)
+        cache.put(key, result)
+        cache.put(dataclasses.replace(key, solver_name="other"), result)
+        assert cache.stats.evictions == 1
+        assert len(cache) == 1
+
+    def test_memory_only_cache_pickles_to_a_fresh_cache(self, solved):
+        key, result = solved
+        cache = SolveCache(maxsize=17)
+        cache.put(key, result)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.maxsize == 17 and clone.directory is None
+        assert clone.get(key) is None  # per-process layer starts cold
+
+
+class TestSolveCacheDisk:
+    def test_round_trip_and_promotion(self, tmp_path, solved):
+        key, result = solved
+        first = SolveCache(directory=tmp_path / "store")
+        first.put(key, result)
+        # a different process/session: fresh memory, same directory
+        second = SolveCache(directory=tmp_path / "store")
+        hit = second.get(key)
+        assert hit is not None and hit.cache_hit is True
+        assert hit.identity() == result.identity()
+        assert second.stats.disk_hits == 1
+        second.get(key)
+        assert second.stats.memory_hits == 1  # promoted after the disk hit
+
+    def test_version_bump_invalidates(self, tmp_path, solved):
+        key, result = solved
+        cache = SolveCache(directory=tmp_path / "store")
+        cache.put(key, result)
+        bumped = dataclasses.replace(key, solver_version="2")
+        assert SolveCache(directory=tmp_path / "store").get(bumped) is None
+
+    def test_corrupt_or_foreign_blobs_read_as_misses(self, tmp_path, solved):
+        key, result = solved
+        store = DiskCacheStore(tmp_path / "store")
+        path = store.put(key, result)
+        blob = json.loads(path.read_text())
+
+        path.write_text("{ not json")
+        assert store.get(key) is None
+
+        blob["instance_hash"] = "0" * 64  # key mismatch (hand-moved blob)
+        path.write_text(json.dumps(blob))
+        assert store.get(key) is None
+
+        blob["instance_hash"] = key.instance_hash
+        blob["schema"] = 999  # unknown format version
+        path.write_text(json.dumps(blob))
+        assert store.get(key) is None
+
+        path.write_text("[1, 2, 3]")  # valid JSON, but not an object
+        assert store.get(key) is None
+
+        blob["schema"] = 1
+        blob["result"]["mapping"] = 5  # wrong-typed result field
+        path.write_text(json.dumps(blob))
+        assert store.get(key) is None
+
+    def test_unwritable_store_degrades_to_not_stored(self, tmp_path, solved):
+        """A broken shared --cache-dir must never crash a run.
+
+        Simulated with a plain file squatting on the shard directory the
+        blob needs (mkdir then raises, for root and mortals alike).
+        """
+        key, result = solved
+        target = tmp_path / "store"
+        target.mkdir()
+        (target / key.digest[:2]).write_text("not a directory")
+        store = DiskCacheStore(target)
+        assert store.put(key, result) is None
+        assert store.get(key) is None
+        cache = SolveCache(directory=target)
+        cache.put(key, result)  # must not raise
+        assert cache.get(key) is not None  # still served from memory
+
+    def test_disk_cache_pickles_by_directory(self, tmp_path, solved):
+        key, result = solved
+        cache = SolveCache(directory=tmp_path / "store")
+        cache.put(key, result)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.get(key).identity() == result.identity()
+
+
+class TestSolveWithCache:
+    def test_second_call_is_served_from_the_cache(self, instance):
+        cache = SolveCache()
+        request = SolveRequest.fixed_period(9.0)
+        app, platform = instance.application, instance.platform
+        cold = solve_with_cache("H1", app, platform, request, cache)
+        warm = solve_with_cache("H1", app, platform, request, cache)
+        assert not cold.cache_hit and warm.cache_hit
+        assert cold.identity() == warm.identity()
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_adhoc_heuristics_are_never_cached(self, instance):
+        cache = SolveCache()
+        request = SolveRequest.fixed_period(9.0)
+        heuristic = get_heuristic("H1")  # ad-hoc wrap: one name, any config
+        first = solve_with_cache(
+            heuristic, instance.application, instance.platform, request, cache
+        )
+        second = solve_with_cache(
+            heuristic, instance.application, instance.platform, request, cache
+        )
+        assert not first.cache_hit and not second.cache_hit
+        assert cache.stats.lookups == 0 and len(cache) == 0
+
+    def test_no_cache_means_plain_solve(self, instance):
+        request = SolveRequest.fixed_period(9.0)
+        result = solve_with_cache(
+            "H1", instance.application, instance.platform, request, None
+        )
+        assert not result.cache_hit and result.solver == "Sp mono P"

@@ -330,3 +330,83 @@ class TestExperimentCommands:
         )
         assert rc == 2
         assert "unknown solver" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_is_single_sourced(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_setup_py_reads_the_same_version(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        # apply setup.py's exact textual pattern to the real __init__.py, so
+        # a reformatting that would break `setup.py`'s _version() fails here
+        init_text = (
+            Path(repro.__file__)
+        ).read_text(encoding="utf-8")
+        match = re.search(r'^__version__ = "([^"]+)"$', init_text, re.MULTILINE)
+        assert match is not None, "setup.py's version pattern no longer matches"
+        assert match.group(1) == repro.__version__
+
+
+class TestBatchCommand:
+    _ARGS = [
+        "batch", "--family", "E1", "--stages", "6", "--processors", "5",
+        "--instances", "4", "--repeat", "2", "--period", "12",
+        "--latency", "60",
+    ]
+
+    def test_batch_report_shape(self, capsys):
+        rc = main(self._ARGS)
+        captured = capsys.readouterr()
+        assert rc == 0
+        # 4 instances x 2 repeats x 6 heuristics: 48 task rows collapse onto
+        # 24 unique (instance, solver) cells
+        assert "tasks       : 48 requested, 24 unique after deduplication" in captured.out
+        assert "solved 24 of 48 requested task(s) (24 deduplicated" in captured.err
+
+    def test_batch_cold_vs_warm_cache_dir_byte_identical(self, tmp_path, capsys):
+        args = self._ARGS + ["--cache-dir", str(tmp_path / "store")]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+        assert "instance" in cold and "period" in cold
+
+    def test_batch_workers_byte_identical(self, capsys):
+        assert main(self._ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(self._ARGS + ["--workers", "3"]) == 0
+        pooled = capsys.readouterr().out
+        assert serial == pooled
+
+    def test_batch_skips_inapplicable_solvers(self, capsys):
+        rc = main(
+            [
+                "batch", "--family", "E1", "--stages", "5", "--processors", "4",
+                "--instances", "2", "--solver", "all", "--period", "12",
+                "--latency", "60",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "skipping" in captured.err  # e.g. homogeneous-only DPs
+
+    def test_batch_unknown_solver_rejected(self, capsys):
+        rc = main(
+            [
+                "batch", "--family", "E1", "--stages", "5", "--processors", "4",
+                "--instances", "2", "--solver", "nope",
+            ]
+        )
+        assert rc == 2
+        assert "unknown solver" in capsys.readouterr().err

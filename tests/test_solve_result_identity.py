@@ -1,16 +1,18 @@
-"""`SolveResult.identity()`: the single wall-time exclusion point.
+"""`SolveResult.identity()`: the single run-provenance exclusion point.
 
 The parallel engine's contract is that every *solution* field of a result is
-byte-identical between serial and pooled runs; only the ``wall_time``
-provenance stamp measures the actual run and legitimately differs.  These
-tests pin down the contract's single implementation point:
+byte-identical between serial, pooled and cache-served runs; only the
+``wall_time`` stamp (measures the actual run) and the ``cache_hit`` flag
+(records how the result was obtained) legitimately differ.  These tests pin
+down the contract's single implementation point:
 
 * ``identity()`` covers every dataclass field except the declared
   nondeterministic ones — automatically, so a future field cannot silently
   escape determinism comparisons;
-* two runs of the same solve differ (at most) on ``wall_time`` and compare
-  equal through ``identity()``, byte-for-byte (pickled);
-* the remaining fields are byte-stable across worker counts.
+* two runs of the same solve differ (at most) on the provenance stamps and
+  compare equal through ``identity()``, byte-for-byte (pickled);
+* the remaining fields are byte-stable across worker counts;
+* a warm cache replay has the same ``identity()`` as its cold solve.
 """
 
 from __future__ import annotations
@@ -30,15 +32,15 @@ def _instances(n: int = 4):
 
 
 class TestIdentityContract:
-    def test_identity_covers_every_field_except_wall_time(self):
+    def test_identity_covers_every_field_except_run_provenance(self):
         field_names = {f.name for f in dataclasses.fields(SolveResult)}
         instance = _instances(1)[0]
         result = get_solver("H1").run(
             instance.application, instance.platform, period_bound=10.0
         )
         identity = result.identity()
-        assert set(identity) == field_names - {"wall_time"}
-        assert SolveResult.NONDETERMINISTIC_FIELDS == ("wall_time",)
+        assert set(identity) == field_names - {"wall_time", "cache_hit"}
+        assert SolveResult.NONDETERMINISTIC_FIELDS == ("wall_time", "cache_hit")
 
     def test_identity_ignores_wall_time_only(self):
         instance = _instances(1)[0]
@@ -59,3 +61,16 @@ class TestIdentityContract:
         serial_bytes = [pickle.dumps(r.result.identity()) for r in serial]
         pooled_bytes = [pickle.dumps(r.result.identity()) for r in pooled]
         assert serial_bytes == pooled_bytes
+
+    def test_identity_ignores_cache_hit(self):
+        from repro.cache import SolveCache
+
+        instances = _instances(3)
+        cache = SolveCache()
+        cold = run_solver("H1", instances, 8.0, cache=cache)
+        warm = run_solver("H1", instances, 8.0, cache=cache)
+        assert all(not r.result.cache_hit for r in cold)
+        assert all(r.result.cache_hit for r in warm)
+        assert [pickle.dumps(a.result.identity()) for a in cold] == [
+            pickle.dumps(b.result.identity()) for b in warm
+        ]
