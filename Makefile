@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-cache cache-smoke fuzz-smoke sweep-demo clean-results
+.PHONY: test lint bench-smoke bench bench-cache cache-smoke fuzz-smoke workload-smoke sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
@@ -49,6 +49,25 @@ cache-smoke:
 ## uploads anything written to fuzz-counterexamples/ as an artifact
 fuzz-smoke:
 	$(PYTHON) -m repro.cli fuzz --count 100 --seed 0 --corpus fuzz-counterexamples
+
+## CI's resume smoke slice: run a spec, interrupt it halfway via the
+## --max-tasks cap (exit 3), resume it with --resume, and assert the final
+## report is byte-identical to an uninterrupted run
+workload-smoke:
+	rm -rf .workload-smoke && mkdir -p .workload-smoke
+	$(PYTHON) -m repro.cli run examples/workload_smoke.json \
+		--journal .workload-smoke/journal.jsonl --max-tasks 17 \
+		> .workload-smoke/partial.txt; rc=$$?; test $$rc -eq 3
+	$(PYTHON) -m repro.cli run examples/workload_smoke.json \
+		--journal .workload-smoke/journal.jsonl --resume \
+		--sink .workload-smoke/resumed.jsonl \
+		> .workload-smoke/resumed.txt
+	$(PYTHON) -m repro.cli run examples/workload_smoke.json \
+		--sink .workload-smoke/fresh.jsonl \
+		> .workload-smoke/fresh.txt
+	cmp .workload-smoke/resumed.txt .workload-smoke/fresh.txt
+	cmp .workload-smoke/resumed.jsonl .workload-smoke/fresh.jsonl
+	rm -rf .workload-smoke
 
 ## one parallel figure panel end to end (smoke test of the --workers path)
 sweep-demo:

@@ -1,0 +1,95 @@
+"""Resume economics of the workload engine.
+
+The acceptance case of the workload refactor's checkpoint journal: a run
+interrupted at fraction ``f`` and then resumed must re-execute **only the
+incomplete fraction** — the resumed run's executed-task count equals
+``total - interrupted`` exactly, its wall time scales with the remaining
+work rather than the whole campaign, and its final report is byte-identical
+to an uninterrupted run's.
+
+Timings and the executed/replayed split are recorded in
+``benchmarks/results/workload_resume.txt``.  Sizes follow the shared
+``REPRO_BENCH_INSTANCES`` knob so the smoke pass stays fast; the exactness
+assertions hold at any size because journal replay is keyed by
+content-addressed task digests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_utils import BENCH_SEED, instance_count, write_report
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.workloads import execute_plan, render_workload_report, solve_plan
+
+SOLVERS = ("H1", "H2", "H3", "H4", "H5", "H6")
+THRESHOLDS = (10.0, 40.0)
+N_STAGES = 16
+N_PROCESSORS = 8
+
+
+def _plan():
+    config = experiment_config(
+        "E3", N_STAGES, N_PROCESSORS, n_instances=max(4, instance_count(8))
+    )
+    instances = generate_instances(config, seed=BENCH_SEED)
+    cells = [(solver, t) for solver in SOLVERS for t in THRESHOLDS]
+    plan, _ = solve_plan(instances, cells)
+    return config, plan
+
+
+def test_resume_reexecutes_only_the_incomplete_fraction(tmp_path):
+    config, plan = _plan()
+    journal = tmp_path / "journal.jsonl"
+    total = len(plan.tasks)
+    interrupted_at = total // 2
+
+    start = time.perf_counter()
+    uninterrupted = execute_plan(plan)
+    t_full = time.perf_counter() - start
+
+    start = time.perf_counter()
+    capped = execute_plan(plan, journal=journal, max_tasks=interrupted_at)
+    t_first = time.perf_counter() - start
+    assert not capped.complete
+    assert capped.stats.n_executed == interrupted_at
+
+    start = time.perf_counter()
+    resumed = execute_plan(plan, journal=journal, resume=True)
+    t_resume = time.perf_counter() - start
+
+    # exactness: the journal answered the interrupted half, the engine
+    # executed the rest — nothing more, nothing less
+    assert resumed.complete
+    assert resumed.stats.n_from_journal == interrupted_at
+    assert resumed.stats.n_executed == total - interrupted_at
+
+    # byte identity: the resumed report equals the uninterrupted one
+    assert render_workload_report(resumed) == render_workload_report(uninterrupted)
+    for task in plan.tasks:
+        assert (
+            resumed.result_for(task).identity()
+            == uninterrupted.result_for(task).identity()
+        )
+
+    executed_fraction = resumed.stats.n_executed / total
+    write_report(
+        "workload_resume",
+        "\n".join(
+            [
+                f"workload: {config.label}, {plan.n_instances} instance(s), "
+                f"{len(SOLVERS)} solver(s) x {len(THRESHOLDS)} threshold(s) "
+                f"= {total} tasks",
+                f"uninterrupted run      : {t_full * 1e3:10.2f} ms "
+                f"({total} executed)",
+                f"interrupted at task    : {interrupted_at} "
+                f"({t_first * 1e3:.2f} ms)",
+                f"resumed run            : {t_resume * 1e3:10.2f} ms "
+                f"({resumed.stats.n_executed} executed, "
+                f"{resumed.stats.n_from_journal} replayed from journal)",
+                f"re-executed fraction   : {executed_fraction:10.1%}",
+                "final report           : byte-identical to the "
+                "uninterrupted run",
+            ]
+        ),
+    )

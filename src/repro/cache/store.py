@@ -261,6 +261,16 @@ class SolveCache:
     # ------------------------------------------------------------------ #
     # introspection / lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched).
+
+        Facade shortcut for :attr:`CacheStats.hit_rate`, so call sites
+        reporting cache effectiveness (the CLI's stderr summaries, the
+        benchmarks) need not reach into :attr:`stats`.
+        """
+        return self.stats.hit_rate
+
     def __len__(self) -> int:
         """Entries resident in the in-memory layer."""
         return len(self._memory)

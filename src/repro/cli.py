@@ -16,13 +16,22 @@ The ``repro-pipeline`` entry point exposes the main workflows:
 * ``fuzz``      — differential verification: stream random scenarios through
   every applicable solver and both simulators, shrink any disagreement to a
   minimal counterexample (optionally persisting it into the regression
-  corpus under ``tests/corpus/``).
+  corpus under ``tests/corpus/``); ``--journal``/``--resume`` checkpoint
+  and resume long runs;
+* ``run``       — execute a declarative workload spec file (JSON/TOML)
+  through the workload engine (:mod:`repro.workloads`): ``--journal`` +
+  ``--resume`` make runs interruption-safe (a resumed run re-executes only
+  the incomplete tasks and prints a byte-identical final report),
+  ``--sink`` streams per-task results to JSONL/CSV files, ``--max-tasks``
+  caps a run for smoke tests.
 
 All output is plain text (the environment is headless); every command accepts
 ``--seed`` so results are reproducible.  The experiment commands additionally
 take ``--workers`` / ``--batch-size``: the experiment engine dispatches
 independent work items (instances, thresholds) to a process pool in chunks,
-and reports are byte-identical whatever the worker count.
+and reports are byte-identical whatever the worker count.  The ``--workers``
+default is single-sourced from :data:`repro.utils.parallel.DEFAULT_WORKERS`
+and documented identically on every command that forwards to the pool.
 
 ``solve``, ``batch``, ``sweep`` and ``fuzz`` take ``--cache`` /
 ``--no-cache`` / ``--cache-dir DIR``: solver runs are memoised in the
@@ -63,7 +72,7 @@ from .generators.experiments import experiment_config, generate_instances
 from .solvers.base import Objective
 from .solvers.registry import GROUP_SELECTORS, resolve_solvers, solver_specs
 from .solvers.service import solve_many, solve_with_cache
-from .utils.parallel import parallel_map
+from .utils.parallel import DEFAULT_WORKERS, parallel_map
 
 __all__ = ["main", "build_parser"]
 
@@ -173,8 +182,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report raw disagreeing instances without minimising")
     fuzz.add_argument("--list-families", action="store_true",
                       help="list the scenario families and exit")
+    fuzz.add_argument("--journal", default=None, metavar="PATH",
+                      help="checkpoint every verified scenario into this "
+                           "JSONL journal (see 'run --journal')")
+    fuzz.add_argument("--resume", action="store_true",
+                      help="replay the journal of an interrupted run of the "
+                           "same stream and verify only the rest")
     _add_parallel_arguments(fuzz)
     _add_cache_arguments(fuzz)
+
+    run = sub.add_parser(
+        "run",
+        help="execute a declarative workload spec file through the engine",
+    )
+    run.add_argument("spec", metavar="SPEC",
+                     help="workload spec file (.json or .toml; see docs)")
+    run.add_argument("--journal", default=None, metavar="PATH",
+                     help="JSONL checkpoint journal: every completed task is "
+                          "appended so an interrupted run can be resumed")
+    run.add_argument("--resume", action="store_true",
+                     help="replay the journal's completed tasks and execute "
+                          "only the rest; the final report is byte-identical "
+                          "to an uninterrupted run")
+    run.add_argument("--sink", action="append", default=None, metavar="PATH",
+                     help="stream per-task result rows into PATH "
+                          "(.jsonl or .csv; repeatable)")
+    run.add_argument("--max-tasks", type=_positive_int_arg, default=None,
+                     metavar="N",
+                     help="execute at most N incomplete tasks, then stop "
+                          "(exit status 3; resume later with --resume)")
+    _add_parallel_arguments(run)
+    _add_cache_arguments(run)
 
     return parser
 
@@ -211,9 +249,10 @@ def _positive_int_arg(value: str) -> int:
 
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--workers", type=_workers_arg, default=1,
+        "--workers", type=_workers_arg, default=DEFAULT_WORKERS,
         help="worker processes for the experiment engine "
-             "(1 = serial, -1 = all CPUs); results are identical at any value",
+             f"(default: {DEFAULT_WORKERS} = serial, -1 = all CPUs); "
+             "results are identical at any value",
     )
     parser.add_argument(
         "--batch-size", type=_positive_int_arg, default=None,
@@ -264,9 +303,12 @@ def _build_cache(args: argparse.Namespace) -> SolveCache | None:
 def _report_cache(cache: SolveCache | None, workers: int | None = None) -> None:
     """Cache statistics go to stderr: stdout reports stay byte-identical.
 
-    With ``workers > 1`` the sweep/failure/fuzz drivers probe the cache
-    *inside* the worker processes, whose counters are not aggregated back;
-    flag that instead of printing misleading zeros.
+    The summary line (:meth:`SolveCache.describe`) includes the hit rate.
+    The workload engine probes the cache in the *parent* process for every
+    solve-style command, so its counters are complete there; only the fuzz
+    oracle still probes inside the worker processes (pass ``workers=`` from
+    that command), whose counters are not aggregated back — flag that
+    instead of printing misleading zeros.
     """
     if cache is None:
         return
@@ -483,8 +525,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             status = "ok" if result.feasible else "infeasible"
             print(f"{i:>4} {digest:<14} {solver.key:<6} {status:<12} "
                   f"{result.period:>12.6g} {result.latency:>12.6g}")
+    hit_rate = "" if cache is None else f", hit rate {cache.hit_rate:.1%}"
     print(f"\nsolved {n_solved} of {n_tasks} requested task(s)"
-          f" ({n_tasks - n_unique} deduplicated, {n_hits} cache hit(s))",
+          f" ({n_tasks - n_unique} deduplicated, {n_hits} cache hit(s)"
+          f"{hit_rate})",
           file=sys.stderr)
     _report_cache(cache)
     return 0
@@ -504,7 +548,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=cache,
     )
     print(render_sweep(result))
-    _report_cache(cache, workers=args.workers)
+    # the workload engine probes the cache in the parent process, so the
+    # counters above are complete at any --workers value
+    _report_cache(cache)
     return 0
 
 
@@ -632,6 +678,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             "a session-local store)",
             file=sys.stderr,
         )
+    if args.resume and not args.journal:
+        print("error: --resume needs --journal PATH", file=sys.stderr)
+        return 2
     try:
         report = run_fuzz(
             count=args.count,
@@ -643,15 +692,101 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             shrink=not args.no_shrink,
             corpus_dir=args.corpus,
             cache=cache,
+            journal=args.journal,
+            resume=args.resume,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        # e.g. a journal written for a different scenario stream
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_fuzz_report(report))
     _report_cache(cache, workers=args.workers)
     if not report.ok and args.corpus:
         print(f"(counterexamples persisted under {args.corpus})", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Execute a workload spec file through the engine (see ``--help``).
+
+    Exit status: 0 on a complete run, 2 on configuration errors, 3 when a
+    ``--max-tasks`` cap left tasks deferred (resume with ``--resume``).
+    Only the deterministic report reaches stdout; execution provenance
+    (journal replays, cache statistics) goes to stderr, so a resumed run's
+    stdout is byte-identical to an uninterrupted one.
+    """
+    from .workloads import (
+        CsvSink,
+        execute_plan,
+        expand_spec,
+        load_spec,
+        open_sink,
+        render_workload_report,
+        write_sinks,
+    )
+
+    if args.resume and not args.journal:
+        print("error: --resume needs --journal PATH", file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec(args.spec)
+        plan = expand_spec(spec)
+    except FileNotFoundError:
+        print(f"error: spec file {args.spec!r} not found", file=sys.stderr)
+        return 2
+    except (ReproError, KeyError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    # open (and validate) the sinks before spending hours executing: a bad
+    # path or a CSV sink on a differential workload must fail fast
+    sinks = []
+    try:
+        try:
+            for path in args.sink or ():
+                sink = open_sink(path)
+                if plan.kind == "differential" and isinstance(sink, CsvSink):
+                    sink.close()
+                    raise ConfigurationError(
+                        f"sink {path!r}: the CSV sink handles solve rows "
+                        "only; use a .jsonl sink for differential workloads"
+                    )
+                sinks.append(sink)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cache = _build_cache(args)
+        try:
+            run = execute_plan(
+                plan,
+                journal=args.journal,
+                resume=args.resume,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                cache=cache,
+                max_tasks=args.max_tasks,
+            )
+            write_sinks(run, sinks)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        for sink in sinks:
+            sink.close()
+    print(render_workload_report(run))
+    print(run.stats.describe(), file=sys.stderr)
+    _report_cache(cache)
+    if not run.complete:
+        print(
+            f"note: {run.stats.n_deferred} task(s) deferred by --max-tasks; "
+            "rerun with --resume to finish",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -667,6 +802,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "ablation": _cmd_ablation,
         "validate": _cmd_validate,
         "fuzz": _cmd_fuzz,
+        "run": _cmd_run,
     }
     return handlers[args.command](args)
 

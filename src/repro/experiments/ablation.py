@@ -19,7 +19,6 @@ plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import ClassVar, Sequence
 
 import numpy as np
@@ -28,8 +27,9 @@ from ..generators.experiments import ExperimentConfig, Instance, generate_instan
 from ..heuristics.base import FixedPeriodHeuristic, HeuristicResult
 from ..heuristics.engine import SelectionRule, SplittingState
 from ..solvers.registry import get_solver
-from ..utils.parallel import parallel_map
 from ..utils.rng import ensure_rng
+from ..workloads.engine import execute_plan
+from ..workloads.plan import solve_plan
 
 __all__ = [
     "AblationRow",
@@ -149,25 +149,24 @@ def _summarise(variant: str, results: Sequence[HeuristicResult]) -> AblationRow:
     )
 
 
-def _exhaustive_run(heuristic, instance: Instance) -> HeuristicResult:
-    """One unconstrained run of a variant on one instance (pool-picklable)."""
-    return heuristic.run(
-        instance.application, instance.platform, period_bound=_UNREACHABLE
-    )
-
-
 def _run_variant(
     heuristic,
     instances: Sequence[Instance],
     workers: int | None = None,
     batch_size: int | None = None,
-) -> list[HeuristicResult]:
-    return parallel_map(
-        partial(_exhaustive_run, heuristic),
-        instances,
-        workers=workers,
-        batch_size=batch_size,
-    )
+) -> list:
+    """Push one variant to exhaustion over the stream, via the engine.
+
+    One single-cell workload plan with the unreachable period bound: the
+    shared engine wraps the ad-hoc variant (which pickles by value), ships
+    the cells to the pool and maps the results back in instance order.
+    """
+    plan, (cell,) = solve_plan(instances, [(heuristic, _UNREACHABLE)])
+    run = execute_plan(plan, workers=workers, batch_size=batch_size)
+    return [
+        run.results[cell.tasks[digest].digest]
+        for digest in plan.input_hashes
+    ]
 
 
 def selection_rule_ablation(

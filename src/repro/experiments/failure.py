@@ -21,7 +21,6 @@ the full table for a list of stage counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -30,10 +29,11 @@ from ..core.costs import optimal_latency
 from ..core.exceptions import ConfigurationError
 from ..generators.experiments import ExperimentConfig, Instance, generate_instances
 from ..heuristics.base import Objective, PipelineHeuristic
-from ..solvers.base import Capability, SolveRequest
+from ..solvers.base import Capability
 from ..solvers.registry import as_solver, resolve_solvers
-from ..solvers.service import solve_with_cache
 from ..utils.parallel import parallel_map
+from ..workloads.engine import execute_plan
+from ..workloads.plan import solve_plan
 from .runner import AnySolver
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
@@ -57,26 +57,9 @@ class FailureThreshold:
     per_instance: tuple[float, ...]
 
 
-def _instance_failure_threshold(
-    cache: "SolveCache | None", task: tuple[AnySolver, Instance]
-) -> float:
-    """Per-instance failure threshold of one heuristic (pool-picklable).
-
-    The fixed-period probe goes through the solve service, so a shared
-    cache memoises it across repeated table builds.
-    """
-    heuristic, instance = task
-    app, platform = instance.application, instance.platform
-    if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
-        result = solve_with_cache(
-            heuristic,
-            app,
-            platform,
-            SolveRequest.fixed_period(_UNREACHABLE_PERIOD),
-            cache,
-        )
-        return result.period
-    return optimal_latency(app, platform)
+def _instance_optimal_latency(instance: Instance) -> float:
+    """Lemma 1 closed form of a fixed-latency failure threshold (picklable)."""
+    return optimal_latency(instance.application, instance.platform)
 
 
 def failure_thresholds(
@@ -95,10 +78,12 @@ def failure_thresholds(
     defaults to the six heuristics resolved through the registry.  The
     closed forms above assume best-effort solvers with a bounded objective
     (the heuristic families of Section 4); unconstrained-objective and
-    exact solvers are rejected rather than silently mis-measured.  With
-    ``workers > 1`` the (heuristic, instance) cells are dispatched to a
-    process pool; each cell is independent and results are re-assembled in a
-    fixed order, so the table is identical for any worker count.
+    exact solvers are rejected rather than silently mis-measured.  The
+    fixed-period probes run as one workload plan through the shared engine
+    (cache-aware, deduplicated); the fixed-latency closed form is evaluated
+    directly.  With ``workers > 1`` the independent cells are dispatched to
+    a process pool and re-assembled in a fixed order, so the table is
+    identical for any worker count.
     """
     if instances is None:
         instances = generate_instances(config, seed=seed)
@@ -127,17 +112,42 @@ def failure_thresholds(
                 f"exact solver {solver.name!r} reports hard infeasibility "
                 "instead of a best reachable period"
             )
-    tasks = [(heuristic, inst) for heuristic in resolved for inst in instances]
-    flat = parallel_map(
-        partial(_instance_failure_threshold, cache),
-        tasks,
-        workers=workers,
-        batch_size=batch_size,
-    )
+    # the fixed-period probes form one workload plan (deduplicated and
+    # cache-aware through the engine); the fixed-latency thresholds are a
+    # closed form shared by every fixed-latency heuristic, computed once
+    probed = [
+        h for h in resolved if h.objective == Objective.MIN_LATENCY_FOR_PERIOD
+    ]
+    cell_of: dict[int, "object"] = {}
+    hashes: "Sequence[str]" = ()
+    if probed:
+        plan, cells = solve_plan(
+            instances, [(h, _UNREACHABLE_PERIOD) for h in probed]
+        )
+        run = execute_plan(
+            plan, workers=workers, batch_size=batch_size, cache=cache
+        )
+        cell_of = {id(h): cell for h, cell in zip(probed, cells)}
+        hashes = plan.input_hashes
+    latency_values: list[float] | None = None
+    if any(h.objective != Objective.MIN_LATENCY_FOR_PERIOD for h in resolved):
+        latency_values = parallel_map(
+            _instance_optimal_latency,
+            instances,
+            workers=workers,
+            batch_size=batch_size,
+        )
+
     rows: list[FailureThreshold] = []
-    n = len(instances)
-    for h_index, heuristic in enumerate(resolved):
-        values = np.array(flat[h_index * n : (h_index + 1) * n], dtype=float)
+    for heuristic in resolved:
+        if heuristic.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+            cell = cell_of[id(heuristic)]
+            per_instance = [
+                run.results[cell.tasks[digest].digest].period for digest in hashes
+            ]
+        else:
+            per_instance = latency_values
+        values = np.array(per_instance, dtype=float)
         rows.append(
             FailureThreshold(
                 heuristic=heuristic.name,

@@ -5,13 +5,17 @@ of solvers into per-instance result records and aggregated statistics.  The
 higher-level sweep (Figures 2–7) and failure-threshold (Table 1) drivers are
 built on top of it.
 
-Work is dispatched through the batch solve service
-(:func:`repro.solvers.service.solve_many`): anything with the
+Since the workload refactor the runner is a thin adapter over the
+declarative workload engine (:mod:`repro.workloads`): it builds a one-cell
+plan from the instance stream and executes it through
+:func:`repro.workloads.engine.execute_plan`, which in turn dispatches the
+tasks through the batch solve service
+(:func:`repro.solvers.service.solve_many`).  Anything with the
 heuristic-style ``run(app, platform, period_bound=..., latency_bound=...)``
 entry point — a plain :class:`~repro.heuristics.base.PipelineHeuristic`, a
 registry :class:`~repro.solvers.registry.Solver` handle, or a registry
 *name* — can be run over an instance stream, so exact solvers and
-extensions plug into the same drivers as the six heuristics.  The service
+extensions plug into the same drivers as the six heuristics.  The engine
 dedupes numerically identical instances up front and, when a
 :class:`~repro.cache.store.SolveCache` is passed via ``cache=``, serves
 previously solved cells from the cache instead of re-solving them.
@@ -40,8 +44,9 @@ from ..generators.experiments import Instance
 from ..heuristics.base import PipelineHeuristic
 from ..solvers.base import SolveResult
 from ..solvers.registry import Solver, as_solver
-from ..solvers.service import solve_many
 from ..utils.parallel import parallel_map
+from ..workloads.engine import execute_plan
+from ..workloads.plan import solve_plan
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
     from ..cache.store import SolveCache
@@ -117,29 +122,25 @@ def run_heuristic(
     while the solvers that cannot (homogeneous min-period DP, one-to-one)
     raise ``ConfigurationError`` unless it is ``None``.
 
-    Dispatched through :func:`repro.solvers.service.solve_many`: repeated
-    instances are solved once, a ``cache`` serves previously solved cells,
-    and with ``workers > 1`` the remaining runs are chunked across a
-    process pool; results come back in instance order regardless.
+    Executed as a one-cell workload plan through the shared engine
+    (:func:`repro.workloads.engine.execute_plan`, which dispatches through
+    :func:`repro.solvers.service.solve_many`): repeated instances are
+    solved once, a ``cache`` serves previously solved cells, and with
+    ``workers > 1`` the remaining runs are chunked across a process pool;
+    results come back in instance order regardless.
     """
-    outcome = solve_many(
-        instances,
-        [heuristic],
-        period_bound=threshold,
-        latency_bound=threshold,
-        workers=workers,
-        batch_size=batch_size,
-        cache=cache,
+    plan, (cell,) = solve_plan(instances, [(heuristic, threshold)])
+    run = execute_plan(
+        plan, workers=workers, batch_size=batch_size, cache=cache
     )
-    name = outcome.solvers[0]
     return [
         InstanceRun(
             instance_index=instance.index,
-            heuristic=name,
+            heuristic=cell.solver,
             threshold=threshold,
-            result=row[0],
+            result=run.results[cell.tasks[digest].digest],
         )
-        for instance, row in zip(instances, outcome.results)
+        for instance, digest in zip(instances, plan.input_hashes)
     ]
 
 

@@ -20,7 +20,6 @@ paper's plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import partial
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -29,14 +28,14 @@ from ..core.exceptions import ConfigurationError
 from ..generators.experiments import ExperimentConfig, Instance, generate_instances
 from ..heuristics.base import Objective, PipelineHeuristic
 from ..solvers.registry import as_solver, resolve_solvers
-from ..utils.parallel import parallel_map
+from ..workloads.engine import execute_plan
+from ..workloads.plan import solve_plan
 from .runner import (
     AggregateStats,
     AnySolver,
     InstanceRun,
     aggregate_runs,
     reference_ranges,
-    run_heuristic,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
@@ -145,16 +144,6 @@ def _threshold_grid(lo: float, hi: float, n_points: int) -> list[float]:
     return [float(x) for x in np.linspace(lo, hi, n_points)]
 
 
-def _sweep_task(
-    instances: Sequence[Instance],
-    cache: "SolveCache | None",
-    task: tuple[AnySolver, float],
-) -> list[InstanceRun]:
-    """One (solver, threshold) cell of the sweep (pool-picklable)."""
-    solver, threshold = task
-    return run_heuristic(solver, instances, threshold, cache=cache)
-
-
 def run_sweep(
     config: ExperimentConfig,
     heuristics: Sequence[AnySolver] | Sequence[str] | None = None,
@@ -186,17 +175,18 @@ def run_sweep(
         Pre-generated instances, to share a stream across several sweeps
         (e.g. the ablation study).
     workers / batch_size:
-        Process count and chunk size of the parallel engine.  The sweep
-        parallelises over its (heuristic, threshold) cells — each cell runs
-        its instance stream serially inside one worker — and aggregates the
-        cells in a fixed order, so results are byte-identical for any
-        ``workers`` value.
+        Process count and chunk size of the parallel engine.  The sweep is
+        one workload plan — instances × (heuristic, threshold) cells —
+        executed by the shared engine, which parallelises the cache-missing
+        tasks of each cell over the pool and aggregates the cells in a
+        fixed order, so results are byte-identical for any ``workers``
+        value.
     cache:
         Optional :class:`~repro.cache.store.SolveCache` memoising the
         per-cell solver runs (results are byte-identical with or without
-        it).  With ``workers > 1`` an on-disk cache is shared by the
-        worker processes through its directory; a memory-only cache is
-        per-process.
+        it).  The engine probes the cache in the parent process — its
+        statistics now count every sweep lookup — and with ``workers > 1``
+        only the misses are shipped to the pool.
     """
     if instances is None:
         instances = generate_instances(config, seed=seed)
@@ -237,14 +227,22 @@ def run_sweep(
             thresholds = latency_thresholds
         tasks.extend((heuristic, threshold) for threshold in thresholds)
 
-    cell_runs = parallel_map(
-        partial(_sweep_task, instances, cache),
-        tasks,
-        workers=workers,
-        batch_size=batch_size,
-    )
+    # one workload plan for the whole figure panel; the engine dedupes,
+    # probes the cache and shards the remaining tasks over the pool
+    plan, cells = solve_plan(instances, tasks)
+    run = execute_plan(plan, workers=workers, batch_size=batch_size, cache=cache)
+    hashes = plan.input_hashes
 
-    for (heuristic, threshold), runs in zip(tasks, cell_runs):
+    for (heuristic, threshold), cell in zip(tasks, cells):
+        runs = [
+            InstanceRun(
+                instance_index=inst.index,
+                heuristic=cell.solver,
+                threshold=threshold,
+                result=run.results[cell.tasks[digest].digest],
+            )
+            for inst, digest in zip(instances, hashes)
+        ]
         curve = result.curves.get(heuristic.name)
         if curve is None:
             curve = HeuristicCurve(

@@ -1,11 +1,19 @@
 """Fuzzing harness: stream scenarios through the differential oracle at scale.
 
 :func:`run_fuzz` is the top of the scenario stack: it generates a scenario
-stream (:mod:`repro.scenarios.families`), pushes every instance through the
-differential oracle (:mod:`repro.scenarios.differential`) on the shared
-process pool, shrinks every disagreement to a minimal counterexample
+stream (:mod:`repro.scenarios.families`), builds a *differential workload
+plan* over the instances and executes it through the shared workload engine
+(:mod:`repro.workloads`) — which fans the oracle
+(:mod:`repro.scenarios.differential`) out over the process pool — then
+shrinks every disagreement to a minimal counterexample
 (:mod:`repro.scenarios.shrink`) and optionally persists the shrunk instances
 into the regression corpus (:mod:`repro.scenarios.corpus`).
+
+Because the oracle runs as engine tasks, a fuzz run is **resumable**: pass
+``journal=`` to checkpoint every verified scenario into a JSONL journal, and
+``resume=True`` to replay a previous (interrupted) run's journal instead of
+re-verifying its scenarios.  The report of a resumed run is byte-identical
+to an uninterrupted one.
 
 Determinism contract (same as the experiment engine): a fuzz run is a pure
 function of ``(families, count, seed)``.  Scenario generation pre-spawns one
@@ -26,10 +34,11 @@ from typing import Iterable
 from ..core.application import PipelineApplication
 from ..core.platform import Platform
 from ..core.serialization import application_to_dict, platform_to_dict
-from ..utils.parallel import parallel_map
+from ..workloads.engine import execute_plan
+from ..workloads.plan import differential_plan
 from .corpus import save_counterexample
-from .differential import DifferentialReport, differential_check
-from .families import Scenario, generate_scenarios, resolve_families
+from .differential import differential_check
+from .families import generate_scenarios, resolve_families
 from .hashing import instance_digest
 from .shrink import shrink_instance
 
@@ -88,15 +97,6 @@ class FuzzReport:
         return not self.counterexamples
 
 
-def _check_scenario(
-    n_datasets: int, cache, scenario: Scenario
-) -> DifferentialReport:
-    """Oracle on one scenario (module-level, pool-picklable, pure)."""
-    return differential_check(
-        scenario.application, scenario.platform, n_datasets=n_datasets, cache=cache
-    )
-
-
 def _still_fails_check(
     check: str,
     n_datasets: int,
@@ -121,6 +121,8 @@ def run_fuzz(
     shrink_budget: int = 300,
     corpus_dir: str | Path | None = None,
     cache=None,
+    journal: str | Path | None = None,
+    resume: bool = False,
 ) -> FuzzReport:
     """Fuzz every applicable solver/simulator pair over a scenario stream.
 
@@ -148,18 +150,33 @@ def run_fuzz(
         re-evaluations).  Solvers are deterministic, so the report is
         byte-identical with or without it; an on-disk cache is shared by
         the worker processes.
+    journal / resume:
+        Checkpointing knobs of the shared workload engine: ``journal``
+        names a JSONL file recording every verified scenario; ``resume``
+        replays an existing journal (written by an interrupted run of the
+        *same* stream) and re-verifies only the remaining scenarios.  The
+        report is byte-identical either way.
     """
     resolved = resolve_families(families)
     family_names = tuple(family.name for family in resolved)
     scenarios = generate_scenarios(
         count, family_names, seed, workers=workers, batch_size=batch_size
     )
-    reports = parallel_map(
-        partial(_check_scenario, n_datasets, cache),
-        scenarios,
+    plan = differential_plan(
+        [(s.application, s.platform) for s in scenarios], n_datasets=n_datasets
+    )
+    run = execute_plan(
+        plan,
+        journal=journal,
+        resume=resume,
         workers=workers,
         batch_size=batch_size,
+        cache=cache,
     )
+    report_by_hash = {
+        task.instance_hash: run.results[task.digest] for task in plan.tasks
+    }
+    reports = [report_by_hash[digest] for digest in plan.input_hashes]
 
     per_family = {name: 0 for name in family_names}
     for scenario in scenarios:

@@ -27,6 +27,7 @@ import multiprocessing
 from typing import Callable, Iterable, Sequence, TypeVar
 
 __all__ = [
+    "DEFAULT_WORKERS",
     "available_cpus",
     "resolve_worker_count",
     "chunk_items",
@@ -36,6 +37,12 @@ __all__ = [
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: the single source of the ``--workers`` default: serial execution.  Every
+#: CLI command forwarding to the pool reads this constant for its argparse
+#: default and help text, so the documented default can never drift between
+#: commands (``-1`` still means "all CPUs" at parse time).
+DEFAULT_WORKERS = 1
 
 #: largest chunk shipped to a worker in one message
 _MAX_BATCH = 256

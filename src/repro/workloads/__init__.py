@@ -1,0 +1,83 @@
+"""The declarative workload engine: one plan→execute→sink pipeline.
+
+Every repeated-solve campaign in the repository — the figure sweeps, the
+failure-threshold tables, the ablations, batch solving and differential
+fuzzing — reduces to the same loop: enumerate (instance, solver, request)
+cells, execute them with minimal work, and stream the results somewhere.
+This package is that loop, factored out once:
+
+* :mod:`~repro.workloads.spec` — a declarative, serialisable, digestable
+  :class:`~repro.workloads.spec.WorkloadSpec` (instance source × solver
+  selection × threshold/repeat axes × seed);
+* :mod:`~repro.workloads.plan` — deterministic, order-independent expansion
+  into a byte-stable task list with content-addressed task digests;
+* :mod:`~repro.workloads.engine` — execution through the batch solve
+  service with a JSONL checkpoint journal: an interrupted run resumed with
+  ``resume=True`` skips completed tasks and produces a byte-identical
+  final report;
+* :mod:`~repro.workloads.sinks` — streaming JSONL/CSV result sinks plus
+  incremental aggregation, so reports never require all results in memory.
+
+The legacy experiment drivers (:mod:`repro.experiments`) and the fuzz
+harness (:mod:`repro.scenarios.harness`) are thin adapters over this
+package; the CLI ``run`` command executes spec files directly.
+"""
+
+from .engine import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    WorkloadRun,
+    WorkloadStats,
+    execute_plan,
+    load_journal,
+    render_workload_report,
+    write_sinks,
+)
+from .plan import (
+    ORACLE_SOLVER,
+    PlanCell,
+    WorkloadPlan,
+    WorkloadTask,
+    differential_plan,
+    expand_spec,
+    solve_plan,
+)
+from .sinks import CsvSink, JsonlSink, RunningAggregate, open_sink
+from .spec import (
+    SPEC_SCHEMA,
+    InstanceSource,
+    WorkloadJob,
+    WorkloadSpec,
+    load_spec,
+    spec_from_document,
+    spec_to_document,
+)
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "InstanceSource",
+    "WorkloadJob",
+    "WorkloadSpec",
+    "load_spec",
+    "spec_from_document",
+    "spec_to_document",
+    "ORACLE_SOLVER",
+    "PlanCell",
+    "WorkloadPlan",
+    "WorkloadTask",
+    "differential_plan",
+    "expand_spec",
+    "solve_plan",
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "WorkloadRun",
+    "WorkloadStats",
+    "execute_plan",
+    "load_journal",
+    "render_workload_report",
+    "write_sinks",
+    "JsonlSink",
+    "CsvSink",
+    "RunningAggregate",
+    "open_sink",
+]

@@ -1,0 +1,484 @@
+"""The workload engine: execute a plan with checkpointing, resume and sinks.
+
+:func:`execute_plan` is the one execution loop under every experiment,
+sweep and fuzz run:
+
+1. **journal replay** — with ``resume=True`` and an existing journal, tasks
+   whose digests appear in the journal are *not* re-executed; their results
+   are replayed from the byte-stable serialisation
+   (:mod:`repro.core.serialization`), so a resumed run costs only the
+   incomplete fraction;
+2. **grouped execution** — incomplete solve tasks are grouped by (solver,
+   request) and dispatched through the batch solve service
+   (:func:`repro.solvers.service.solve_many`), inheriting its dedupe /
+   cache-probe / shard-misses pipeline and its determinism contract;
+   differential tasks fan the oracle out over the process pool;
+3. **checkpointing** — each completed task is appended to the JSONL journal
+   (one line per task, keyed by task digest); execution is sliced so the
+   journal is flushed at least every ``_CHECKPOINT_INTERVAL`` tasks, so an
+   interrupted run loses at most the slice in flight — never a whole fuzz
+   stream or sweep cell;
+4. **deterministic reporting** — :func:`render_workload_report` and the
+   sink rows (:mod:`repro.workloads.sinks`) are pure functions of
+   (plan, solutions): no wall-clock data, no journal/cache statistics.  An
+   interrupted-then-resumed run therefore produces a final report
+   **byte-identical** to an uninterrupted one (CI's ``workload-smoke``
+   target pins this).
+
+The journal guards itself: its header records the plan digest, and a
+journal written for a different plan is rejected instead of silently
+replaying wrong results.  A truncated trailing line (the process died
+mid-write) is ignored; everything before it is still valid.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..core.exceptions import ReproError
+from ..core.serialization import solve_result_from_dict, solve_result_to_dict
+from ..solvers.service import solve_many
+from ..utils.parallel import parallel_map
+from ..utils.tables import format_table
+from .plan import WorkloadPlan, WorkloadTask
+from .sinks import RunningAggregate, differential_row, solve_row
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..cache.store import SolveCache
+    from ..scenarios.differential import DifferentialReport
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "WorkloadStats",
+    "WorkloadRun",
+    "load_journal",
+    "execute_plan",
+    "write_sinks",
+    "render_workload_report",
+]
+
+#: current journal line format version (unknown versions are rejected)
+JOURNAL_SCHEMA = 1
+
+#: journal checkpoint granularity: when a journal is attached, execution is
+#: sliced so completed tasks are flushed at least this often, bounding what
+#: an interruption can lose (results are byte-identical at any slicing)
+_CHECKPOINT_INTERVAL = 256
+
+
+class JournalError(ReproError):
+    """A checkpoint journal cannot be used with the plan at hand."""
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """How a run's tasks were answered (execution provenance, stderr-only)."""
+
+    n_tasks: int
+    n_from_journal: int
+    n_executed: int
+    n_deferred: int
+    n_cache_hits: int = 0
+    n_solved: int = 0
+
+    def describe(self) -> str:
+        """One-line execution summary (never part of the final report)."""
+        return (
+            f"workload tasks: {self.n_tasks} total, "
+            f"{self.n_from_journal} replayed from journal, "
+            f"{self.n_executed} executed "
+            f"({self.n_cache_hits} cache hit(s), {self.n_solved} solved), "
+            f"{self.n_deferred} deferred"
+        )
+
+
+class WorkloadRun:
+    """Outcome of :func:`execute_plan`: results keyed by task digest."""
+
+    def __init__(
+        self,
+        plan: WorkloadPlan,
+        results: dict[str, Any],
+        stats: WorkloadStats,
+    ) -> None:
+        self.plan = plan
+        self.results = results
+        self.stats = stats
+
+    @property
+    def complete(self) -> bool:
+        """Whether every plan task has a result (no cap, nothing deferred)."""
+        return all(task.digest in self.results for task in self.plan.tasks)
+
+    def result_for(self, task: WorkloadTask) -> Any:
+        """The result of one task (KeyError when deferred by ``max_tasks``)."""
+        return self.results[task.digest]
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadRun(tasks={len(self.plan.tasks)}, "
+            f"completed={len(self.results)}, complete={self.complete})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# journal serialisation
+# --------------------------------------------------------------------------- #
+def _report_to_document(report: "DifferentialReport") -> dict[str, Any]:
+    return {
+        "n_comparisons": int(report.n_comparisons),
+        "failures": [
+            {"check": failure.check, "detail": failure.detail}
+            for failure in report.failures
+        ],
+    }
+
+
+def _report_from_document(document: dict[str, Any]) -> "DifferentialReport":
+    from ..scenarios.differential import CheckFailure, DifferentialReport
+
+    return DifferentialReport(
+        failures=tuple(
+            CheckFailure(check=str(f["check"]), detail=str(f["detail"]))
+            for f in document.get("failures", [])
+        ),
+        n_comparisons=int(document["n_comparisons"]),
+    )
+
+
+def _journal_line(task: WorkloadTask, result: Any) -> str:
+    entry: dict[str, Any] = {"task": task.digest, "kind": task.kind}
+    if task.kind == "solve":
+        entry["result"] = solve_result_to_dict(result)
+    else:
+        entry["report"] = _report_to_document(result)
+    return json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def load_journal(path: str | Path, plan: WorkloadPlan) -> dict[str, Any]:
+    """Replay a journal's completed tasks (digest -> result).
+
+    The header's plan digest must match ``plan`` — a journal belongs to
+    exactly one plan.  A truncated trailing line is tolerated (the writer
+    died mid-append); corrupt content before that is an error.  Entries for
+    digests the plan does not contain are ignored defensively.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        if "\n" not in text:
+            # the writer died inside the very first (header) line: nothing
+            # was checkpointed, so the journal is simply empty
+            return {}
+        raise JournalError(f"journal {path} has an unreadable header: {exc}") from exc
+    if header.get("schema") != JOURNAL_SCHEMA:
+        raise JournalError(
+            f"journal {path} has unsupported schema {header.get('schema')!r} "
+            f"(expected {JOURNAL_SCHEMA})"
+        )
+    if header.get("plan") != plan.digest:
+        raise JournalError(
+            f"journal {path} was written for plan "
+            f"{str(header.get('plan'))[:12]}..., not {plan.digest[:12]}...; "
+            "refusing to replay results across different plans"
+        )
+    known = {task.digest: task for task in plan.tasks}
+    completed: dict[str, Any] = {}
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines):
+                break  # truncated tail: the writer was interrupted mid-line
+            raise JournalError(f"journal {path} is corrupt at line {i}")
+        task = known.get(entry.get("task"))
+        if task is None:
+            continue
+        if entry.get("kind") == "differential":
+            completed[task.digest] = _report_from_document(entry["report"])
+        else:
+            completed[task.digest] = solve_result_from_dict(entry["result"])
+    return completed
+
+
+def _repair_truncated_tail(path: Path) -> None:
+    """Cut a partial trailing line left by a writer that died mid-append.
+
+    :func:`load_journal` already ignores such a tail when *reading*; before
+    *appending* it must also be removed, or the next record would be written
+    onto the same physical line and merge into unparseable garbage.
+    """
+    data = path.read_bytes()
+    if data and not data.endswith(b"\n"):
+        with path.open("r+b") as handle:
+            handle.truncate(data.rfind(b"\n") + 1)
+
+
+def _open_journal(
+    path: Path, plan: WorkloadPlan, replaying: bool
+) -> IO[str]:
+    """Open the journal for appending (fresh files get the header line)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if replaying and path.exists():
+        _repair_truncated_tail(path)
+        if path.stat().st_size > 0:
+            return path.open("a", encoding="utf-8")
+    handle = path.open("w", encoding="utf-8")
+    header = {
+        "schema": JOURNAL_SCHEMA,
+        "kind": "workload-journal",
+        "plan": plan.digest,
+        "spec": plan.spec.digest if plan.spec is not None else None,
+    }
+    handle.write(json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n")
+    handle.flush()
+    return handle
+
+
+# --------------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------------- #
+def _oracle_task(n_datasets: int, cache, pair) -> "DifferentialReport":
+    """One oracle run (module-level, pool-picklable)."""
+    from ..scenarios.differential import differential_check
+
+    app, platform = pair
+    return differential_check(app, platform, n_datasets=n_datasets, cache=cache)
+
+
+def _solve_groups(
+    pending: Sequence[WorkloadTask],
+) -> list[tuple[WorkloadTask, list[WorkloadTask]]]:
+    """Group solve tasks by (solver, request), in first-appearance order."""
+    groups: dict[tuple, list[WorkloadTask]] = {}
+    order: list[tuple] = []
+    for task in pending:
+        key = (task.solver, task.objective, task.period_bound, task.latency_bound)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(task)
+    return [(groups[key][0], groups[key]) for key in order]
+
+
+def execute_plan(
+    plan: WorkloadPlan,
+    *,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    cache: "SolveCache | None" = None,
+    max_tasks: int | None = None,
+) -> WorkloadRun:
+    """Execute a plan's incomplete tasks; checkpoint and replay via ``journal``.
+
+    Parameters
+    ----------
+    journal:
+        Path of the JSONL checkpoint journal.  Without ``resume`` an
+        existing file is overwritten (a fresh run); with ``resume`` its
+        completed tasks are replayed and only the rest executes.
+    resume:
+        Replay an existing journal instead of starting fresh.  A journal
+        written for a different plan is rejected (:class:`JournalError`).
+    workers / batch_size:
+        Process-pool knobs, forwarded to the solve service / oracle fan-out.
+        Results are byte-identical at any value.
+    cache:
+        Optional :class:`~repro.cache.store.SolveCache`; solve groups probe
+        it through the service, the oracle threads it into its per-solver
+        runs.
+    max_tasks:
+        Execute at most this many incomplete tasks, then stop (the
+        remaining tasks are *deferred*).  This is the deterministic
+        "interrupt" used by the resume smoke tests: a capped run plus a
+        resumed run equals one uninterrupted run.
+    """
+    completed: dict[str, Any] = {}
+    journal_path = None if journal is None else Path(journal)
+    if journal_path is not None and resume and journal_path.exists():
+        completed = load_journal(journal_path, plan)
+    n_from_journal = len(completed)
+
+    pending = [task for task in plan.tasks if task.digest not in completed]
+    deferred = 0
+    if max_tasks is not None and max_tasks < len(pending):
+        deferred = len(pending) - max_tasks
+        pending = pending[:max_tasks]
+
+    n_cache_hits = 0
+    n_solved = 0
+    handle: IO[str] | None = None
+    if journal_path is not None:
+        handle = _open_journal(journal_path, plan, replaying=resume)
+    try:
+        # with a journal attached, large groups are executed in slices so
+        # completed tasks reach the checkpoint at least every
+        # _CHECKPOINT_INTERVAL tasks (an interruption loses one slice, not a
+        # whole fuzz stream); results are byte-identical at any slicing
+        solve_tasks = [task for task in pending if task.kind == "solve"]
+        for head, group in _solve_groups(solve_tasks):
+            solver = plan.solvers[head.solver]
+            step = _CHECKPOINT_INTERVAL if handle is not None else len(group)
+            for start in range(0, len(group), step):
+                chunk = group[start : start + step]
+                outcome = solve_many(
+                    [plan.pair_for(task.instance_hash) for task in chunk],
+                    [solver],
+                    period_bound=head.period_bound,
+                    latency_bound=head.latency_bound,
+                    workers=workers,
+                    batch_size=batch_size,
+                    cache=cache,
+                )
+                n_cache_hits += outcome.stats.n_cache_hits
+                n_solved += outcome.stats.n_solved
+                for task, row in zip(chunk, outcome.results):
+                    completed[task.digest] = row[0]
+                    if handle is not None:
+                        handle.write(_journal_line(task, row[0]))
+                if handle is not None:
+                    handle.flush()
+
+        oracle_tasks = [task for task in pending if task.kind == "differential"]
+        oracle_batches: dict[int, list[WorkloadTask]] = {}
+        for task in oracle_tasks:
+            oracle_batches.setdefault(task.n_datasets, []).append(task)
+        for n_datasets, batch in oracle_batches.items():
+            step = _CHECKPOINT_INTERVAL if handle is not None else len(batch)
+            for start in range(0, len(batch), step):
+                chunk = batch[start : start + step]
+                reports = parallel_map(
+                    partial(_oracle_task, n_datasets, cache),
+                    [plan.pair_for(task.instance_hash) for task in chunk],
+                    workers=workers,
+                    batch_size=batch_size,
+                )
+                for task, report in zip(chunk, reports):
+                    completed[task.digest] = report
+                    if handle is not None:
+                        handle.write(_journal_line(task, report))
+                if handle is not None:
+                    handle.flush()
+    finally:
+        if handle is not None:
+            handle.close()
+
+    stats = WorkloadStats(
+        n_tasks=len(plan.tasks),
+        n_from_journal=n_from_journal,
+        n_executed=len(pending),
+        n_deferred=deferred,
+        n_cache_hits=n_cache_hits,
+        n_solved=n_solved,
+    )
+    return WorkloadRun(plan, completed, stats)
+
+
+# --------------------------------------------------------------------------- #
+# sinks and reporting
+# --------------------------------------------------------------------------- #
+def write_sinks(run: WorkloadRun, sinks: Iterable[Any]) -> None:
+    """Stream every completed task's row into the sinks, in plan order.
+
+    Rows carry only deterministic solution data, so the sink files of a
+    resumed complete run are byte-identical to an uninterrupted run's.
+    """
+    sinks = list(sinks)
+    if not sinks:
+        return
+    for task in run.plan.tasks:
+        result = run.results.get(task.digest)
+        if result is None:
+            continue
+        row = (
+            solve_row(task, result)
+            if task.kind == "solve"
+            else differential_row(task, result)
+        )
+        for sink in sinks:
+            sink.write(row)
+
+
+def _render_solve_body(run: WorkloadRun) -> list[str]:
+    aggregate = RunningAggregate()
+    for task in run.plan.tasks:
+        result = run.results.get(task.digest)
+        if result is not None:
+            aggregate.add(task, result)
+    table = format_table(
+        ["solver", "threshold", "n", "feasible", "mean period", "mean latency"],
+        aggregate.rows(),
+        precision=6,
+    )
+    return ["", table]
+
+
+def _render_differential_body(run: WorkloadRun) -> list[str]:
+    n_comparisons = 0
+    per_check: dict[str, int] = {}
+    disagreeing: list[str] = []
+    for task in run.plan.tasks:
+        report = run.results.get(task.digest)
+        if report is None:
+            continue
+        n_comparisons += report.n_comparisons
+        if not report.ok:
+            disagreeing.append(task.instance_hash[:12])
+            for check in report.failed_checks():
+                per_check[check] = per_check.get(check, 0) + 1
+    lines = [
+        "",
+        f"comparisons   : {n_comparisons}",
+        f"disagreements : {len(disagreeing)}",
+    ]
+    for check in sorted(per_check):
+        lines.append(f"  {check}: {per_check[check]} instance(s)")
+    if disagreeing:
+        lines.append("disagreeing instances: " + ", ".join(sorted(disagreeing)))
+    return lines
+
+
+def render_workload_report(run: WorkloadRun) -> str:
+    """Deterministic plain-text report of a run (identical after resume).
+
+    A pure function of the plan and the completed solutions: no wall-clock
+    data, no cache statistics, no journal provenance.  Incomplete (capped)
+    runs aggregate what they have and say so.
+    """
+    plan = run.plan
+    spec = plan.spec
+    n_done = sum(1 for task in plan.tasks if task.digest in run.results)
+    lines = [
+        f"workload  : {spec.label if spec is not None else '(programmatic plan)'}"
+        f" [{plan.kind}]",
+        f"spec      : {spec.digest if spec is not None else '-'}",
+        f"plan      : {plan.digest}",
+        f"instances : {plan.n_instances} unique",
+        f"tasks     : {n_done} of {len(plan.tasks)} completed",
+    ]
+    if plan.solvers:
+        lines.insert(4, f"solvers   : {', '.join(sorted(plan.solvers))}")
+    if not run.complete:
+        lines.append(
+            "INCOMPLETE: the run was capped before finishing; "
+            "resume it to complete the remaining tasks"
+        )
+    if plan.kind == "differential":
+        lines.extend(_render_differential_body(run))
+    else:
+        lines.extend(_render_solve_body(run))
+    return "\n".join(lines)

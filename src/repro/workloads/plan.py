@@ -1,0 +1,447 @@
+"""Deterministic expansion of a workload spec into an executable task list.
+
+A :class:`WorkloadPlan` is the bridge between the declarative spec layer and
+the engine: concrete instances keyed by canonical digest, solver handles
+keyed by name, and a **byte-stable task list** — one
+:class:`WorkloadTask` per (instance, solver, request, repeat) cell, sorted
+by the canonical JSON payload of the task document.  Two properties are
+load-bearing (and pinned by hypothesis property tests):
+
+* **determinism** — expanding the same spec twice yields byte-identical
+  plans (:meth:`WorkloadPlan.payload`), whatever the process or session;
+* **order independence** — the spec's JSON key order and the order of an
+  explicit instance list are irrelevant: same spec digest ⇒ same plan bytes.
+  (Instances are deduplicated and sorted by canonical digest, tasks by
+  their canonical payload.)
+
+Each task owns a content-addressed :attr:`WorkloadTask.digest` built from
+``(kind, instance hash, solver name, solver version, request, repeat)`` —
+the key of the engine's checkpoint journal, so a resumed run recognises
+completed work across processes, and a solver's ``version`` bump retires
+its journal entries exactly like it retires its cache blobs.
+
+Two builders exist besides :func:`expand_spec`: :func:`solve_plan` turns an
+in-memory instance stream plus ``(solver, threshold)`` cells into a plan
+(the legacy experiment drivers are thin wrappers over it — they may pass
+ad-hoc heuristic instances that no declarative spec could name), and
+:func:`differential_plan` builds the oracle task list of a fuzz run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.exceptions import ConfigurationError
+from ..core.identity import (
+    canonical_document_payload,
+    digest_document,
+    instance_digest,
+)
+from ..solvers.base import Objective, SolveRequest
+from ..solvers.registry import Solver, as_solver, resolve_solvers
+from ..solvers.service import as_instance_pair
+from .spec import WorkloadSpec
+
+__all__ = [
+    "ORACLE_SOLVER",
+    "ORACLE_VERSION",
+    "WorkloadTask",
+    "PlanCell",
+    "WorkloadPlan",
+    "expand_spec",
+    "solve_plan",
+    "differential_plan",
+]
+
+#: pseudo-solver name of the differential-oracle task kind
+ORACLE_SOLVER = "differential-oracle"
+
+#: journal-invalidation tag of the oracle (bump when its checks change)
+ORACLE_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class WorkloadTask:
+    """One cell of a workload: an instance under a solver (or the oracle).
+
+    ``kind`` is ``"solve"`` (run ``solver`` with the request encoded by
+    ``objective``/``period_bound``/``latency_bound``) or ``"differential"``
+    (push the instance through the differential oracle with ``n_datasets``
+    simulated data sets).  ``repeat`` distinguishes the copies a
+    ``repeats > 1`` spec stamps out.
+    """
+
+    kind: str
+    instance_hash: str
+    solver: str
+    solver_version: str
+    objective: str | None = None
+    period_bound: float | None = None
+    latency_bound: float | None = None
+    n_datasets: int | None = None
+    repeat: int = 0
+
+    def document(self) -> dict[str, Any]:
+        """Canonical JSON-safe document of the task (digest/sort input)."""
+        document: dict[str, Any] = {
+            "kind": self.kind,
+            "instance": self.instance_hash,
+            "solver": self.solver,
+            "solver_version": self.solver_version,
+            "repeat": int(self.repeat),
+        }
+        if self.kind == "solve":
+            document["objective"] = self.objective
+            document["period_bound"] = self.period_bound
+            document["latency_bound"] = self.latency_bound
+        else:
+            document["n_datasets"] = int(self.n_datasets)
+        return document
+
+    @property
+    def payload(self) -> bytes:
+        """Canonical JSON bytes of :meth:`document` (cached per object)."""
+        cached = getattr(self, "_payload", None)
+        if cached is None:
+            cached = canonical_document_payload(self.document())
+            object.__setattr__(self, "_payload", cached)
+        return cached
+
+    @property
+    def digest(self) -> str:
+        """Content-addressed identity of the task (the journal key)."""
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            cached = digest_document(self.document())
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def request(self) -> SolveRequest:
+        """The solve request of a ``solve`` task."""
+        if self.kind != "solve":
+            raise ConfigurationError(
+                f"task {self.digest[:12]} is a {self.kind!r} task, "
+                "not a solve task"
+            )
+        return SolveRequest(
+            objective=self.objective,
+            period_bound=self.period_bound,
+            latency_bound=self.latency_bound,
+        )
+
+    @property
+    def threshold(self) -> float | None:
+        """The bound tied to the objective (display/aggregation helper)."""
+        if self.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+            return self.period_bound
+        if self.objective == Objective.MIN_PERIOD_FOR_LATENCY:
+            return self.latency_bound
+        return None
+
+
+@dataclass(frozen=True)
+class PlanCell:
+    """One (solver, threshold) column over the plan's instance stream.
+
+    The adapter-facing view of :func:`solve_plan`: legacy drivers iterate
+    their original instance order and look each instance's task up by
+    canonical digest, so deduplicated plans map back onto duplicated
+    streams without bookkeeping.
+    """
+
+    solver: str
+    threshold: float | None
+    tasks: Mapping[str, WorkloadTask]  # instance hash -> task
+
+
+class WorkloadPlan:
+    """An executable task list plus the objects the tasks refer to."""
+
+    def __init__(
+        self,
+        *,
+        tasks: Sequence[WorkloadTask],
+        instances: Mapping[str, tuple[Any, Any]],
+        solvers: Mapping[str, Solver],
+        spec: WorkloadSpec | None = None,
+        input_hashes: Sequence[str] | None = None,
+    ) -> None:
+        self.tasks: tuple[WorkloadTask, ...] = tuple(
+            sorted(tasks, key=lambda task: task.payload)
+        )
+        self.instances = dict(instances)
+        self.solvers = dict(solvers)
+        self.spec = spec
+        #: digests of the builder's *input stream* in input order (duplicates
+        #: included) — derived convenience for adapters mapping engine
+        #: results back onto their own stream, never part of plan identity
+        self.input_hashes: tuple[str, ...] | None = (
+            None if input_hashes is None else tuple(input_hashes)
+        )
+        missing = [t for t in self.tasks if t.instance_hash not in self.instances]
+        if missing:
+            raise ConfigurationError(
+                f"plan task {missing[0].digest[:12]} references instance "
+                f"{missing[0].instance_hash[:12]} which the plan does not carry"
+            )
+        self._digest: str | None = None
+
+    # -- identity --------------------------------------------------------- #
+    def payload(self) -> bytes:
+        """Byte-stable plan encoding: one canonical task payload per line."""
+        return b"".join(task.payload + b"\n" for task in self.tasks)
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 identity of the task list (the journal's plan guard)."""
+        if self._digest is None:
+            self._digest = digest_document(
+                {"tasks": [task.document() for task in self.tasks]}
+            )
+        return self._digest
+
+    # -- introspection ---------------------------------------------------- #
+    @property
+    def kind(self) -> str:
+        """The plan's workload kind (``solve`` unless oracle tasks exist)."""
+        return self.tasks[0].kind if self.tasks else "solve"
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.instances)
+
+    def pair_for(self, instance_hash: str) -> tuple[Any, Any]:
+        """The (application, platform) pair behind an instance digest."""
+        return self.instances[instance_hash]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadPlan(kind={self.kind!r}, tasks={len(self.tasks)}, "
+            f"instances={len(self.instances)}, digest={self.digest[:12]!r})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# builders
+# --------------------------------------------------------------------------- #
+def _collect_instances(
+    items: Iterable[Any],
+) -> tuple[dict[str, tuple[Any, Any]], list[str]]:
+    """Unique (application, platform) pairs keyed by canonical digest.
+
+    Also returns the input stream's digests in input order (duplicates
+    included), so builders can hand callers a re-hash-free mapping from
+    their own stream onto the deduplicated plan.
+    """
+    collected: dict[str, tuple[Any, Any]] = {}
+    order: list[str] = []
+    for item in items:
+        app, platform = as_instance_pair(item)
+        digest = instance_digest(app, platform)
+        order.append(digest)
+        if digest not in collected:
+            collected[digest] = (app, platform)
+    return collected, order
+
+
+def _register_handle(solvers: dict[str, Solver], handle: Solver) -> Solver:
+    """Add a handle to the plan's solver table, guarding name collisions.
+
+    Two *registry* handles of the same name share one spec and are
+    interchangeable; two differently-configured ad-hoc variants sharing a
+    display name would corrupt task identity (same digest, different
+    behaviour), so they are rejected.
+    """
+    existing = solvers.get(handle.name)
+    if existing is None:
+        solvers[handle.name] = handle
+        return handle
+    if existing.spec is handle.spec:
+        return existing
+    raise ConfigurationError(
+        f"two distinct solver configurations share the name {handle.name!r}; "
+        "a plan needs one configuration per name (rename the ad-hoc variant)"
+    )
+
+
+def _solver_version(handle: Solver) -> str:
+    """The journal/cache invalidation tag of a handle.
+
+    Ad-hoc wrappers are not cacheable — their configuration is not captured
+    by the name — so they get a distinct tag documenting that a journal
+    entry is only as reproducible as the in-memory configuration it ran
+    under.
+    """
+    return handle.version if handle.cacheable else f"adhoc-{handle.version}"
+
+
+def solve_plan(
+    instances: Iterable[Any],
+    cells: Sequence[tuple[Any, float | None]],
+    *,
+    repeats: int = 1,
+    spec: WorkloadSpec | None = None,
+) -> tuple[WorkloadPlan, list[PlanCell]]:
+    """Build a solve plan from an instance stream and (solver, threshold) cells.
+
+    ``cells`` entries are ``(solver, threshold)`` pairs where the solver may
+    be a registry name, a registry handle or an ad-hoc heuristic instance
+    (wrapped via :func:`~repro.solvers.registry.as_solver`); the threshold
+    is forwarded as both bounds and interpreted by the solver's objective,
+    exactly like the experiment runner always did.  Returns the canonical
+    plan plus one :class:`PlanCell` per input cell so callers can map
+    results back onto their own instance order.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    collected, input_hashes = _collect_instances(instances)
+    ordered_hashes = sorted(collected)
+    solvers: dict[str, Solver] = {}
+    tasks: list[WorkloadTask] = []
+    plan_cells: list[PlanCell] = []
+    # coerce each distinct solver object once: the same ad-hoc heuristic at
+    # several thresholds must map onto one wrapper, not one per cell
+    coerced: dict[int, Solver] = {}
+    for solver_like, threshold in cells:
+        handle = coerced.get(id(solver_like))
+        if handle is None:
+            handle = as_solver(solver_like)
+            coerced[id(solver_like)] = handle
+        handle = _register_handle(solvers, handle)
+        request = handle.default_request(
+            period_bound=threshold, latency_bound=threshold
+        )
+        cell_tasks: dict[str, WorkloadTask] = {}
+        for repeat in range(repeats):
+            for digest in ordered_hashes:
+                task = WorkloadTask(
+                    kind="solve",
+                    instance_hash=digest,
+                    solver=handle.name,
+                    solver_version=_solver_version(handle),
+                    objective=request.objective,
+                    period_bound=request.period_bound,
+                    latency_bound=request.latency_bound,
+                    repeat=repeat,
+                )
+                tasks.append(task)
+                if repeat == 0:
+                    cell_tasks[digest] = task
+        plan_cells.append(
+            PlanCell(solver=handle.name, threshold=threshold, tasks=cell_tasks)
+        )
+    plan = WorkloadPlan(
+        tasks=tasks,
+        instances=collected,
+        solvers=solvers,
+        spec=spec,
+        input_hashes=input_hashes,
+    )
+    return plan, plan_cells
+
+
+def differential_plan(
+    instances: Iterable[Any],
+    *,
+    n_datasets: int = 16,
+    spec: WorkloadSpec | None = None,
+) -> WorkloadPlan:
+    """Build the oracle task list of a differential (fuzz) workload."""
+    if n_datasets < 1:
+        raise ConfigurationError(f"n_datasets must be >= 1, got {n_datasets}")
+    collected, input_hashes = _collect_instances(instances)
+    tasks = [
+        WorkloadTask(
+            kind="differential",
+            instance_hash=digest,
+            solver=ORACLE_SOLVER,
+            solver_version=ORACLE_VERSION,
+            n_datasets=n_datasets,
+        )
+        for digest in sorted(collected)
+    ]
+    return WorkloadPlan(
+        tasks=tasks,
+        instances=collected,
+        solvers={},
+        spec=spec,
+        input_hashes=input_hashes,
+    )
+
+
+def _materialise_source(spec: WorkloadSpec) -> list[tuple[Any, Any]]:
+    """Materialise a spec's instance source into (app, platform) pairs.
+
+    Generator and scenario sources are pure functions of the spec's seed
+    (pre-spawned seed sequences, see the respective modules), so expansion
+    is deterministic across processes.
+    """
+    source = spec.source
+    if source.kind == "generator":
+        from ..generators.experiments import experiment_config, generate_instances
+
+        config = experiment_config(
+            source.family,
+            source.n_stages,
+            source.n_processors,
+            n_instances=source.n_instances,
+        )
+        return [
+            (inst.application, inst.platform)
+            for inst in generate_instances(config, seed=spec.seed)
+        ]
+    if source.kind == "scenarios":
+        from ..scenarios.families import generate_scenarios
+
+        return [
+            (scenario.application, scenario.platform)
+            for scenario in generate_scenarios(
+                source.count, source.families, spec.seed
+            )
+        ]
+    if source.kind == "corpus":
+        from ..scenarios.corpus import load_corpus
+
+        entries = load_corpus(source.directory)
+        if not entries:
+            raise ConfigurationError(
+                f"corpus source {source.directory!r} holds no instances"
+            )
+        return [(entry.application, entry.platform) for entry in entries]
+    from ..core.serialization import instance_from_dict
+
+    pairs = []
+    for document in source.instances:
+        app, platform, _ = instance_from_dict(dict(document))
+        pairs.append((app, platform))
+    return pairs
+
+
+def expand_spec(spec: WorkloadSpec) -> WorkloadPlan:
+    """Expand a declarative spec into its canonical executable plan.
+
+    Group selectors inside a job's solver list (``"heuristics"``,
+    ``"exact"``, ...) expand through the unified registry in registration
+    order; duplicate names collapse onto one task column.
+    """
+    pairs = _materialise_source(spec)
+    if spec.kind == "differential":
+        return differential_plan(pairs, n_datasets=spec.n_datasets, spec=spec)
+    cells: list[tuple[Any, float | None]] = []
+    for job in spec.jobs:
+        handles: list[Solver] = []
+        seen: set[str] = set()
+        for selection in job.solvers:
+            for handle in resolve_solvers(selection):
+                if handle.name not in seen:
+                    seen.add(handle.name)
+                    handles.append(handle)
+        for handle in handles:
+            for threshold in job.thresholds:
+                cells.append((handle, threshold))
+    plan, _ = solve_plan(pairs, cells, repeats=spec.repeats, spec=spec)
+    return plan

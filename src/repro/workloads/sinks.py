@@ -1,0 +1,229 @@
+"""Streaming result sinks: write rows as they become final, aggregate as you go.
+
+Workload runs at production scale must not hold every result in memory just
+to produce a report.  This module provides
+
+* **row converters** — :func:`solve_row` / :func:`differential_row` turn one
+  completed task into a flat, JSON-safe dictionary carrying only
+  *deterministic* solution data.  The run-provenance fields of
+  :class:`~repro.solvers.base.SolveResult` (``wall_time``, ``cache_hit`` —
+  see :attr:`~repro.solvers.base.SolveResult.NONDETERMINISTIC_FIELDS`) are
+  excluded, so the sink bytes of a resumed run are identical to an
+  uninterrupted one;
+* **file sinks** — :class:`JsonlSink` (one canonical JSON object per line)
+  and :class:`CsvSink` (fixed column order), both append-free streaming
+  writers created via :func:`open_sink` by file extension;
+* **incremental aggregation** — :class:`RunningAggregate` folds results into
+  count/sum accumulators per (solver, threshold) group, so the final report
+  table is computed in one streaming pass with O(groups) memory.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, Any, Mapping
+
+from ..core.exceptions import ConfigurationError
+from ..core.serialization import mapping_to_dict
+
+__all__ = [
+    "CSV_COLUMNS",
+    "solve_row",
+    "differential_row",
+    "JsonlSink",
+    "CsvSink",
+    "open_sink",
+    "RunningAggregate",
+]
+
+#: fixed column order of the CSV sink (a stable public contract)
+CSV_COLUMNS = (
+    "task",
+    "instance",
+    "solver",
+    "objective",
+    "period_bound",
+    "latency_bound",
+    "repeat",
+    "feasible",
+    "period",
+    "latency",
+    "n_splits",
+)
+
+
+def solve_row(task, result) -> dict[str, Any]:
+    """Flat deterministic row of one completed solve task.
+
+    Carries the task identity, the request echo and every *solution* field;
+    never the run-provenance stamps (wall time, cache hit), so row bytes are
+    a pure function of (task, solution).
+    """
+    return {
+        "task": task.digest,
+        "instance": task.instance_hash,
+        "solver": task.solver,
+        "objective": task.objective,
+        "period_bound": task.period_bound,
+        "latency_bound": task.latency_bound,
+        "repeat": task.repeat,
+        "feasible": bool(result.feasible),
+        "period": float(result.period),
+        "latency": float(result.latency),
+        "n_splits": int(result.n_splits),
+        "mapping": mapping_to_dict(result.mapping),
+    }
+
+
+def differential_row(task, report) -> dict[str, Any]:
+    """Flat deterministic row of one completed differential-oracle task."""
+    return {
+        "task": task.digest,
+        "instance": task.instance_hash,
+        "solver": task.solver,
+        "n_datasets": task.n_datasets,
+        "ok": bool(report.ok),
+        "n_comparisons": int(report.n_comparisons),
+        "failures": [
+            {"check": failure.check, "detail": failure.detail}
+            for failure in report.failures
+        ],
+    }
+
+
+class JsonlSink:
+    """One canonical JSON object per line (sorted keys, compact separators)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self.n_rows = 0
+
+    def write(self, row: Mapping[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+        self._handle.write(
+            json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.n_rows += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CsvSink:
+    """Fixed-column CSV rows (solve workloads only; mappings are dropped).
+
+    The differential row shape carries nested failure lists that CSV cannot
+    represent faithfully; use the JSONL sink for differential workloads.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self._writer: Any = None
+        self.n_rows = 0
+
+    def write(self, row: Mapping[str, Any]) -> None:
+        if "ok" in row:
+            raise ConfigurationError(
+                "the CSV sink handles solve rows only; use a .jsonl sink "
+                "for differential workloads"
+            )
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8", newline="")
+            self._writer = csv.writer(self._handle, lineterminator="\n")
+            self._writer.writerow(CSV_COLUMNS)
+        self._writer.writerow(
+            ["" if row.get(col) is None else row.get(col) for col in CSV_COLUMNS]
+        )
+        self.n_rows += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None
+
+    def __enter__(self) -> "CsvSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_sink(path: str | Path) -> JsonlSink | CsvSink:
+    """Create the sink matching a path's extension (.jsonl/.json or .csv)."""
+    suffix = Path(path).suffix.lower()
+    if suffix in (".jsonl", ".json"):
+        return JsonlSink(path)
+    if suffix == ".csv":
+        return CsvSink(path)
+    raise ConfigurationError(
+        f"cannot infer a sink format from {path!r}; use a .jsonl or .csv path"
+    )
+
+
+class RunningAggregate:
+    """Streaming per-group statistics: count/sum accumulators, O(groups) memory.
+
+    Groups are keyed by ``(solver, threshold)``; each completed solve task
+    folds into plain running sums (deterministic left-to-right addition in
+    plan order), so the aggregate table of a resumed run is byte-identical
+    to an uninterrupted one.
+    """
+
+    def __init__(self) -> None:
+        self._groups: dict[tuple[str, float | None], dict[str, float]] = {}
+
+    def add(self, task, result) -> None:
+        key = (task.solver, task.threshold)
+        group = self._groups.get(key)
+        if group is None:
+            group = {"n": 0, "n_feasible": 0, "period_sum": 0.0, "latency_sum": 0.0}
+            self._groups[key] = group
+        group["n"] += 1
+        if result.feasible:
+            group["n_feasible"] += 1
+            group["period_sum"] += float(result.period)
+            group["latency_sum"] += float(result.latency)
+
+    def rows(self) -> list[tuple[str, str, int, int, float, float]]:
+        """Aggregate table rows in first-seen (plan) order.
+
+        ``(solver, threshold, n, n_feasible, mean period, mean latency)``
+        with NaN means for all-infeasible groups, mirroring the sweep
+        driver's convention.
+        """
+        table = []
+        for (solver, threshold), group in self._groups.items():
+            n_feasible = int(group["n_feasible"])
+            mean_period = (
+                group["period_sum"] / n_feasible if n_feasible else float("nan")
+            )
+            mean_latency = (
+                group["latency_sum"] / n_feasible if n_feasible else float("nan")
+            )
+            table.append(
+                (
+                    solver,
+                    "-" if threshold is None else f"{threshold:.6g}",
+                    int(group["n"]),
+                    n_feasible,
+                    mean_period,
+                    mean_latency,
+                )
+            )
+        return table

@@ -1,0 +1,379 @@
+"""Declarative workload specifications: one document for a whole campaign.
+
+A :class:`WorkloadSpec` describes everything the engine needs to run an
+experiment campaign — where the instances come from, which solvers run on
+them, at which thresholds, how often — as plain data.  Specs are
+
+* **serialisable** — :func:`spec_to_document` emits a JSON-safe dictionary,
+  :func:`spec_from_document` rebuilds the spec (tolerantly: key order is
+  irrelevant, lists and tuples are interchangeable, and the common
+  single-job case may inline ``solvers``/``thresholds`` at the top level);
+* **content-addressed** — :attr:`WorkloadSpec.digest` is the SHA-256 of the
+  canonical document (sorted keys, compact separators, via
+  :mod:`repro.core.identity`), so two specs describing the same campaign
+  share one digest whatever file or process they came from;
+* **loadable** — :func:`load_spec` reads a spec file in JSON or TOML.
+
+Four instance sources cover the repository's streams:
+
+==============  =============================================================
+``generator``   one experimental point of the paper (family E1–E4, stage and
+                processor counts, instance count) via
+                :mod:`repro.generators.experiments`
+``scenarios``   a fuzzing stream drawn round-robin from the scenario
+                families of :mod:`repro.scenarios.families`
+``corpus``      every entry of a regression-corpus directory
+                (:mod:`repro.scenarios.corpus`)
+``explicit``    an inline list of instance documents (application +
+                platform, the :mod:`repro.core.serialization` format)
+==============  =============================================================
+
+Two workload kinds share the spec shape: ``solve`` workloads cross the
+instances with solver × threshold ``jobs``; ``differential`` workloads push
+every instance through the differential oracle instead (the fuzz pipeline).
+
+The spec layer is deliberately free of solver/instance *objects* — it only
+names them.  :func:`repro.workloads.plan.expand_spec` materialises a spec
+into an executable :class:`~repro.workloads.plan.WorkloadPlan`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..core.exceptions import ConfigurationError
+from ..core.identity import digest_document
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "WORKLOAD_KINDS",
+    "SOURCE_KINDS",
+    "InstanceSource",
+    "WorkloadJob",
+    "WorkloadSpec",
+    "spec_to_document",
+    "spec_from_document",
+    "load_spec",
+]
+
+#: current spec document format version (unknown versions are rejected)
+SPEC_SCHEMA = 1
+
+#: the two workload kinds the engine executes
+WORKLOAD_KINDS = ("solve", "differential")
+
+#: the four instance-source kinds
+SOURCE_KINDS = ("generator", "scenarios", "corpus", "explicit")
+
+
+def _as_float_or_none(value: Any, what: str) -> float | None:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{what} must be a number or null, got {value!r}")
+    return float(value)
+
+
+def _as_positive_int(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{what} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{what} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class InstanceSource:
+    """Where a workload's instances come from (one of :data:`SOURCE_KINDS`).
+
+    Only the fields of the selected ``kind`` are meaningful; the canonical
+    document emits exactly those, so unused fields never perturb the digest.
+    ``explicit`` instance documents are normalised to the *name-free*
+    canonical form of :mod:`repro.core.identity` and sorted by instance
+    digest, so renaming or permuting the inline instances never changes the
+    spec digest (or the plan expanded from it).
+    """
+
+    kind: str
+    # -- generator ------------------------------------------------------- #
+    family: str | None = None
+    n_stages: int | None = None
+    n_processors: int | None = None
+    n_instances: int | None = None
+    # -- scenarios ------------------------------------------------------- #
+    families: tuple[str, ...] | None = None
+    count: int | None = None
+    # -- corpus ---------------------------------------------------------- #
+    directory: str | None = None
+    # -- explicit -------------------------------------------------------- #
+    instances: tuple[Mapping[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise ConfigurationError(
+                f"unknown instance-source kind {self.kind!r}; expected one of "
+                f"{', '.join(SOURCE_KINDS)}"
+            )
+        if self.kind == "generator":
+            if not self.family:
+                raise ConfigurationError("generator source needs a family (E1..E4)")
+            for name in ("n_stages", "n_processors", "n_instances"):
+                _as_positive_int(getattr(self, name), f"generator source {name}")
+        elif self.kind == "scenarios":
+            _as_positive_int(self.count, "scenarios source count")
+        elif self.kind == "corpus":
+            if not self.directory:
+                raise ConfigurationError("corpus source needs a directory")
+        elif self.kind == "explicit" and not self.instances:
+            raise ConfigurationError("explicit source needs at least one instance")
+
+    def to_document(self) -> dict[str, Any]:
+        """JSON-safe document holding exactly the fields of this kind."""
+        if self.kind == "generator":
+            return {
+                "kind": "generator",
+                "family": str(self.family).upper(),
+                "n_stages": int(self.n_stages),
+                "n_processors": int(self.n_processors),
+                "n_instances": int(self.n_instances),
+            }
+        if self.kind == "scenarios":
+            document: dict[str, Any] = {"kind": "scenarios", "count": int(self.count)}
+            if self.families is not None:
+                document["families"] = [str(name) for name in self.families]
+            return document
+        if self.kind == "corpus":
+            return {"kind": "corpus", "directory": str(self.directory)}
+        return {
+            "kind": "explicit",
+            "instances": _canonical_explicit_instances(self.instances),
+        }
+
+
+def _canonical_explicit_instances(
+    documents: Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Explicit instances, name-free and sorted by canonical digest.
+
+    Rebuilds each ``{"application": ..., "platform": ...}`` document through
+    the shared serialisation converters, then strips it to the canonical
+    instance document — so the digest of an explicit source is a pure
+    function of the instance *numbers*, never of names, field order, or the
+    order the instances were listed in.
+    """
+    from ..core.identity import canonical_instance_document
+    from ..core.serialization import instance_from_dict
+
+    canonical = []
+    for document in documents:
+        app, platform, _ = instance_from_dict(dict(document))
+        canonical.append(canonical_instance_document(app, platform))
+    canonical.sort(key=lambda doc: json.dumps(doc, sort_keys=True))
+    return canonical
+
+
+@dataclass(frozen=True)
+class WorkloadJob:
+    """One solver × threshold axis of a solve workload.
+
+    ``thresholds`` entries are interpreted per solver objective, exactly
+    like the experiment runner: a fixed-period solver reads the value as its
+    period bound, a fixed-latency solver as its latency bound, and ``None``
+    leaves an unconstrained solver unconstrained.
+    """
+
+    solvers: tuple[str, ...]
+    thresholds: tuple[float | None, ...] = (None,)
+
+    def __post_init__(self) -> None:
+        if not self.solvers:
+            raise ConfigurationError("a workload job needs at least one solver")
+        if not self.thresholds:
+            raise ConfigurationError(
+                "a workload job needs at least one threshold (null = unconstrained)"
+            )
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "solvers": [str(name) for name in self.solvers],
+            "thresholds": [
+                None if t is None else float(t) for t in self.thresholds
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declarative, serialisable, content-addressed workload description."""
+
+    source: InstanceSource
+    jobs: tuple[WorkloadJob, ...] = ()
+    kind: str = "solve"
+    name: str = ""
+    repeats: int = 1
+    seed: int = 0
+    n_datasets: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"unknown workload kind {self.kind!r}; expected one of "
+                f"{', '.join(WORKLOAD_KINDS)}"
+            )
+        if self.kind == "solve" and not self.jobs:
+            raise ConfigurationError("a solve workload needs at least one job")
+        if self.kind == "differential" and self.jobs:
+            raise ConfigurationError(
+                "a differential workload runs the oracle, not solvers; "
+                "drop the jobs section"
+            )
+        _as_positive_int(self.repeats, "repeats")
+        if self.kind == "differential":
+            _as_positive_int(self.n_datasets, "n_datasets")
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 of the canonical spec document (cached per object)."""
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            cached = digest_document(spec_to_document(self))
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    @property
+    def label(self) -> str:
+        """Display handle: the name when given, else the digest prefix."""
+        return self.name or self.digest[:12]
+
+
+def spec_to_document(spec: WorkloadSpec) -> dict[str, Any]:
+    """The canonical JSON-safe document of a spec (digest input)."""
+    document: dict[str, Any] = {
+        "schema": SPEC_SCHEMA,
+        "kind": spec.kind,
+        "name": str(spec.name),
+        "seed": int(spec.seed),
+        "repeats": int(spec.repeats),
+        "source": spec.source.to_document(),
+    }
+    if spec.kind == "solve":
+        document["jobs"] = [job.to_document() for job in spec.jobs]
+    else:
+        document["n_datasets"] = int(spec.n_datasets)
+    return document
+
+
+def _source_from_document(document: Mapping[str, Any]) -> InstanceSource:
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(
+            f"spec source must be a table/object, got {type(document).__name__}"
+        )
+    kind = str(document.get("kind", ""))
+    families = document.get("families")
+    instances = document.get("instances", ())
+    if instances and not isinstance(instances, Sequence):
+        raise ConfigurationError("explicit source instances must be a list")
+    return InstanceSource(
+        kind=kind,
+        family=document.get("family"),
+        n_stages=document.get("n_stages"),
+        n_processors=document.get("n_processors"),
+        n_instances=document.get("n_instances"),
+        families=None if families is None else tuple(str(f) for f in families),
+        count=document.get("count"),
+        directory=document.get("directory"),
+        instances=tuple(dict(item) for item in instances),
+    )
+
+
+def _job_from_document(document: Mapping[str, Any]) -> WorkloadJob:
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(
+            f"spec job must be a table/object, got {type(document).__name__}"
+        )
+    solvers = document.get("solvers")
+    if isinstance(solvers, str):
+        solvers = [solvers]
+    if not isinstance(solvers, Sequence) or not solvers:
+        raise ConfigurationError("a job needs a non-empty 'solvers' list")
+    thresholds = document.get("thresholds", [None])
+    if isinstance(thresholds, (int, float)) and not isinstance(thresholds, bool):
+        thresholds = [thresholds]
+    if not isinstance(thresholds, Sequence):
+        raise ConfigurationError("'thresholds' must be a list of numbers/nulls")
+    return WorkloadJob(
+        solvers=tuple(str(name) for name in solvers),
+        thresholds=tuple(
+            _as_float_or_none(t, "threshold") for t in thresholds
+        ),
+    )
+
+
+def spec_from_document(document: Mapping[str, Any]) -> WorkloadSpec:
+    """Rebuild a spec from a document (key order and list/tuple agnostic).
+
+    Accepts the canonical :func:`spec_to_document` shape plus two
+    conveniences: ``schema`` may be omitted (it defaults to the current
+    one), and the common single-job case may inline ``solvers`` /
+    ``thresholds`` at the top level instead of a ``jobs`` list.
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(
+            f"a workload spec must be a mapping, got {type(document).__name__}"
+        )
+    schema = document.get("schema", SPEC_SCHEMA)
+    if schema != SPEC_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported workload spec schema {schema!r} (expected {SPEC_SCHEMA})"
+        )
+    if "source" not in document:
+        raise ConfigurationError("a workload spec needs a 'source' section")
+    kind = str(document.get("kind", "solve"))
+    jobs_doc = document.get("jobs")
+    if jobs_doc is None and "solvers" in document:
+        jobs_doc = [
+            {
+                "solvers": document["solvers"],
+                "thresholds": document.get("thresholds", [None]),
+            }
+        ]
+    jobs = tuple(_job_from_document(job) for job in (jobs_doc or ()))
+    seed = document.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ConfigurationError(f"seed must be an integer, got {seed!r}")
+    return WorkloadSpec(
+        source=_source_from_document(document["source"]),
+        jobs=jobs,
+        kind=kind,
+        name=str(document.get("name", "")),
+        repeats=document.get("repeats", 1),
+        seed=seed,
+        n_datasets=document.get("n_datasets", 16),
+    )
+
+
+def load_spec(path: str | Path) -> WorkloadSpec:
+    """Load a spec file; the format follows the extension (JSON or TOML)."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError as exc:  # pragma: no cover - Python < 3.11
+            raise ConfigurationError(
+                "TOML specs need Python >= 3.11 (tomllib); "
+                "convert the spec to JSON for older interpreters"
+            ) from exc
+        try:
+            document = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"invalid TOML in {path}: {exc}") from exc
+    else:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid JSON in {path}: {exc}") from exc
+    return spec_from_document(document)

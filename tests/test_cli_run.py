@@ -1,0 +1,209 @@
+"""Tests of the ``run`` CLI command (workload specs end to end) and the
+workload-related satellites: the single-sourced ``--workers`` default and
+the cache hit-rate surfacing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import SolveCache
+from repro.cli import build_parser, main
+from repro.utils.parallel import DEFAULT_WORKERS
+
+SPEC_DOC = {
+    "name": "cli-run-test",
+    "seed": 1,
+    "source": {
+        "kind": "generator",
+        "family": "E1",
+        "n_stages": 5,
+        "n_processors": 4,
+        "n_instances": 4,
+    },
+    "jobs": [{"solvers": ["H1", "H4"], "thresholds": [3.0, 10.0]}],
+}
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC_DOC), encoding="utf-8")
+    return path
+
+
+class TestRunCommand:
+    def test_complete_run(self, spec_path, capsys):
+        assert main(["run", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-run-test" in out
+        assert "Sp mono P" in out
+        assert "16 of 16 completed" in out
+
+    def test_interrupt_then_resume_is_byte_identical(
+        self, spec_path, tmp_path, capsys
+    ):
+        journal = tmp_path / "journal.jsonl"
+        assert main(
+            ["run", str(spec_path), "--journal", str(journal), "--max-tasks", "5"]
+        ) == 3
+        partial = capsys.readouterr()
+        assert "INCOMPLETE" in partial.out
+        assert "deferred" in partial.err
+        assert main(
+            ["run", str(spec_path), "--journal", str(journal), "--resume"]
+        ) == 0
+        resumed = capsys.readouterr().out
+        assert main(["run", str(spec_path)]) == 0
+        fresh = capsys.readouterr().out
+        assert resumed == fresh
+
+    def test_sinks_are_written(self, spec_path, tmp_path, capsys):
+        jsonl = tmp_path / "rows.jsonl"
+        csv_path = tmp_path / "rows.csv"
+        assert main(
+            ["run", str(spec_path), "--sink", str(jsonl), "--sink", str(csv_path)]
+        ) == 0
+        capsys.readouterr()
+        assert len(jsonl.read_text(encoding="utf-8").splitlines()) == 16
+        assert len(csv_path.read_text(encoding="utf-8").splitlines()) == 17
+
+    def test_workers_byte_identical(self, spec_path, capsys):
+        assert main(["run", str(spec_path)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", str(spec_path), "--workers", "2"]) == 0
+        pooled = capsys.readouterr().out
+        assert serial == pooled
+
+    def test_cache_stats_on_stderr_include_hit_rate(self, spec_path, capsys):
+        assert main(["run", str(spec_path), "--cache"]) == 0
+        err = capsys.readouterr().err
+        assert "hit rate" in err
+
+    def test_resume_needs_journal(self, spec_path, capsys):
+        assert main(["run", str(spec_path), "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_spec_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"solvers": ["H1"]}), encoding="utf-8")
+        assert main(["run", str(path)]) == 2
+        assert "source" in capsys.readouterr().err
+
+    def test_unknown_solver_rejected(self, tmp_path, capsys):
+        document = dict(SPEC_DOC, jobs=[{"solvers": ["H99"], "thresholds": [3.0]}])
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert main(["run", str(path)]) == 2
+        assert "unknown solver" in capsys.readouterr().err
+
+    def test_bad_sink_extension_rejected_before_executing(
+        self, spec_path, tmp_path, capsys
+    ):
+        journal = tmp_path / "journal.jsonl"
+        assert main(
+            ["run", str(spec_path), "--journal", str(journal),
+             "--sink", "rows.txt"]
+        ) == 2
+        assert "sink" in capsys.readouterr().err
+        # sinks are validated before execution: nothing ran, no journal grew
+        assert not journal.exists()
+
+    def test_csv_sink_rejected_for_differential_specs(self, tmp_path, capsys):
+        document = {
+            "kind": "differential",
+            "source": {
+                "kind": "scenarios",
+                "count": 3,
+                "families": ["homogeneous-chain"],
+            },
+            "n_datasets": 4,
+        }
+        path = tmp_path / "diff.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert main(["run", str(path), "--sink", str(tmp_path / "r.csv")]) == 2
+        assert "CSV sink" in capsys.readouterr().err
+
+
+class TestFuzzJournal:
+    def test_fuzz_resume_is_byte_identical(self, tmp_path, capsys):
+        journal = tmp_path / "fuzz-journal.jsonl"
+        base = ["fuzz", "--count", "12", "--seed", "0", "--datasets", "4"]
+        assert main(base) == 0
+        fresh = capsys.readouterr().out
+        assert main(base + ["--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--journal", str(journal), "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert fresh == first == resumed
+
+    def test_fuzz_resume_needs_journal(self, capsys):
+        assert main(["fuzz", "--count", "2", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+
+class TestWorkersDefaultSingleSourced:
+    #: every command that forwards work to the process pool
+    POOL_COMMANDS = (
+        ["batch"],
+        ["sweep"],
+        ["failure"],
+        ["ablation"],
+        ["validate"],
+        ["fuzz"],
+        ["run", "spec.json"],
+    )
+
+    def test_every_pool_command_shares_the_default(self):
+        parser = build_parser()
+        for argv in self.POOL_COMMANDS:
+            args = parser.parse_args(argv)
+            assert args.workers == DEFAULT_WORKERS, argv
+
+    def test_help_documents_the_default_everywhere(self, capsys):
+        for argv in self.POOL_COMMANDS:
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([argv[0], "--help"])
+            help_text = " ".join(capsys.readouterr().out.split())
+            assert f"default: {DEFAULT_WORKERS} = serial" in help_text, argv
+
+
+class TestHitRateSatellite:
+    def test_solvecache_hit_rate_property(self):
+        cache = SolveCache()
+        assert cache.hit_rate == 0.0
+        cache.stats.hits = 3
+        cache.stats.misses = 1
+        assert cache.hit_rate == 0.75
+        assert cache.hit_rate == cache.stats.hit_rate
+
+    def test_batch_summary_line_includes_hit_rate(self, capsys):
+        argv = [
+            "batch", "--family", "E1", "--stages", "5", "--processors", "4",
+            "--instances", "3", "--repeat", "2", "--period", "8",
+            "--latency", "40", "--cache",
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "hit rate" in err
+        # both the per-batch summary and the cache describe() line carry it
+        assert err.count("hit rate") >= 2
+
+    def test_sweep_and_solve_stderr_include_hit_rate(self, capsys):
+        solve = [
+            "solve", "--works", "4", "2", "--comms", "1", "1", "1",
+            "--speeds", "2", "1", "--solver", "H1", "--period", "9", "--cache",
+        ]
+        assert main(solve) == 0
+        assert "hit rate" in capsys.readouterr().err
+        sweep = [
+            "sweep", "--family", "E1", "--stages", "5", "--processors", "4",
+            "--instances", "2", "--thresholds", "2", "--cache",
+        ]
+        assert main(sweep) == 0
+        assert "hit rate" in capsys.readouterr().err

@@ -1,0 +1,283 @@
+"""Tests of the workload engine: journal resume, sinks, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import SolveCache
+from repro.core.exceptions import ConfigurationError
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.scenarios.families import generate_scenarios
+from repro.workloads import (
+    CsvSink,
+    JournalError,
+    JsonlSink,
+    differential_plan,
+    execute_plan,
+    expand_spec,
+    load_journal,
+    render_workload_report,
+    solve_plan,
+    spec_from_document,
+    write_sinks,
+)
+from repro.workloads.sinks import CSV_COLUMNS
+
+
+@pytest.fixture(scope="module")
+def instances():
+    config = experiment_config("E1", 6, 5, n_instances=5)
+    return generate_instances(config, seed=7)
+
+
+@pytest.fixture(scope="module")
+def plan(instances):
+    built, _ = solve_plan(instances, [("H1", 4.0), ("H4", 20.0)])
+    return built
+
+
+class TestExecution:
+    def test_complete_run_covers_every_task(self, plan):
+        run = execute_plan(plan)
+        assert run.complete
+        assert len(run.results) == len(plan.tasks)
+        assert run.stats.n_executed == len(plan.tasks)
+
+    def test_workers_byte_identical(self, plan):
+        serial = execute_plan(plan)
+        pooled = execute_plan(plan, workers=3, batch_size=2)
+        for task in plan.tasks:
+            assert (
+                serial.result_for(task).identity()
+                == pooled.result_for(task).identity()
+            )
+        assert render_workload_report(serial) == render_workload_report(pooled)
+
+    def test_cache_makes_second_run_free(self, plan):
+        cache = SolveCache()
+        cold = execute_plan(plan, cache=cache)
+        warm = execute_plan(plan, cache=cache)
+        assert warm.stats.n_solved == 0
+        assert warm.stats.n_cache_hits == len(plan.tasks)
+        assert cache.hit_rate > 0.0
+        assert render_workload_report(cold) == render_workload_report(warm)
+
+    def test_max_tasks_defers_the_rest(self, plan):
+        run = execute_plan(plan, max_tasks=3)
+        assert not run.complete
+        assert run.stats.n_executed == 3
+        assert run.stats.n_deferred == len(plan.tasks) - 3
+        assert "INCOMPLETE" in render_workload_report(run)
+
+
+class TestJournalResume:
+    def test_interrupted_then_resumed_is_byte_identical(self, plan, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        capped = execute_plan(plan, journal=journal, max_tasks=4)
+        assert not capped.complete
+        resumed = execute_plan(plan, journal=journal, resume=True)
+        fresh = execute_plan(plan)
+        assert resumed.complete
+        assert resumed.stats.n_from_journal == 4
+        assert resumed.stats.n_executed == len(plan.tasks) - 4
+        assert render_workload_report(resumed) == render_workload_report(fresh)
+        for task in plan.tasks:
+            assert (
+                resumed.result_for(task).identity()
+                == fresh.result_for(task).identity()
+            )
+
+    def test_resumed_complete_run_executes_nothing(self, plan, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal)
+        replay = execute_plan(plan, journal=journal, resume=True)
+        assert replay.complete
+        assert replay.stats.n_executed == 0
+        assert replay.stats.n_from_journal == len(plan.tasks)
+
+    def test_journal_of_a_different_plan_is_rejected(
+        self, plan, instances, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal)
+        other, _ = solve_plan(instances, [("H1", 9.0)])
+        with pytest.raises(JournalError, match="different plans"):
+            execute_plan(other, journal=journal, resume=True)
+
+    def test_truncated_trailing_line_is_tolerated(self, plan, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal)
+        text = journal.read_text(encoding="utf-8")
+        journal.write_text(text[:-40], encoding="utf-8")  # kill mid-line
+        completed = load_journal(journal, plan)
+        assert 0 < len(completed) < len(plan.tasks)
+        resumed = execute_plan(plan, journal=journal, resume=True)
+        assert resumed.complete
+        assert render_workload_report(resumed) == render_workload_report(
+            execute_plan(plan)
+        )
+
+    def test_resume_after_mid_line_crash_converges(self, plan, tmp_path):
+        """The partial tail must be cut before appending: the first resume
+        re-executes the lost task and later resumes replay everything —
+        the journal never accretes merged/unparseable lines."""
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal)
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-40])  # no trailing newline
+        first = execute_plan(plan, journal=journal, resume=True)
+        assert first.complete and first.stats.n_executed == 1
+        second = execute_plan(plan, journal=journal, resume=True)
+        assert second.stats.n_executed == 0
+        assert second.stats.n_from_journal == len(plan.tasks)
+        assert len(load_journal(journal, plan)) == len(plan.tasks)
+
+    def test_crash_inside_header_line_restarts_cleanly(self, plan, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text('{"schema":1,"kind":"workload-jo', encoding="utf-8")
+        run = execute_plan(plan, journal=journal, resume=True)
+        assert run.complete and run.stats.n_from_journal == 0
+        replay = execute_plan(plan, journal=journal, resume=True)
+        assert replay.stats.n_executed == 0
+
+    def test_checkpoint_slicing_matches_unsliced_results(
+        self, plan, tmp_path, monkeypatch
+    ):
+        """A tiny checkpoint interval (many slices per group) must not
+        change any result or the journal's completeness."""
+        from repro.workloads import engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_CHECKPOINT_INTERVAL", 2)
+        journal = tmp_path / "journal.jsonl"
+        sliced = execute_plan(plan, journal=journal)
+        assert len(load_journal(journal, plan)) == len(plan.tasks)
+        unsliced = execute_plan(plan)
+        for task in plan.tasks:
+            assert (
+                sliced.result_for(task).identity()
+                == unsliced.result_for(task).identity()
+            )
+
+    def test_without_resume_an_existing_journal_is_overwritten(
+        self, plan, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal, max_tasks=2)
+        execute_plan(plan, journal=journal)  # fresh run: truncates
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1 + len(plan.tasks)
+
+    def test_corrupt_middle_line_is_an_error(self, plan, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal)
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        lines[2] = "{corrupt"
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="corrupt"):
+            load_journal(journal, plan)
+
+
+class TestSinks:
+    def test_jsonl_and_csv_rows(self, plan, tmp_path):
+        run = execute_plan(plan)
+        jsonl_path = tmp_path / "rows.jsonl"
+        csv_path = tmp_path / "rows.csv"
+        with JsonlSink(jsonl_path) as jsonl, CsvSink(csv_path) as csv_sink:
+            write_sinks(run, [jsonl, csv_sink])
+        rows = [
+            json.loads(line)
+            for line in jsonl_path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert len(rows) == len(plan.tasks)
+        assert all("wall_time" not in row and "cache_hit" not in row for row in rows)
+        header, *data = csv_path.read_text(encoding="utf-8").splitlines()
+        assert header == ",".join(CSV_COLUMNS)
+        assert len(data) == len(plan.tasks)
+
+    def test_sink_bytes_identical_after_resume(self, plan, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal, max_tasks=5)
+        resumed = execute_plan(plan, journal=journal, resume=True)
+        fresh = execute_plan(plan)
+        resumed_path = tmp_path / "resumed.jsonl"
+        fresh_path = tmp_path / "fresh.jsonl"
+        with JsonlSink(resumed_path) as sink:
+            write_sinks(resumed, [sink])
+        with JsonlSink(fresh_path) as sink:
+            write_sinks(fresh, [sink])
+        assert resumed_path.read_bytes() == fresh_path.read_bytes()
+
+    def test_csv_sink_rejects_differential_rows(self, tmp_path):
+        scenarios = generate_scenarios(3, seed=0)
+        plan = differential_plan(
+            [(s.application, s.platform) for s in scenarios], n_datasets=4
+        )
+        run = execute_plan(plan)
+        with pytest.raises(ConfigurationError, match="solve rows only"):
+            with CsvSink(tmp_path / "rows.csv") as sink:
+                write_sinks(run, [sink])
+
+
+class TestDifferentialWorkloads:
+    def test_fuzz_style_plan_resumes_byte_identically(self, tmp_path):
+        scenarios = generate_scenarios(8, seed=1)
+        pairs = [(s.application, s.platform) for s in scenarios]
+        plan = differential_plan(pairs, n_datasets=4)
+        journal = tmp_path / "journal.jsonl"
+        capped = execute_plan(plan, journal=journal, max_tasks=3)
+        assert not capped.complete
+        resumed = execute_plan(plan, journal=journal, resume=True)
+        fresh = execute_plan(plan)
+        assert resumed.complete
+        for task in plan.tasks:
+            assert resumed.result_for(task) == fresh.result_for(task)
+        assert render_workload_report(resumed) == render_workload_report(fresh)
+
+    def test_differential_spec_expands_and_runs(self):
+        spec = spec_from_document(
+            {
+                "kind": "differential",
+                "source": {
+                    "kind": "scenarios",
+                    "count": 4,
+                    "families": ["homogeneous-chain"],
+                },
+                "n_datasets": 4,
+                "seed": 2,
+            }
+        )
+        plan = expand_spec(spec)
+        assert plan.kind == "differential"
+        run = execute_plan(plan)
+        assert run.complete
+        assert "comparisons" in render_workload_report(run)
+
+
+class TestCorpusSource:
+    def test_corpus_spec_expands_and_runs_the_oracle(self):
+        """Corpus fixtures include heterogeneous platforms, so the corpus
+        source pairs naturally with the differential workload kind (the
+        oracle gates solvers by platform class itself)."""
+        spec = spec_from_document(
+            {
+                "kind": "differential",
+                "source": {"kind": "corpus", "directory": "tests/corpus"},
+                "n_datasets": 4,
+            }
+        )
+        plan = expand_spec(spec)
+        assert plan.n_instances >= 1
+        assert execute_plan(plan).complete
+
+    def test_missing_corpus_directory_is_an_error(self):
+        spec = spec_from_document(
+            {
+                "source": {"kind": "corpus", "directory": "tests/no-such-corpus"},
+                "solvers": ["H1"],
+                "thresholds": [5.0],
+            }
+        )
+        with pytest.raises(ConfigurationError, match="no instances"):
+            expand_spec(spec)

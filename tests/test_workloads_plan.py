@@ -1,0 +1,158 @@
+"""Hypothesis properties of the workload plan expansion.
+
+The contract pinned here is the one the checkpoint journal depends on:
+**expansion is a pure, order-independent function of the spec content** —
+the same spec digest always yields the same plan bytes, whatever the JSON
+key order, the order of an explicit instance list, or the process doing the
+expanding.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import expand_spec, solve_plan, spec_from_document
+
+#: integer-valued floats survive every JSON round trip exactly
+_NUM = st.integers(1, 30)
+
+#: the six heuristics: always applicable to the explicit instances below
+_SOLVERS = st.lists(
+    st.sampled_from(["H1", "H2", "H3", "H4", "H5", "H6"]),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+_THRESHOLDS = st.lists(
+    st.integers(1, 50).map(float), min_size=1, max_size=3, unique=True
+)
+
+
+@st.composite
+def _instance_documents(draw):
+    """A small list of valid explicit instance documents."""
+    count = draw(st.integers(1, 4))
+    documents = []
+    for _ in range(count):
+        n = draw(st.integers(1, 4))
+        p = draw(st.integers(1, 3))
+        documents.append(
+            {
+                "application": {
+                    "works": [float(draw(_NUM)) for _ in range(n)],
+                    "comm_sizes": [float(draw(_NUM)) for _ in range(n + 1)],
+                },
+                "platform": {
+                    "speeds": [float(draw(_NUM)) for _ in range(p)],
+                    "bandwidth": float(draw(_NUM)),
+                },
+            }
+        )
+    return documents
+
+
+@st.composite
+def _spec_documents(draw):
+    return {
+        "name": draw(st.sampled_from(["", "campaign"])),
+        "seed": draw(st.integers(0, 3)),
+        "repeats": draw(st.integers(1, 2)),
+        "source": {"kind": "explicit", "instances": draw(_instance_documents())},
+        "jobs": [
+            {"solvers": draw(_SOLVERS), "thresholds": draw(_THRESHOLDS)},
+        ],
+    }
+
+
+def _shuffled(document: dict, order) -> dict:
+    """The same document with a different key insertion order (recursively)."""
+    items = list(document.items())
+    permuted = [items[i] for i in order.permute(range(len(items)))]
+    return {
+        key: _shuffled(value, order) if isinstance(value, dict) else value
+        for key, value in permuted
+    }
+
+
+class _Permuter:
+    def __init__(self, draw):
+        self._draw = draw
+
+    def permute(self, indices):
+        return self._draw(st.permutations(list(indices)))
+
+
+class TestExpansionDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(document=_spec_documents())
+    def test_expansion_is_deterministic(self, document):
+        """Expanding the same spec twice yields byte-identical plans."""
+        spec = spec_from_document(document)
+        plan_a = expand_spec(spec)
+        plan_b = expand_spec(spec_from_document(json.loads(json.dumps(document))))
+        assert plan_a.payload() == plan_b.payload()
+        assert plan_a.digest == plan_b.digest
+
+    @settings(max_examples=25, deadline=None)
+    @given(document=_spec_documents(), data=st.data())
+    def test_key_order_never_changes_digest_or_plan(self, document, data):
+        """Same digest and same plan bytes whatever the JSON key order."""
+        permuter = _Permuter(data.draw)
+        shuffled = _shuffled(document, permuter)
+        spec_a = spec_from_document(document)
+        spec_b = spec_from_document(shuffled)
+        assert spec_a.digest == spec_b.digest
+        assert expand_spec(spec_a).payload() == expand_spec(spec_b).payload()
+
+    @settings(max_examples=25, deadline=None)
+    @given(document=_spec_documents(), data=st.data())
+    def test_instance_permutation_never_changes_digest_or_plan(
+        self, document, data
+    ):
+        """Permuting an explicit instance list is invisible end to end."""
+        instances = document["source"]["instances"]
+        permuted = data.draw(st.permutations(instances))
+        other = json.loads(json.dumps(document))
+        other["source"]["instances"] = list(permuted)
+        spec_a = spec_from_document(document)
+        spec_b = spec_from_document(other)
+        assert spec_a.digest == spec_b.digest
+        plan_a, plan_b = expand_spec(spec_a), expand_spec(spec_b)
+        assert plan_a.payload() == plan_b.payload()
+        assert plan_a.digest == plan_b.digest
+
+    @settings(max_examples=25, deadline=None)
+    @given(document=_spec_documents())
+    def test_task_digests_are_unique_and_stable(self, document):
+        """No two plan cells collide, and digests match their documents."""
+        plan = expand_spec(spec_from_document(document))
+        digests = [task.digest for task in plan.tasks]
+        assert len(set(digests)) == len(digests)
+        n_thresholds = len(document["jobs"][0]["thresholds"])
+        n_solvers = len(document["jobs"][0]["solvers"])
+        assert len(plan.tasks) == (
+            plan.n_instances * n_solvers * n_thresholds * document["repeats"]
+        )
+
+
+class TestSolvePlanBuilder:
+    def test_cells_map_every_instance(self, medium_instance):
+        from repro.core.identity import instance_digest
+
+        plan, cells = solve_plan([medium_instance], [("H1", 5.0), ("H2", 5.0)])
+        digest = instance_digest(
+            medium_instance.application, medium_instance.platform
+        )
+        assert len(cells) == 2
+        assert {cell.solver for cell in cells} == {"Sp mono P", "3-Explo mono"}
+        for cell in cells:
+            assert cell.tasks[digest].digest in {t.digest for t in plan.tasks}
+
+    def test_duplicate_instances_collapse(self, medium_instance):
+        plan, _ = solve_plan([medium_instance, medium_instance], [("H1", 5.0)])
+        assert plan.n_instances == 1
+        assert len(plan.tasks) == 1

@@ -1,0 +1,193 @@
+"""Tests of the declarative workload spec layer (serialisation + identity)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.workloads import (
+    SPEC_SCHEMA,
+    InstanceSource,
+    WorkloadJob,
+    WorkloadSpec,
+    load_spec,
+    spec_from_document,
+    spec_to_document,
+)
+
+GENERATOR_DOC = {
+    "name": "demo",
+    "seed": 3,
+    "source": {
+        "kind": "generator",
+        "family": "E1",
+        "n_stages": 5,
+        "n_processors": 4,
+        "n_instances": 3,
+    },
+    "jobs": [{"solvers": ["H1"], "thresholds": [6.0]}],
+}
+
+
+def _explicit_doc(instances):
+    return {
+        "source": {"kind": "explicit", "instances": instances},
+        "solvers": ["H1"],
+        "thresholds": [5.0],
+    }
+
+
+INSTANCE_A = {
+    "application": {"works": [2.0, 3.0], "comm_sizes": [1.0, 1.0, 1.0]},
+    "platform": {"speeds": [2.0, 1.0], "bandwidth": 4.0},
+}
+INSTANCE_B = {
+    "application": {"works": [7.0], "comm_sizes": [2.0, 2.0]},
+    "platform": {"speeds": [3.0], "bandwidth": 5.0},
+}
+
+
+class TestDocumentRoundTrip:
+    def test_round_trip_preserves_digest(self):
+        spec = spec_from_document(GENERATOR_DOC)
+        document = spec_to_document(spec)
+        assert document["schema"] == SPEC_SCHEMA
+        assert spec_from_document(document).digest == spec.digest
+
+    def test_top_level_solvers_sugar_equals_explicit_jobs(self):
+        sugar = dict(GENERATOR_DOC)
+        del sugar["jobs"]
+        sugar["solvers"] = ["H1"]
+        sugar["thresholds"] = [6.0]
+        assert spec_from_document(sugar).digest == (
+            spec_from_document(GENERATOR_DOC).digest
+        )
+
+    def test_key_order_is_irrelevant(self):
+        shuffled = dict(reversed(list(GENERATOR_DOC.items())))
+        assert spec_from_document(shuffled).digest == (
+            spec_from_document(GENERATOR_DOC).digest
+        )
+
+    def test_name_participates_in_digest_but_instance_names_do_not(self):
+        named = dict(GENERATOR_DOC, name="other")
+        assert spec_from_document(named).digest != (
+            spec_from_document(GENERATOR_DOC).digest
+        )
+        renamed = {
+            "application": dict(INSTANCE_A["application"], name="zebra"),
+            "platform": dict(INSTANCE_A["platform"], name="zebra"),
+        }
+        assert spec_from_document(_explicit_doc([INSTANCE_A])).digest == (
+            spec_from_document(_explicit_doc([renamed])).digest
+        )
+
+    def test_explicit_instance_permutation_is_irrelevant(self):
+        forward = spec_from_document(_explicit_doc([INSTANCE_A, INSTANCE_B]))
+        backward = spec_from_document(_explicit_doc([INSTANCE_B, INSTANCE_A]))
+        assert forward.digest == backward.digest
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="workload kind"):
+            spec_from_document(dict(GENERATOR_DOC, kind="nope"))
+
+    def test_unknown_source_kind_rejected(self):
+        bad = dict(GENERATOR_DOC, source={"kind": "nope"})
+        with pytest.raises(ConfigurationError, match="instance-source kind"):
+            spec_from_document(bad)
+
+    def test_solve_spec_needs_jobs(self):
+        bad = {"source": GENERATOR_DOC["source"]}
+        with pytest.raises(ConfigurationError, match="at least one job"):
+            spec_from_document(bad)
+
+    def test_differential_spec_rejects_jobs(self):
+        with pytest.raises(ConfigurationError, match="oracle"):
+            spec_from_document(dict(GENERATOR_DOC, kind="differential"))
+
+    def test_differential_spec_accepts_n_datasets(self):
+        document = {
+            "kind": "differential",
+            "source": {"kind": "scenarios", "count": 5},
+            "n_datasets": 4,
+        }
+        spec = spec_from_document(document)
+        assert spec.n_datasets == 4
+        assert spec_to_document(spec)["n_datasets"] == 4
+
+    def test_unsupported_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            spec_from_document(dict(GENERATOR_DOC, schema=99))
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(ConfigurationError, match="source"):
+            spec_from_document({"solvers": ["H1"]})
+
+    def test_bad_threshold_rejected(self):
+        bad = dict(GENERATOR_DOC, jobs=[{"solvers": ["H1"], "thresholds": ["x"]}])
+        with pytest.raises(ConfigurationError, match="threshold"):
+            spec_from_document(bad)
+
+    def test_generator_source_requires_sizes(self):
+        with pytest.raises(ConfigurationError, match="n_stages"):
+            InstanceSource(kind="generator", family="E1")
+
+    def test_job_needs_solvers(self):
+        with pytest.raises(ConfigurationError, match="at least one solver"):
+            WorkloadJob(solvers=())
+
+    def test_repeats_must_be_positive(self):
+        source = spec_from_document(GENERATOR_DOC).source
+        with pytest.raises(ConfigurationError, match="repeats"):
+            WorkloadSpec(
+                source=source,
+                jobs=(WorkloadJob(solvers=("H1",)),),
+                repeats=0,
+            )
+
+
+class TestLoadSpec:
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(GENERATOR_DOC), encoding="utf-8")
+        assert load_spec(path).digest == spec_from_document(GENERATOR_DOC).digest
+
+    def test_toml_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "demo"',
+                    "seed = 3",
+                    "[source]",
+                    'kind = "generator"',
+                    'family = "E1"',
+                    "n_stages = 5",
+                    "n_processors = 4",
+                    "n_instances = 3",
+                    "[[jobs]]",
+                    'solvers = ["H1"]',
+                    "thresholds = [6.0]",
+                ]
+            ),
+            encoding="utf-8",
+        )
+        assert load_spec(path).digest == spec_from_document(GENERATOR_DOC).digest
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            load_spec(path)
+
+    def test_invalid_toml_rejected(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "spec.toml"
+        path.write_text("= nope", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="invalid TOML"):
+            load_spec(path)
