@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-cache cache-smoke fuzz-smoke workload-smoke sweep-demo clean-results
+.PHONY: test lint bench-smoke bench bench-cache cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
@@ -20,6 +20,7 @@ bench-smoke:
 	REPRO_BENCH_INSTANCES=4 REPRO_BENCH_THRESHOLDS=4 \
 		$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py' \
 		--benchmark-disable
+	$(PYTHON) benchmarks/bench_optimality_gap.py --smoke
 
 ## full benchmark suite (paper-scale sizing via REPRO_BENCH_* env knobs)
 bench:
@@ -49,6 +50,12 @@ cache-smoke:
 ## uploads anything written to fuzz-counterexamples/ as an artifact
 fuzz-smoke:
 	$(PYTHON) -m repro.cli fuzz --count 100 --seed 0 --corpus fuzz-counterexamples
+
+## heterogeneous-only fuzz slice: glob family selection, exercises the
+## anytime local-search invariants on every instance small enough for them
+fuzz-hetero-smoke:
+	$(PYTHON) -m repro.cli fuzz --families 'heterogeneous*' --count 200 \
+		--seed 0 --corpus fuzz-counterexamples
 
 ## CI's resume smoke slice: run a spec, interrupt it halfway via the
 ## --max-tasks cap (exit 3), resume it with --resume, and assert the final

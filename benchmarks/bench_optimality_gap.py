@@ -8,6 +8,19 @@ fixed-period heuristic's latency with the exact minimum latency under the
 same budget (subset dynamic program), and each fixed-latency heuristic's
 period with the exact minimum period under a 1.5x Lemma-1 latency budget.
 Results go to ``benchmarks/results/optimality_gap.txt``.
+
+The second half measures how much of that gap the anytime local-search
+refiners close: on heterogeneous-chain scenarios small enough for the exact
+DP, ``local-search-h1`` (seeded from H1) and ``local-search-h6`` (seeded
+from H6) are run with the default step budget and their gap *closure*
+
+    (seed metric - refined metric) / (seed metric - exact optimum)
+
+is averaged over the instances where the seed leaves a positive gap.  The
+suite asserts the H1 refiner closes at least 30% of the gap on average.
+Results go to ``benchmarks/results/optimality_gap_closure.txt``; running the
+module as a script (``python benchmarks/bench_optimality_gap.py --smoke``)
+performs the same measurement without the pytest harness.
 """
 
 from __future__ import annotations
@@ -19,7 +32,18 @@ from repro.core.costs import optimal_latency
 from repro.exact.dp_bitmask import dp_min_latency_for_period, dp_min_period_for_latency
 from repro.generators.experiments import experiment_config, generate_instances
 from repro.heuristics import fixed_latency_heuristics, fixed_period_heuristics, get_heuristic
+from repro.scenarios.families import generate_scenarios
+from repro.solvers import DEFAULT_STEP_BUDGET, get_solver
 from repro.utils.tables import format_table
+
+#: minimum average share of the seed-to-optimum gap that local-search-h1
+#: must close within the default step budget (the acceptance bar)
+MIN_H1_GAP_CLOSURE = 0.30
+
+#: size gate for the closure measurement: the exact reference is the
+#: bitmask DP, so instances stay small enough for it to be instantaneous
+_CLOSURE_MAX_STAGES = 8
+_CLOSURE_MAX_PROCS = 5
 
 
 def compute_gaps(n_instances: int) -> list[tuple[str, float, float, int]]:
@@ -57,6 +81,109 @@ def compute_gaps(n_instances: int) -> list[tuple[str, float, float, int]]:
     return rows
 
 
+def _closure_instances(n_instances: int):
+    """Heterogeneous-chain scenarios small enough for the exact DP."""
+    pool = generate_scenarios(
+        max(12 * n_instances, 48), "heterogeneous-chain", seed=BENCH_SEED
+    )
+    picked = []
+    for scenario in pool:
+        app, platform = scenario.application, scenario.platform
+        if (
+            2 <= app.n_stages <= _CLOSURE_MAX_STAGES
+            and platform.n_processors <= _CLOSURE_MAX_PROCS
+        ):
+            picked.append((app, platform))
+            if len(picked) == n_instances:
+                break
+    return picked
+
+
+def compute_gap_closure(n_instances: int) -> list[tuple[str, int, int, float, float]]:
+    """Gap closure of the local-search refiners on heterogeneous chains.
+
+    Returns one row per refiner: ``(key, instances, positive gaps, mean
+    closure, min closure)``.  Closure is only defined where the seed
+    heuristic leaves a strictly positive gap to the exact optimum; the
+    refiner can never be worse than its seed, so every closure lies in
+    ``[0, 1]`` up to floating-point noise.
+    """
+    h1, h6 = get_heuristic("H1"), get_heuristic("H6")
+    ls_h1, ls_h6 = get_solver("local-search-h1"), get_solver("local-search-h6")
+    closures: dict[str, list[float]] = {"LS-H1": [], "LS-H6": []}
+    counted: dict[str, int] = {"LS-H1": 0, "LS-H6": 0}
+
+    for app, platform in _closure_instances(n_instances):
+        # fixed-period side: latency gap under a 1.25x-tight period budget
+        period_budget = h1.run(app, platform, period_bound=1e-9).period * 1.25
+        _, exact_latency = dp_min_latency_for_period(app, platform, period_budget)
+        seed = h1.run(app, platform, period_bound=period_budget)
+        if seed.feasible:
+            counted["LS-H1"] += 1
+            gap = seed.latency - exact_latency
+            if gap > 1e-9 * max(1.0, exact_latency):
+                refined = ls_h1.run(
+                    app,
+                    platform,
+                    period_bound=period_budget,
+                    max_steps=DEFAULT_STEP_BUDGET,
+                )
+                closures["LS-H1"].append((seed.latency - refined.latency) / gap)
+
+        # fixed-latency side: period gap under a 1.5x Lemma-1 latency budget
+        latency_budget = optimal_latency(app, platform) * 1.5
+        _, exact_period = dp_min_period_for_latency(app, platform, latency_budget)
+        seed = h6.run(app, platform, latency_bound=latency_budget)
+        if seed.feasible:
+            counted["LS-H6"] += 1
+            gap = seed.period - exact_period
+            if gap > 1e-9 * max(1.0, exact_period):
+                refined = ls_h6.run(
+                    app,
+                    platform,
+                    latency_bound=latency_budget,
+                    max_steps=DEFAULT_STEP_BUDGET,
+                )
+                closures["LS-H6"].append((seed.period - refined.period) / gap)
+
+    rows = []
+    for key in ("LS-H1", "LS-H6"):
+        values = closures[key]
+        if values:
+            rows.append(
+                (key, counted[key], len(values), float(np.mean(values)), float(np.min(values)))
+            )
+        else:
+            rows.append((key, counted[key], 0, float("nan"), float("nan")))
+    return rows
+
+
+def render_gap_closure(rows: list[tuple[str, int, int, float, float]]) -> str:
+    return format_table(
+        ["refiner", "feasible seeds", "positive gaps", "mean closure", "min closure"],
+        rows,
+        precision=3,
+        title=(
+            "Local-search gap closure vs exact bitmask DP "
+            f"(heterogeneous chains, {DEFAULT_STEP_BUDGET}-step budget)"
+        ),
+    )
+
+
+def check_gap_closure(rows: list[tuple[str, int, int, float, float]]) -> None:
+    by_key = {row[0]: row for row in rows}
+    for key, _counted, n_gaps, mean_closure, min_closure in rows:
+        if n_gaps:
+            # never worse than the seed, never better than the optimum
+            assert min_closure >= -1e-6, key
+            assert mean_closure <= 1.0 + 1e-6, key
+    assert by_key["LS-H1"][2] >= 1, "no positive H1 gaps sampled"
+    assert by_key["LS-H1"][3] >= MIN_H1_GAP_CLOSURE, (
+        f"local-search-h1 closes only {by_key['LS-H1'][3]:.1%} of the "
+        f"H1-to-optimum gap (need >= {MIN_H1_GAP_CLOSURE:.0%})"
+    )
+
+
 def test_optimality_gap(benchmark):
     n_instances = max(5, instance_count() // 2)
     rows = benchmark.pedantic(compute_gaps, args=(n_instances,), rounds=1, iterations=1)
@@ -74,3 +201,39 @@ def test_optimality_gap(benchmark):
             assert mean_ratio >= 1.0 - 1e-9
     # the simple splitting heuristic stays within a reasonable factor
     assert by_key["H1"][1] <= 2.0
+
+
+def test_gap_closure(benchmark):
+    n_instances = max(8, instance_count() // 2)
+    rows = benchmark.pedantic(
+        compute_gap_closure, args=(n_instances,), rounds=1, iterations=1
+    )
+    write_report("optimality_gap_closure", render_gap_closure(rows))
+    check_gap_closure(rows)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="measure how much of the heuristic-to-optimum gap the "
+        "anytime local-search refiners close"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance count (CI's bench-smoke slice)",
+    )
+    parser.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="override the instance count (default: REPRO_BENCH_INSTANCES)",
+    )
+    cli_args = parser.parse_args()
+    n = cli_args.instances or (8 if cli_args.smoke else instance_count())
+    closure_rows = compute_gap_closure(n)
+    report = render_gap_closure(closure_rows)
+    print(report)
+    print(f"report written to {write_report('optimality_gap_closure', report)}")
+    check_gap_closure(closure_rows)

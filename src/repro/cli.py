@@ -104,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "all, heuristics, exact, extensions (see 'repro solvers')")
     solve.add_argument("--period", type=float, default=None, help="period bound")
     solve.add_argument("--latency", type=float, default=None, help="latency bound")
+    _add_budget_arguments(solve)
     _add_cache_arguments(solve)
 
     batch = sub.add_parser(
@@ -120,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replicate the instance stream N times (a "
                             "repeated-instance workload: the service solves "
                             "each distinct instance once)")
+    _add_budget_arguments(batch)
     _add_cache_arguments(batch)
 
     solvers = sub.add_parser(
@@ -247,6 +249,29 @@ def _positive_int_arg(value: str) -> int:
     return n
 
 
+def _positive_float_arg(value: str) -> float:
+    try:
+        x = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if x <= 0:
+        raise argparse.ArgumentTypeError("must be a positive number")
+    return x
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-steps", type=_positive_int_arg, default=None, metavar="N",
+        help="step budget for anytime solvers (local-search-*): at most N "
+             "improving moves; deterministic, so budgeted runs still cache",
+    )
+    parser.add_argument(
+        "--time-budget", type=_positive_float_arg, default=None, metavar="SECONDS",
+        help="wall-clock budget for anytime solvers; non-deterministic, so "
+             "such runs bypass the solve cache",
+    )
+
+
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=_workers_arg, default=DEFAULT_WORKERS,
@@ -337,15 +362,29 @@ def _solver_bounds(
     already minimises is an error in ``strict`` (single-solver) mode and
     ignored in group mode, where it addresses the bounded solvers of the
     group.
+
+    Anytime solvers additionally need ``--max-steps`` or ``--time-budget``;
+    without one they are reported as missing ``--max-steps`` (skipped in
+    group mode), and with one the budgets ride along in the returned
+    keyword arguments (non-anytime solvers drop them).
     """
+    max_steps = getattr(args, "max_steps", None)
+    time_budget = getattr(args, "time_budget", None)
+    if solver.needs_budget and max_steps is None and time_budget is None:
+        return "--max-steps"
+    budgets = (
+        {"max_steps": max_steps, "time_budget": time_budget}
+        if solver.needs_budget
+        else {}
+    )
     if solver.objective == Objective.MIN_LATENCY_FOR_PERIOD:
         if args.period is None:
             return "--period"
-        return {"period_bound": args.period}
+        return {"period_bound": args.period, **budgets}
     if solver.objective == Objective.MIN_PERIOD_FOR_LATENCY:
         if args.latency is None:
             return "--latency"
-        return {"latency_bound": args.latency}
+        return {"latency_bound": args.latency, **budgets}
     if solver.objective == Objective.MIN_PERIOD:
         if strict and args.period is not None:
             return (
@@ -353,14 +392,14 @@ def _solver_bounds(
                 "--period does not apply (did you mean a "
                 "latency-for-period solver?)"
             )
-        return {"latency_bound": args.latency}
+        return {"latency_bound": args.latency, **budgets}
     if strict and args.latency is not None:
         return (
             f"{solver.name} minimises the latency unconditionally, so "
             "--latency does not apply (did you mean a "
             "period-for-latency solver?)"
         )
-    return {"period_bound": args.period}
+    return {"period_bound": args.period, **budgets}
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -493,6 +532,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 [solver],
                 period_bound=args.period,
                 latency_bound=args.latency,
+                max_steps=args.max_steps,
+                time_budget=args.time_budget,
                 workers=args.workers,
                 batch_size=args.batch_size,
                 cache=cache,

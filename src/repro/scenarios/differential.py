@@ -15,6 +15,11 @@ registry's own capability checks) and cross-examines the results:
 * **heuristic bounds** — no heuristic beats a proven optimum, and a heuristic
   claiming feasibility at a threshold implies the exact solver is feasible
   there too;
+* **local-search invariants** — each anytime local-search solver (run at its
+  default step budget) returns a structurally sound result that is never
+  worse than the seed mapping it refined, records seed provenance matching
+  an independent run of the named seed solver, and never beats a proven
+  optimum;
 * **simulation** — for a sample of the produced mappings, the synchronous
   schedule reproduces the analytical metrics exactly and the greedy
   event-driven one-port schedule stays within the published tolerance, with
@@ -47,6 +52,7 @@ from ..exact import one_to_one as _one_to_one_mod
 from ..simulation.event_driven import simulate_mapping
 from ..simulation.synchronous import synchronous_schedule
 from ..solvers.base import SolveResult
+from ..solvers.local_search import DEFAULT_STEP_BUDGET, objective_key
 from ..solvers.registry import get_solver
 from ..solvers.service import solve_with_cache
 
@@ -58,6 +64,10 @@ _BRUTE_MAX_STAGES = 8
 _BRUTE_MAX_PROCS = 5
 _BITMASK_MAX_STAGES = 14
 _BITMASK_MAX_PROCS = 8
+# the local-search solvers are polynomial per step but run a full step budget
+# per instance; the gate only trims the largest fuzz families
+_LS_MAX_STAGES = 16
+_LS_MAX_PROCS = 12
 
 _REL = 1e-9          # same-kernel recomputation
 _LOOSE_REL = 1e-6    # cross-implementation equality of optima
@@ -129,6 +139,23 @@ class _Session:
 
 def _close(a: float, b: float, rel: float) -> bool:
     return abs(a - b) <= rel * max(abs(a), abs(b)) + _TINY
+
+
+def _key_not_worse(after: tuple, before: tuple) -> bool:
+    """Tolerance-aware lexicographic "not worse" between objective keys.
+
+    A component strictly below its counterpart decides in favour; one within
+    the same-kernel tolerance defers to the next rank; anything clearly
+    above is a genuine regression.  The tolerance absorbs the ulp-level gap
+    between a seed heuristic's self-reported metrics and the move engine's
+    batch-exact recomputation of the identical mapping.
+    """
+    for a, b in zip(after, before):
+        if a < b:
+            return True
+        if not _close(a, b, _REL):
+            return False
+    return True
 
 
 def _positive(bound: float) -> float:
@@ -395,6 +422,7 @@ def differential_check(
     if small_bm:
         exact_period_solvers.append("bitmask-dp-latency-for-period")
 
+    period_optima: dict[float, float | None] = {}
     for bound in (bound_mid, bound_hi):
         exact_results: dict[str, SolveResult] = {}
         if small_bf:
@@ -428,6 +456,7 @@ def differential_check(
                     )
         exact_feasible = [r for r in exact_results.values() if r.feasible]
         optimum = min((r.latency for r in exact_feasible), default=None)
+        period_optima[bound] = optimum
         any_infeasible = any(not r.feasible for r in exact_results.values())
 
         for name in period_solvers + (["greedy-replication"] if comm_homog else []):
@@ -552,6 +581,112 @@ def differential_check(
                     f"{name}: period {result.period!r} beats the exact optimum "
                     f"{bounded_optimum!r} at latency <= {latency_bound!r}",
                 )
+
+    # ------------------------------------------------------------------ #
+    # local-search family: anytime refinement invariants
+    # ------------------------------------------------------------------ #
+    # Each local-search solver is run at its default step budget and held to
+    # three promises: the result is structurally sound and honestly flagged,
+    # it is never worse than the seed mapping it refined (under the solver's
+    # lexicographic objective key, at the same-kernel 1e-9 tolerance — the
+    # seed heuristic's own reported metrics may differ from the move
+    # engine's batch-exact recomputation of the same mapping by an ulp), and
+    # the recorded seed provenance matches an independent run of the named
+    # seed solver.  The generic never-beats-a-proven-optimum checks apply
+    # exactly as for heuristics.
+    small_ls = n <= _LS_MAX_STAGES and p <= _LS_MAX_PROCS
+    if small_ls:
+        ls_cases: list[tuple[str, dict, float | None, str | None, str, float | None]] = []
+        if comm_homog:
+            for bound in (bound_mid, bound_hi):
+                ls_cases.append(
+                    (
+                        "local-search-h1",
+                        {"period_bound": bound},
+                        bound,
+                        "period",
+                        "latency",
+                        period_optima.get(bound),
+                    )
+                )
+            ls_cases.append(
+                (
+                    "local-search-h6",
+                    {"latency_bound": latency_bound},
+                    latency_bound,
+                    "latency",
+                    "period",
+                    bounded_optimum,
+                )
+            )
+        ls_cases.append(
+            ("local-search-random", {}, None, None, "period", min_period_truth)
+        )
+        for name, bounds, bound, bounded_metric, optimized, ls_optimum in ls_cases:
+            result = _run(
+                sess, name, app, platform, max_steps=DEFAULT_STEP_BUDGET, **bounds
+            )
+            if result is None:
+                continue
+            label = name if bound is None else f"{name}@{bound:g}"
+            _structural(
+                sess, label, result, app, platform,
+                bound=bound, bounded_metric=bounded_metric,
+                min_period=min_period_truth, min_latency=latency_opt,
+            )
+            if name == "local-search-h6":
+                sess.expect(
+                    result.feasible,
+                    "latency-bound-infeasible",
+                    f"{label}: infeasible at latency <= {latency_bound!r} although "
+                    f"the Lemma 1 mapping achieves {latency_opt!r}",
+                )
+            details = result.details or {}
+            seed_name = details.get("seed_solver")
+            seed_period = details.get("seed_period")
+            seed_latency = details.get("seed_latency")
+            if not sess.expect(
+                seed_name is not None
+                and seed_period is not None
+                and seed_latency is not None,
+                "local-search-seed-provenance",
+                f"{label}: result details carry no seed provenance",
+            ):
+                continue
+            key_seed = objective_key(
+                seed_period, seed_latency, result.objective, bound
+            )
+            key_result = objective_key(
+                result.period, result.latency, result.objective, bound
+            )
+            sess.expect(
+                _key_not_worse(key_result, key_seed),
+                "local-search-worse-than-seed",
+                f"{label}: refined objective key {key_result!r} is worse than "
+                f"its seed's {key_seed!r}",
+            )
+            if seed_name != "random":
+                seed_result = _run(sess, seed_name, app, platform, **bounds)
+                if seed_result is not None:
+                    sess.expect(
+                        _close(seed_period, seed_result.period, _REL)
+                        and _close(seed_latency, seed_result.latency, _REL),
+                        "local-search-seed-provenance",
+                        f"{label}: recorded seed ({seed_period!r}, "
+                        f"{seed_latency!r}) != a fresh {seed_name} run "
+                        f"({seed_result.period!r}, {seed_result.latency!r})",
+                    )
+            if ls_optimum is not None and result.feasible:
+                achieved = getattr(result, optimized)
+                sess.expect(
+                    achieved
+                    >= ls_optimum - _LOOSE_REL * max(ls_optimum, 1.0) - _TINY,
+                    "heuristic-beats-exact",
+                    f"{label}: {optimized} {achieved!r} beats the exact "
+                    f"optimum {ls_optimum!r}",
+                )
+            if bounded_metric == "period" and bound == bound_mid:
+                sim_candidates.append(result.mapping)
 
     # ------------------------------------------------------------------ #
     # simulators

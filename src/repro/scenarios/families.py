@@ -31,6 +31,7 @@ families plug into the sweep/failure/ablation drivers unchanged.
 
 from __future__ import annotations
 
+import fnmatch
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Iterable, Sequence
@@ -295,17 +296,42 @@ def get_family(name: str) -> ScenarioFamily:
 def resolve_families(
     selection: str | Iterable[str] | None,
 ) -> list[ScenarioFamily]:
-    """Resolve ``None`` / ``"all"`` / a name / an iterable of names.
+    """Resolve ``None`` / ``"all"`` / names / glob patterns to families.
 
     The ``"all"`` sentinel is honoured anywhere it appears — bare or inside a
-    list (the CLI's ``--families`` flag always delivers a list).
+    list (the CLI's ``--families`` flag always delivers a list).  Entries may
+    be shell-style glob patterns (``fnmatch``): ``heterogeneous*`` selects
+    every family whose name starts with ``heterogeneous``, in registration
+    order.  A pattern matching nothing is an error, like an unknown name.
+    Duplicates (a family matched by several entries) collapse to one copy.
     """
     if selection is None:
         return list(FAMILIES.values())
     names = [selection] if isinstance(selection, str) else list(selection)
     if any(name.strip().lower() == "all" for name in names):
         return list(FAMILIES.values())
-    return [get_family(name) for name in names]
+    resolved: list[ScenarioFamily] = []
+    seen: set[str] = set()
+    for name in names:
+        key = name.strip().lower()
+        if any(ch in key for ch in "*?["):
+            matches = [
+                family
+                for fname, family in FAMILIES.items()
+                if fnmatch.fnmatchcase(fname, key)
+            ]
+            if not matches:
+                raise KeyError(
+                    f"scenario family pattern {name!r} matches nothing "
+                    f"(known families: {', '.join(FAMILIES)})"
+                )
+        else:
+            matches = [get_family(name)]
+        for family in matches:
+            if family.name not in seen:
+                seen.add(family.name)
+                resolved.append(family)
+    return resolved
 
 
 def _materialise_scenario(

@@ -1,9 +1,9 @@
 """Unified solver layer: one registry and result type for every solver.
 
 Heuristics (Section 4), exact solvers (homogeneous DPs, bitmask DP, brute
-force, one-to-one) and extensions (replication, heterogeneous links) are all
-addressable by name through :func:`get_solver` / :func:`resolve_solvers` and
-return the same :class:`SolveResult`.
+force, one-to-one) and extensions (replication, heterogeneous links, anytime
+local search) are all addressable by name through :func:`get_solver` /
+:func:`resolve_solvers` and return the same :class:`SolveResult`.
 
 >>> from repro.solvers import get_solver, SolveRequest
 >>> solver = get_solver("H1")
@@ -19,6 +19,13 @@ from .base import (
     SolveResult,
     SolverFamily,
     SolverProtocol,
+)
+from .local_search import (
+    DEFAULT_STEP_BUDGET,
+    RefinementOutcome,
+    objective_key,
+    random_seed_mapping,
+    refine,
 )
 from .registry import (
     Solver,
@@ -58,4 +65,9 @@ __all__ = [
     "BatchStats",
     "solve_many",
     "solve_with_cache",
+    "DEFAULT_STEP_BUDGET",
+    "RefinementOutcome",
+    "objective_key",
+    "random_seed_mapping",
+    "refine",
 ]

@@ -40,8 +40,9 @@ from ..extensions.heterogeneous_links import HeterogeneousSplittingPeriod
 from ..extensions.replication import greedy_replication
 from ..heuristics.base import PipelineHeuristic
 from ..heuristics.registry import HEURISTIC_CLASSES
-from ..heuristics.splitting import SplittingMonoPeriod
+from ..heuristics.splitting import SplittingBiLatency, SplittingMonoPeriod
 from .base import Capability, Objective, SolveRequest, SolveResult, SolverFamily
+from .local_search import random_seed_mapping, refine
 from .registry import SolverSpec, register_solver
 
 __all__ = ["heuristic_solve_fn"]
@@ -457,5 +458,171 @@ register_solver(
         ),
         description="splitting heuristic aware of per-link bandwidths",
         aliases=(HeterogeneousSplittingPeriod.__name__, "hetero-splitting-period"),
+    )
+)
+
+
+# --------------------------------------------------------------------------- #
+# extensions — anytime local search
+# --------------------------------------------------------------------------- #
+def _search_bound(request: SolveRequest) -> float | None:
+    """The threshold the local search guards (on the non-optimised metric)."""
+    if request.objective in (Objective.MIN_LATENCY_FOR_PERIOD, Objective.MIN_LATENCY):
+        return request.period_bound
+    return request.latency_bound
+
+
+def _meets_bound(request: SolveRequest, period: float, latency: float) -> bool:
+    """Feasibility under the request's threshold (heuristics' tolerance)."""
+    bound = _search_bound(request)
+    if bound is None:
+        return True
+    metric = (
+        period
+        if request.objective
+        in (Objective.MIN_LATENCY_FOR_PERIOD, Objective.MIN_LATENCY)
+        else latency
+    )
+    return metric <= bound * (1 + _EPS) + 1e-12
+
+
+def _local_search_solve_fn(
+    seed_name: str,
+    seed_fn: Callable[
+        [PipelineApplication, Platform, SolveRequest],
+        tuple[IntervalMapping, float, float, int, tuple],
+    ],
+) -> Callable[..., SolveResult]:
+    """Build a local-search solve_fn refining ``seed_fn``'s mapping.
+
+    ``seed_fn`` returns ``(mapping, period, latency, n_splits, history)`` for
+    the seed solution; the returned result records the seed's provenance and
+    metrics in ``details`` so the differential oracle can verify the
+    never-worse-than-seed invariant without re-running the seed.
+    """
+
+    def solve_fn(
+        app: PipelineApplication, platform: Platform, request: SolveRequest
+    ) -> SolveResult:
+        if not request.has_budget:
+            raise ConfigurationError(
+                "local-search solvers are anytime: the request needs "
+                "max_steps= or time_budget="
+            )
+        mapping, seed_period, seed_latency, n_splits, seed_history = seed_fn(
+            app, platform, request
+        )
+        outcome = refine(
+            app,
+            platform,
+            mapping,
+            objective=request.objective,
+            bound=_search_bound(request),
+            max_steps=request.max_steps,
+            time_budget=request.time_budget,
+        )
+        return SolveResult(
+            solver="",
+            family="",
+            mapping=outcome.mapping,
+            period=outcome.period,
+            latency=outcome.latency,
+            feasible=_meets_bound(request, outcome.period, outcome.latency),
+            objective=request.objective,
+            threshold=request.threshold,
+            n_splits=n_splits,
+            history=tuple(seed_history) + outcome.history,
+            details={
+                "seed_solver": seed_name,
+                "seed_period": float(seed_period),
+                "seed_latency": float(seed_latency),
+                "seed_feasible": _meets_bound(request, seed_period, seed_latency),
+                "steps": int(outcome.steps),
+            },
+        )
+
+    return solve_fn
+
+
+def _seed_from_heuristic(cls: type) -> Callable[..., tuple]:
+    def seed_fn(
+        app: PipelineApplication, platform: Platform, request: SolveRequest
+    ) -> tuple:
+        heuristic = cls()
+        if request.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+            res = heuristic.run(app, platform, period_bound=request.period_bound)
+        else:
+            res = heuristic.run(app, platform, latency_bound=request.latency_bound)
+        return (
+            res.mapping,
+            float(res.period),
+            float(res.latency),
+            res.n_splits,
+            res.history,
+        )
+
+    return seed_fn
+
+
+def _seed_random(
+    app: PipelineApplication, platform: Platform, request: SolveRequest
+) -> tuple:
+    mapping = random_seed_mapping(app, platform)
+    ev = evaluate(app, platform, mapping)
+    return mapping, float(ev.period), float(ev.latency), 0, ()
+
+
+register_solver(
+    SolverSpec(
+        name="local-search-h1",
+        key="LS-H1",
+        family=SolverFamily.EXTENSION,
+        objective=Objective.MIN_LATENCY_FOR_PERIOD,
+        solve_fn=_local_search_solve_fn(
+            SplittingMonoPeriod.name, _seed_from_heuristic(SplittingMonoPeriod)
+        ),
+        capabilities=frozenset(
+            {
+                Capability.ANYTIME,
+                Capability.BICRITERIA,
+                Capability.COMM_HOMOGENEOUS_ONLY,
+            }
+        ),
+        description="anytime refinement of the H1 mapping: latency under a period bound",
+    )
+)
+register_solver(
+    SolverSpec(
+        name="local-search-h6",
+        key="LS-H6",
+        family=SolverFamily.EXTENSION,
+        objective=Objective.MIN_PERIOD_FOR_LATENCY,
+        solve_fn=_local_search_solve_fn(
+            SplittingBiLatency.name, _seed_from_heuristic(SplittingBiLatency)
+        ),
+        capabilities=frozenset(
+            {
+                Capability.ANYTIME,
+                Capability.BICRITERIA,
+                Capability.COMM_HOMOGENEOUS_ONLY,
+            }
+        ),
+        description="anytime refinement of the H6 mapping: period under a latency bound",
+    )
+)
+register_solver(
+    SolverSpec(
+        name="local-search-random",
+        key="LS-R",
+        family=SolverFamily.EXTENSION,
+        objective=Objective.MIN_PERIOD,
+        solve_fn=_local_search_solve_fn("random", _seed_random),
+        capabilities=frozenset(
+            {Capability.ANYTIME, Capability.HETEROGENEOUS_LINKS}
+        ),
+        description=(
+            "anytime minimum-period search from a digest-seeded random mapping "
+            "(optional latency bound; handles per-link bandwidths)"
+        ),
     )
 )

@@ -101,6 +101,9 @@ class Capability:
     REPLICATION = "replication"
     #: aware of per-link bandwidths (fully heterogeneous platforms)
     HETEROGENEOUS_LINKS = "heterogeneous_links"
+    #: anytime solver: requires a step/time budget on the request and returns
+    #: the best solution found within it (more budget, same or better result)
+    ANYTIME = "anytime"
 
 
 @dataclass(frozen=True)
@@ -116,6 +119,13 @@ class SolveRequest:
     objective: str
     period_bound: float | None = None
     latency_bound: float | None = None
+    #: step budget for anytime solvers — maximum number of improving moves.
+    #: Deterministic: the same budget always yields the same result, so
+    #: budgeted requests cache like any other.
+    max_steps: int | None = None
+    #: wall-clock budget (seconds) for anytime solvers.  Inherently
+    #: non-deterministic, so requests carrying one bypass the solve cache.
+    time_budget: float | None = None
 
     def __post_init__(self) -> None:
         if self.objective not in Objective.ALL:
@@ -131,29 +141,84 @@ class SolveRequest:
             bound = getattr(self, bound_name)
             if bound is not None and bound <= 0:
                 raise ConfigurationError(f"{bound_name} must be positive, got {bound}")
+        if self.max_steps is not None and self.max_steps <= 0:
+            raise ConfigurationError(f"max_steps must be positive, got {self.max_steps}")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ConfigurationError(
+                f"time_budget must be positive, got {self.time_budget}"
+            )
 
     # ------------------------------------------------------------------ #
     # constructors for the four objectives
     # ------------------------------------------------------------------ #
     @classmethod
-    def fixed_period(cls, period_bound: float) -> "SolveRequest":
+    def fixed_period(
+        cls,
+        period_bound: float,
+        *,
+        max_steps: int | None = None,
+        time_budget: float | None = None,
+    ) -> "SolveRequest":
         """Minimise latency subject to ``period <= period_bound``."""
-        return cls(Objective.MIN_LATENCY_FOR_PERIOD, period_bound=period_bound)
+        return cls(
+            Objective.MIN_LATENCY_FOR_PERIOD,
+            period_bound=period_bound,
+            max_steps=max_steps,
+            time_budget=time_budget,
+        )
 
     @classmethod
-    def fixed_latency(cls, latency_bound: float) -> "SolveRequest":
+    def fixed_latency(
+        cls,
+        latency_bound: float,
+        *,
+        max_steps: int | None = None,
+        time_budget: float | None = None,
+    ) -> "SolveRequest":
         """Minimise period subject to ``latency <= latency_bound``."""
-        return cls(Objective.MIN_PERIOD_FOR_LATENCY, latency_bound=latency_bound)
+        return cls(
+            Objective.MIN_PERIOD_FOR_LATENCY,
+            latency_bound=latency_bound,
+            max_steps=max_steps,
+            time_budget=time_budget,
+        )
 
     @classmethod
-    def min_period(cls, latency_bound: float | None = None) -> "SolveRequest":
+    def min_period(
+        cls,
+        latency_bound: float | None = None,
+        *,
+        max_steps: int | None = None,
+        time_budget: float | None = None,
+    ) -> "SolveRequest":
         """Minimise the period (latency bound optional)."""
-        return cls(Objective.MIN_PERIOD, latency_bound=latency_bound)
+        return cls(
+            Objective.MIN_PERIOD,
+            latency_bound=latency_bound,
+            max_steps=max_steps,
+            time_budget=time_budget,
+        )
 
     @classmethod
-    def min_latency(cls, period_bound: float | None = None) -> "SolveRequest":
+    def min_latency(
+        cls,
+        period_bound: float | None = None,
+        *,
+        max_steps: int | None = None,
+        time_budget: float | None = None,
+    ) -> "SolveRequest":
         """Minimise the latency (period bound optional)."""
-        return cls(Objective.MIN_LATENCY, period_bound=period_bound)
+        return cls(
+            Objective.MIN_LATENCY,
+            period_bound=period_bound,
+            max_steps=max_steps,
+            time_budget=time_budget,
+        )
+
+    @property
+    def has_budget(self) -> bool:
+        """Whether the request carries an anytime budget of either kind."""
+        return self.max_steps is not None or self.time_budget is not None
 
     @property
     def threshold(self) -> float | None:
@@ -178,13 +243,19 @@ class SolveRequest:
         if cached is None:
             from ..core.identity import digest_document
 
-            cached = digest_document(
-                {
-                    "objective": self.objective,
-                    "period_bound": self.period_bound,
-                    "latency_bound": self.latency_bound,
-                }
-            )
+            document: dict[str, Any] = {
+                "objective": self.objective,
+                "period_bound": self.period_bound,
+                "latency_bound": self.latency_bound,
+            }
+            # Budget fields enter the digest only when set, so every
+            # pre-existing (budget-less) request keeps its historical hash
+            # and warm caches stay valid across this addition.
+            if self.max_steps is not None:
+                document["max_steps"] = self.max_steps
+            if self.time_budget is not None:
+                document["time_budget"] = self.time_budget
+            cached = digest_document(document)
             # frozen dataclass: cache outside the declared fields
             object.__setattr__(self, "_canonical_hash", cached)
         return cached

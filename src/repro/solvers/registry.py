@@ -139,6 +139,11 @@ class Solver:
     def description(self) -> str:
         return self.spec.description
 
+    @property
+    def needs_budget(self) -> bool:
+        """Whether the solver is anytime and requires a step/time budget."""
+        return Capability.ANYTIME in self.spec.capabilities
+
     def __repr__(self) -> str:
         return (
             f"Solver(name={self.name!r}, key={self.key!r}, family={self.family!r})"
@@ -167,19 +172,37 @@ class Solver:
         *,
         period_bound: float | None = None,
         latency_bound: float | None = None,
+        max_steps: int | None = None,
+        time_budget: float | None = None,
     ) -> SolveRequest:
-        """Build the request matching this solver's objective from raw bounds."""
+        """Build the request matching this solver's objective from raw bounds.
+
+        Anytime solvers require one of the budget arguments; for every other
+        solver the budgets are dropped, so budget-oblivious solvers keep
+        their historical request hashes (and warm cache entries) even when a
+        caller passes blanket budgets to a whole batch.
+        """
+        if self.needs_budget:
+            if max_steps is None and time_budget is None:
+                raise ConfigurationError(
+                    f"{self.name} is an anytime solver and needs "
+                    f"max_steps= or time_budget="
+                )
+        else:
+            max_steps = None
+            time_budget = None
+        budgets = {"max_steps": max_steps, "time_budget": time_budget}
         if self.objective == Objective.MIN_LATENCY_FOR_PERIOD:
             if period_bound is None:
                 raise ConfigurationError(f"{self.name} needs period_bound=")
-            return SolveRequest.fixed_period(period_bound)
+            return SolveRequest.fixed_period(period_bound, **budgets)
         if self.objective == Objective.MIN_PERIOD_FOR_LATENCY:
             if latency_bound is None:
                 raise ConfigurationError(f"{self.name} needs latency_bound=")
-            return SolveRequest.fixed_latency(latency_bound)
+            return SolveRequest.fixed_latency(latency_bound, **budgets)
         if self.objective == Objective.MIN_PERIOD:
-            return SolveRequest.min_period(latency_bound)
-        return SolveRequest.min_latency(period_bound)
+            return SolveRequest.min_period(latency_bound, **budgets)
+        return SolveRequest.min_latency(period_bound, **budgets)
 
     def solve(
         self,
@@ -205,15 +228,22 @@ class Solver:
         *,
         period_bound: float | None = None,
         latency_bound: float | None = None,
+        max_steps: int | None = None,
+        time_budget: float | None = None,
     ) -> SolveResult:
         """Heuristic-style entry point (used by the experiment runner).
 
         The bounds are interpreted according to the solver's objective, so a
         registered solver drops into any call site written for
-        :class:`~repro.heuristics.base.PipelineHeuristic`.
+        :class:`~repro.heuristics.base.PipelineHeuristic`.  Budgets follow
+        the :meth:`default_request` rules (required for anytime solvers,
+        dropped otherwise).
         """
         request = self.default_request(
-            period_bound=period_bound, latency_bound=latency_bound
+            period_bound=period_bound,
+            latency_bound=latency_bound,
+            max_steps=max_steps,
+            time_budget=time_budget,
         )
         return self.solve(app, platform, request)
 
@@ -355,17 +385,24 @@ def solvers_for_platform(
     platform: "Platform",
     selection: str | Iterable[str] | None = "all",
     require: Iterable[str] = (),
+    request: "SolveRequest | None" = None,
 ) -> list[Solver]:
     """The selected solvers that accept ``platform`` and carry ``require`` tags.
 
     The workhorse of capability-based dispatch: e.g. every exact solver valid
     on a given platform is
     ``solvers_for_platform(platform, require={Capability.EXACT})``.
+
+    When ``request`` is given, anytime solvers are skipped unless it carries
+    a step/time budget — they cannot run without one, so returning them
+    would make the caller's next ``solve`` call raise.
     """
     required = frozenset(require)
     chosen = []
     for solver in resolve_solvers(selection):
         if not required.issubset(solver.capabilities):
+            continue
+        if solver.needs_budget and (request is None or not request.has_budget):
             continue
         ok, _ = solver.supports(platform)
         if ok:

@@ -82,7 +82,9 @@ def solve_with_cache(
     the returned solution is identical (``cache_hit`` aside).
     """
     handle = as_solver(solver)
-    if cache is None or not handle.cacheable:
+    if cache is None or not handle.cacheable or request.time_budget is not None:
+        # wall-clock budgets make the result machine-dependent, so such runs
+        # never enter (or get served from) the cache; max_steps stays cacheable
         return handle.solve(app, platform, request)
     key = solve_key(app, platform, handle, request)
     hit = cache.get(key)
@@ -155,6 +157,8 @@ def solve_many(
     *,
     period_bound: float | None = None,
     latency_bound: float | None = None,
+    max_steps: int | None = None,
+    time_budget: float | None = None,
     workers: int | None = None,
     batch_size: int | None = None,
     cache: "SolveCache | None" = None,
@@ -175,6 +179,13 @@ def solve_many(
         :meth:`~repro.solvers.registry.Solver.run`.
     period_bound / latency_bound:
         The thresholds; each solver picks the bound(s) its objective needs.
+    max_steps / time_budget:
+        Anytime budgets, forwarded to the solvers that need them and dropped
+        by the rest (see :meth:`~repro.solvers.registry.Solver.
+        default_request`).  An anytime solver in the selection with no
+        budget set raises :class:`~repro.core.exceptions.ConfigurationError`
+        up front.  ``time_budget`` runs bypass the cache — wall-clock
+        results are not reproducible.
     workers / batch_size:
         Process-pool knobs (:func:`~repro.utils.parallel.parallel_map`) for
         the cache-missing unique tasks.  Results are byte-identical at any
@@ -187,7 +198,10 @@ def solve_many(
     handles = _resolve_handles(solvers)
     requests = [
         handle.default_request(
-            period_bound=period_bound, latency_bound=latency_bound
+            period_bound=period_bound,
+            latency_bound=latency_bound,
+            max_steps=max_steps,
+            time_budget=time_budget,
         )
         for handle in handles
     ]
@@ -217,7 +231,7 @@ def solve_many(
     misses: list[int] = []
     n_cache_hits = 0
     for u, (handle, app, platform, request) in enumerate(unique_tasks):
-        if cache is not None and handle.cacheable:
+        if cache is not None and handle.cacheable and request.time_budget is None:
             keys[u] = solve_key(app, platform, handle, request)
             unique_results[u] = cache.get(keys[u])
         if unique_results[u] is None:

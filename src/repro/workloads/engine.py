@@ -265,7 +265,13 @@ def _solve_groups(
     groups: dict[tuple, list[WorkloadTask]] = {}
     order: list[tuple] = []
     for task in pending:
-        key = (task.solver, task.objective, task.period_bound, task.latency_bound)
+        key = (
+            task.solver,
+            task.objective,
+            task.period_bound,
+            task.latency_bound,
+            task.max_steps,
+        )
         if key not in groups:
             groups[key] = []
             order.append(key)
@@ -340,6 +346,7 @@ def execute_plan(
                     [solver],
                     period_bound=head.period_bound,
                     latency_bound=head.latency_bound,
+                    max_steps=head.max_steps,
                     workers=workers,
                     batch_size=batch_size,
                     cache=cache,

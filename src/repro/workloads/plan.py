@@ -58,7 +58,9 @@ __all__ = [
 ORACLE_SOLVER = "differential-oracle"
 
 #: journal-invalidation tag of the oracle (bump when its checks change)
-ORACLE_VERSION = "1"
+#: 2: local-search invariants (never worse than seed, seed provenance,
+#:    never beats the exact optimum) joined the check battery
+ORACLE_VERSION = "2"
 
 
 @dataclass(frozen=True)
@@ -81,6 +83,7 @@ class WorkloadTask:
     latency_bound: float | None = None
     n_datasets: int | None = None
     repeat: int = 0
+    max_steps: int | None = None
 
     def document(self) -> dict[str, Any]:
         """Canonical JSON-safe document of the task (digest/sort input)."""
@@ -95,6 +98,10 @@ class WorkloadTask:
             document["objective"] = self.objective
             document["period_bound"] = self.period_bound
             document["latency_bound"] = self.latency_bound
+            # only-when-set: budget-less tasks keep their historical digests
+            # (and journal entries) byte-identical across this addition
+            if self.max_steps is not None:
+                document["max_steps"] = int(self.max_steps)
         else:
             document["n_datasets"] = int(self.n_datasets)
         return document
@@ -128,6 +135,7 @@ class WorkloadTask:
             objective=self.objective,
             period_bound=self.period_bound,
             latency_bound=self.latency_bound,
+            max_steps=self.max_steps,
         )
 
     @property
@@ -281,20 +289,25 @@ def _solver_version(handle: Solver) -> str:
 
 def solve_plan(
     instances: Iterable[Any],
-    cells: Sequence[tuple[Any, float | None]],
+    cells: Sequence[tuple[Any, ...]],
     *,
     repeats: int = 1,
     spec: WorkloadSpec | None = None,
 ) -> tuple[WorkloadPlan, list[PlanCell]]:
     """Build a solve plan from an instance stream and (solver, threshold) cells.
 
-    ``cells`` entries are ``(solver, threshold)`` pairs where the solver may
-    be a registry name, a registry handle or an ad-hoc heuristic instance
-    (wrapped via :func:`~repro.solvers.registry.as_solver`); the threshold
-    is forwarded as both bounds and interpreted by the solver's objective,
-    exactly like the experiment runner always did.  Returns the canonical
-    plan plus one :class:`PlanCell` per input cell so callers can map
-    results back onto their own instance order.
+    ``cells`` entries are ``(solver, threshold)`` pairs — or
+    ``(solver, threshold, max_steps)`` triples for anytime solvers — where
+    the solver may be a registry name, a registry handle or an ad-hoc
+    heuristic instance (wrapped via
+    :func:`~repro.solvers.registry.as_solver`); the threshold is forwarded
+    as both bounds and interpreted by the solver's objective, exactly like
+    the experiment runner always did.  A step budget on a non-anytime
+    solver's cell is dropped (see :meth:`~repro.solvers.registry.Solver.
+    default_request`), so blanket budgets never perturb historical task
+    digests.  Returns the canonical plan plus one :class:`PlanCell` per
+    input cell so callers can map results back onto their own instance
+    order.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
@@ -306,14 +319,16 @@ def solve_plan(
     # coerce each distinct solver object once: the same ad-hoc heuristic at
     # several thresholds must map onto one wrapper, not one per cell
     coerced: dict[int, Solver] = {}
-    for solver_like, threshold in cells:
+    for cell in cells:
+        solver_like, threshold = cell[0], cell[1]
+        cell_steps = cell[2] if len(cell) > 2 else None
         handle = coerced.get(id(solver_like))
         if handle is None:
             handle = as_solver(solver_like)
             coerced[id(solver_like)] = handle
         handle = _register_handle(solvers, handle)
         request = handle.default_request(
-            period_bound=threshold, latency_bound=threshold
+            period_bound=threshold, latency_bound=threshold, max_steps=cell_steps
         )
         cell_tasks: dict[str, WorkloadTask] = {}
         for repeat in range(repeats):
@@ -327,6 +342,7 @@ def solve_plan(
                     period_bound=request.period_bound,
                     latency_bound=request.latency_bound,
                     repeat=repeat,
+                    max_steps=request.max_steps,
                 )
                 tasks.append(task)
                 if repeat == 0:
@@ -426,22 +442,29 @@ def expand_spec(spec: WorkloadSpec) -> WorkloadPlan:
 
     Group selectors inside a job's solver list (``"heuristics"``,
     ``"exact"``, ...) expand through the unified registry in registration
-    order; duplicate names collapse onto one task column.
+    order; duplicate names collapse onto one task column.  When a job
+    carries no ``max_steps`` budget, anytime solvers swept in via a group
+    selector are skipped (they cannot run without one); an anytime solver
+    *named explicitly* in a budget-less job is a spec error and raises.
     """
     pairs = _materialise_source(spec)
     if spec.kind == "differential":
         return differential_plan(pairs, n_datasets=spec.n_datasets, spec=spec)
-    cells: list[tuple[Any, float | None]] = []
+    cells: list[tuple[Any, ...]] = []
     for job in spec.jobs:
         handles: list[Solver] = []
         seen: set[str] = set()
         for selection in job.solvers:
-            for handle in resolve_solvers(selection):
+            resolved = resolve_solvers(selection)
+            is_group = isinstance(selection, str) and len(resolved) > 1
+            for handle in resolved:
+                if handle.needs_budget and job.max_steps is None and is_group:
+                    continue
                 if handle.name not in seen:
                     seen.add(handle.name)
                     handles.append(handle)
         for handle in handles:
             for threshold in job.thresholds:
-                cells.append((handle, threshold))
+                cells.append((handle, threshold, job.max_steps))
     plan, _ = solve_plan(pairs, cells, repeats=spec.repeats, spec=spec)
     return plan

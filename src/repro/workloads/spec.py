@@ -183,10 +183,17 @@ class WorkloadJob:
     like the experiment runner: a fixed-period solver reads the value as its
     period bound, a fixed-latency solver as its latency bound, and ``None``
     leaves an unconstrained solver unconstrained.
+
+    ``max_steps`` is the step budget handed to anytime solvers of the job
+    (``local-search-*``); it is required for an explicitly named anytime
+    solver and ignored by every other solver.  Wall-clock budgets are
+    deliberately not spec-able — they would make plan results
+    non-reproducible.
     """
 
     solvers: tuple[str, ...]
     thresholds: tuple[float | None, ...] = (None,)
+    max_steps: int | None = None
 
     def __post_init__(self) -> None:
         if not self.solvers:
@@ -195,14 +202,20 @@ class WorkloadJob:
             raise ConfigurationError(
                 "a workload job needs at least one threshold (null = unconstrained)"
             )
+        if self.max_steps is not None:
+            _as_positive_int(self.max_steps, "job max_steps")
 
     def to_document(self) -> dict[str, Any]:
-        return {
+        document: dict[str, Any] = {
             "solvers": [str(name) for name in self.solvers],
             "thresholds": [
                 None if t is None else float(t) for t in self.thresholds
             ],
         }
+        # only-when-set: budget-less jobs keep their historical digests
+        if self.max_steps is not None:
+            document["max_steps"] = int(self.max_steps)
+        return document
 
 
 @dataclass(frozen=True)
@@ -304,11 +317,13 @@ def _job_from_document(document: Mapping[str, Any]) -> WorkloadJob:
         thresholds = [thresholds]
     if not isinstance(thresholds, Sequence):
         raise ConfigurationError("'thresholds' must be a list of numbers/nulls")
+    max_steps = document.get("max_steps")
     return WorkloadJob(
         solvers=tuple(str(name) for name in solvers),
         thresholds=tuple(
             _as_float_or_none(t, "threshold") for t in thresholds
         ),
+        max_steps=None if max_steps is None else max_steps,
     )
 
 
@@ -334,12 +349,13 @@ def spec_from_document(document: Mapping[str, Any]) -> WorkloadSpec:
     kind = str(document.get("kind", "solve"))
     jobs_doc = document.get("jobs")
     if jobs_doc is None and "solvers" in document:
-        jobs_doc = [
-            {
-                "solvers": document["solvers"],
-                "thresholds": document.get("thresholds", [None]),
-            }
-        ]
+        inline: dict[str, Any] = {
+            "solvers": document["solvers"],
+            "thresholds": document.get("thresholds", [None]),
+        }
+        if document.get("max_steps") is not None:
+            inline["max_steps"] = document["max_steps"]
+        jobs_doc = [inline]
     jobs = tuple(_job_from_document(job) for job in (jobs_doc or ()))
     seed = document.get("seed", 0)
     if isinstance(seed, bool) or not isinstance(seed, int):

@@ -162,7 +162,7 @@ class TestCorpusStability:
 
     def test_every_fixture_digest_survives_the_promotion(self):
         entries = load_corpus(CORPUS_DIR)
-        assert len(entries) == 7, "corpus fixtures changed; update this count"
+        assert len(entries) == 11, "corpus fixtures changed; update this count"
         for entry in entries:
             stored = json.loads(entry.path.read_text(encoding="utf-8"))["digest"]
             recomputed = instance_digest(entry.application, entry.platform)

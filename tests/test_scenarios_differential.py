@@ -111,6 +111,62 @@ class TestPlantedBug:
         assert report.counterexamples[0].digest == scenario.digest
 
 
+class _OverclaimingSeed:
+    """Wraps a local-search solver and forges impossibly good seed metrics.
+
+    The forged provenance makes the (untouched) refined result look worse
+    than its claimed seed, so both local-search invariants must fire: the
+    never-worse-than-seed key comparison and the seed-provenance replay.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def run(self, app, platform, **bounds):
+        result = self._inner.run(app, platform, **bounds)
+        details = dict(result.details)
+        details["seed_period"] = 0.5 * result.period
+        details["seed_latency"] = 0.5 * result.latency
+        return dataclasses.replace(result, details=details)
+
+
+@pytest.fixture
+def overclaiming_local_search(monkeypatch):
+    def fake_get_solver(name):
+        solver = real_get_solver(name)
+        if solver.name == "local-search-h1":
+            return _OverclaimingSeed(solver)
+        return solver
+
+    monkeypatch.setattr(differential_module, "get_solver", fake_get_solver)
+
+
+class TestLocalSearchInvariants:
+    def test_oracle_flags_forged_seed_provenance(self, overclaiming_local_search):
+        scenario = generate_scenarios(1, "heterogeneous-chain", seed=5)[0]
+        report = differential_check(scenario.application, scenario.platform)
+        assert not report.ok
+        checks = report.failed_checks()
+        assert "local-search-worse-than-seed" in checks
+        assert "local-search-seed-provenance" in checks
+
+    def test_clean_instance_runs_the_local_search_battery(self):
+        """The new checks are live: removing local search drops comparisons."""
+        scenario = generate_scenarios(1, "heterogeneous-chain", seed=6)[0]
+        full = differential_check(scenario.application, scenario.platform)
+        assert full.ok
+        trimmed = differential_check(
+            scenario.application, scenario.platform, simulate=False
+        )
+        assert trimmed.ok
+        # 4 local-search runs (h1 at two bounds, h6, random) contribute a
+        # double-digit share of the comparison count on this instance
+        assert full.n_comparisons > 40
+
+
 class TestStructuralChecks:
     def test_crashing_solver_is_a_finding_not_an_abort(self, monkeypatch):
         class Exploding:

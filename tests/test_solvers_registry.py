@@ -46,11 +46,11 @@ class TestRegistryContents:
     def test_every_family_is_registered(self):
         names = solver_names()
         # 6 heuristics + 3 homogeneous DPs + 2 bitmask + 2 brute force
-        # + 2 one-to-one + replication + heterogeneous links
-        assert len(names) == 17
+        # + 2 one-to-one + replication + heterogeneous links + 3 local search
+        assert len(names) == 20
         assert len(solver_names(SolverFamily.HEURISTIC)) == 6
         assert len(solver_names(SolverFamily.EXACT)) == 9
-        assert len(solver_names(SolverFamily.EXTENSION)) == 2
+        assert len(solver_names(SolverFamily.EXTENSION)) == 5
 
     def test_heuristics_keep_table1_order_and_names(self):
         heuristic = resolve_solvers("heuristics")
@@ -84,8 +84,8 @@ class TestRegistryContents:
 
     def test_group_selectors(self):
         assert [s.family for s in resolve_solvers("exact")] == ["exact"] * 9
-        assert len(resolve_solvers("all")) == 17
-        assert len(resolve_solvers(None)) == 17
+        assert len(resolve_solvers("all")) == 20
+        assert len(resolve_solvers(None)) == 20
         assert [s.key for s in resolve_solvers(["H6", "DP-P"])] == ["H6", "DP-P"]
 
 
