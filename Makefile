@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-cache cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke sweep-demo clean-results
+.PHONY: test lint bench-smoke bench bench-cache bench-kernels cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
@@ -21,6 +21,7 @@ bench-smoke:
 		$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py' \
 		--benchmark-disable
 	$(PYTHON) benchmarks/bench_optimality_gap.py --smoke
+	$(PYTHON) benchmarks/bench_kernel_speedup.py --smoke
 
 ## full benchmark suite (paper-scale sizing via REPRO_BENCH_* env knobs)
 bench:
@@ -31,6 +32,11 @@ bench:
 bench-cache:
 	$(PYTHON) -m pytest benchmarks/bench_cache_throughput.py -q \
 		-o python_files='bench_*.py' --benchmark-disable
+
+## compiled-kernel speedup gate: >= 5x on the DP tables vs numpy at paper
+## scale, identical results, end-to-end sweep win; writes BENCH_kernels.json
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernel_speedup.py
 
 ## CI's cache smoke slice: run `cli batch` twice against one --cache-dir and
 ## assert the cold and warm stdout reports are byte-identical

@@ -51,6 +51,7 @@ from typing import Sequence
 
 from . import __version__
 from .cache import SolveCache
+from .core import kernels
 from .core.application import PipelineApplication
 from .core.costs import evaluate
 from .core.exceptions import ConfigurationError, ReproError
@@ -105,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--period", type=float, default=None, help="period bound")
     solve.add_argument("--latency", type=float, default=None, help="latency bound")
     _add_budget_arguments(solve)
+    _add_backend_argument(solve)
     _add_cache_arguments(solve)
 
     batch = sub.add_parser(
@@ -145,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     failure.add_argument("--instances", type=_positive_int_arg, default=50)
     failure.add_argument("--seed", type=int, default=0)
     _add_parallel_arguments(failure)
+    _add_backend_argument(failure)
 
     ablation = sub.add_parser("ablation", help="run the design-choice ablations")
     _add_experiment_arguments(ablation)
@@ -191,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay the journal of an interrupted run of the "
                            "same stream and verify only the rest")
     _add_parallel_arguments(fuzz)
+    _add_backend_argument(fuzz)
     _add_cache_arguments(fuzz)
 
     run = sub.add_parser(
@@ -214,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execute at most N incomplete tasks, then stop "
                           "(exit status 3; resume later with --resume)")
     _add_parallel_arguments(run)
+    _add_backend_argument(run)
     _add_cache_arguments(run)
 
     return parser
@@ -227,6 +232,7 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                         help="number of random application/platform pairs")
     parser.add_argument("--seed", type=int, default=0)
     _add_parallel_arguments(parser)
+    _add_backend_argument(parser)
 
 
 def _workers_arg(value: str) -> int:
@@ -282,6 +288,15 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--batch-size", type=_positive_int_arg, default=None,
         help="work items per worker chunk (default: sized automatically)",
+    )
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=kernels.BACKENDS, default=None,
+        help="kernel backend for the DP/cost hot paths (default: numpy, or "
+             "$REPRO_BACKEND); 'compiled' silently falls back to numpy when "
+             "no engine is available; results are identical across backends",
     )
 
 
@@ -478,6 +493,14 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     for spec in specs:
         print(f"{spec.key:<6} {spec.name:<28} {spec.family:<10} "
               f"{spec.objective:<28} {', '.join(sorted(spec.capabilities))}")
+    info = kernels.backend_info()
+    print()
+    if info["compiled_engine"] is not None:
+        print(f"kernel backends: {', '.join(kernels.BACKENDS)} "
+              f"(compiled engine: {info['compiled_engine']})")
+    else:
+        print(f"kernel backends: {', '.join(kernels.BACKENDS)} "
+              f"(compiled unavailable: {info['compiled_unavailable_reason']})")
     return 0
 
 
@@ -845,7 +868,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fuzz": _cmd_fuzz,
         "run": _cmd_run,
     }
-    return handlers[args.command](args)
+    # --backend applies to the whole command; worker pools mirror the active
+    # backend through the parallel_map initializer.
+    with kernels.use_backend(getattr(args, "backend", None)):
+        return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

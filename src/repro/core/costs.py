@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from . import kernels
 from .application import PipelineApplication
 from .exceptions import InvalidMappingError
 from .mapping import Interval, IntervalMapping
@@ -281,6 +282,7 @@ def interval_time_components(
     input_bandwidth: float,
     output_bandwidth: float,
     n_stages: int,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized (input, compute, output) times of stage intervals.
 
@@ -292,10 +294,25 @@ def interval_time_components(
     ``n_stages + 1``.  The first interval reads through ``input_bandwidth``,
     the last writes through ``output_bandwidth``, every internal boundary
     crosses a ``bandwidth`` link.  All arguments broadcast, so scalars work
-    too.
+    too.  The ``compiled`` backend serves 1-D interval arrays (the hot path
+    of the splitting engine); other shapes fall back to the numpy kernel.
     """
     starts = np.asarray(starts)
     ends = np.asarray(ends)
+    if (
+        kernels.resolve_backend(backend) == "compiled"
+        and starts.ndim == 1
+        and ends.shape == starts.shape
+        and starts.size > 0
+    ):
+        speeds_arr = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(speeds, dtype=float), starts.shape)
+        )
+        return kernels.interval_components(
+            prefix, comm, starts, ends, speeds_arr, n_stages,
+            bandwidth, input_bandwidth, output_bandwidth,
+            backend="compiled",
+        )
     in_bw = np.where(starts == 0, input_bandwidth, bandwidth)
     out_bw = np.where(ends == n_stages - 1, output_bandwidth, bandwidth)
     input_time = comm[starts] / in_bw
@@ -335,14 +352,24 @@ def evaluate_batch(
     mappings: Sequence[IntervalMapping],
     *,
     validate: bool = True,
+    backend: str | None = None,
 ) -> BatchEvaluation:
     """Evaluate period and latency of many mappings in one vectorized pass.
 
     Exact counterpart of calling :func:`evaluate` on every mapping (same
     floating-point operations per interval, so results agree to the last few
-    ulps), but the per-interval arithmetic runs on flat NumPy arrays covering
-    the whole batch.  Works for communication-homogeneous *and* fully
+    ulps), but the per-interval arithmetic runs on flat arrays covering the
+    whole batch.  Works for communication-homogeneous *and* fully
     heterogeneous platforms.
+
+    The elementwise per-interval terms dispatch through
+    :func:`repro.core.kernels.batch_terms` (``backend=None`` follows the
+    active backend), while the final ``reduceat`` reductions **always** run
+    in numpy: the compiled engines are validated to reproduce the terms bit
+    for bit, so periods and latencies are bit-identical across the ``numpy``
+    and ``compiled`` backends — the exact-arithmetic contract the local
+    search and the solve cache rely on.  ``backend="scalar"`` evaluates each
+    mapping with the scalar :func:`evaluate` path instead.
 
     Parameters
     ----------
@@ -354,7 +381,16 @@ def evaluate_batch(
         Check every mapping against the instance first (as the scalar path
         does).  Callers that enumerate structurally valid mappings (e.g. the
         brute-force solvers) can disable it.
+    backend:
+        Kernel backend override; ``None`` uses the active backend.
     """
+    resolved = kernels.resolve_backend(backend)
+    if resolved == "scalar" and mappings:
+        evaluations = [evaluate(app, platform, m) for m in mappings]
+        return BatchEvaluation(
+            periods=np.array([ev.period for ev in evaluations], dtype=float),
+            latencies=np.array([ev.latency for ev in evaluations], dtype=float),
+        )
     if validate:
         for mapping in mappings:
             mapping.validate(app, platform)
@@ -366,40 +402,27 @@ def evaluate_batch(
     firsts = offsets[:-1]
     lasts = offsets[1:] - 1
 
-    comm = app.comm_sizes
-    prefix = app.work_prefix
-    speeds = platform.speeds[procs]
-    compute_time = (prefix[ends + 1] - prefix[starts]) / speeds
+    homogeneous = platform.is_communication_homogeneous
+    cycle, contribution, output_time = kernels.batch_terms(
+        app.comm_sizes,
+        app.work_prefix,
+        platform.speeds,
+        starts,
+        ends,
+        procs,
+        offsets,
+        app.n_stages,
+        homogeneous,
+        platform.uniform_bandwidth if homogeneous else 0.0,
+        platform.input_bandwidth,
+        platform.output_bandwidth,
+        None if homogeneous else platform.bandwidth_matrix(),
+        backend=resolved,
+    )
 
-    is_first = np.zeros(starts.size, dtype=bool)
-    is_first[firsts] = True
-    is_last = np.zeros(starts.size, dtype=bool)
-    is_last[lasts] = True
-
-    if platform.is_communication_homogeneous:
-        b = platform.uniform_bandwidth
-        in_bw = np.where(is_first, platform.input_bandwidth, b)
-        out_bw = np.where(is_last, platform.output_bandwidth, b)
-    else:
-        # interval j receives from alloc(j-1) and sends to alloc(j+1); the
-        # rolled indices at batch boundaries are masked out by is_first/is_last
-        bmat = platform.bandwidth_matrix()
-        prev_procs = np.roll(procs, 1)
-        next_procs = np.roll(procs, -1)
-        in_bw = np.where(
-            is_first, platform.input_bandwidth, bmat[prev_procs, procs]
-        )
-        out_bw = np.where(
-            is_last, platform.output_bandwidth, bmat[procs, next_procs]
-        )
-
-    delta_in = comm[starts]
-    delta_out = comm[ends + 1]
-    input_time = np.where(delta_in == 0.0, 0.0, delta_in / in_bw)
-    output_time = np.where(delta_out == 0.0, 0.0, delta_out / out_bw)
-
-    cycle = input_time + compute_time + output_time
-    contribution = input_time + compute_time
+    # The reductions stay in numpy for every backend: reduceat's accumulation
+    # order is not sequential, and reproducing it elsewhere would break the
+    # bit-identity contract between backends.
     periods = np.maximum.reduceat(cycle, firsts)
     latencies = np.add.reduceat(contribution, firsts) + output_time[lasts]
     return BatchEvaluation(

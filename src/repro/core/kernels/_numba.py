@@ -1,0 +1,179 @@
+"""The ``numba`` compiled engine: the preferred backend when numba is present.
+
+The jitted loops are line-for-line the same recurrences as the C engine
+(:mod:`repro.core.kernels._cc`) and therefore carry the same bit-identity
+argument against the numpy reference: strict ``<`` first-minimum scans over
+ascending ``j``, no reassociated floating-point arithmetic, ``fastmath``
+left off.  Import and compilation failures (numba missing, unsupported
+numpy, LLVM issues) surface as exceptions for the engine selector to record
+— the process then falls back to the ``cc`` engine or plain numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["load"]
+
+
+def load() -> dict:
+    """Jit-compile the kernels; raises when numba is unusable."""
+    from numba import njit  # deliberate: ImportError is the fallback signal
+
+    jit = njit(cache=False, fastmath=False, nogil=True)
+
+    @jit
+    def min_period_tables(cycle, n, p):
+        inf = np.inf
+        dp = np.full((p + 1, n + 1), inf)
+        dp[0, 0] = 0.0
+        parent = np.full((p + 1, n + 1), np.int64(-1))
+        for k in range(1, p + 1):
+            jlo = k - 1 if k - 1 > 0 else 0
+            for j in range(jlo, n):
+                a = dp[k - 1, j]
+                if a == inf:
+                    continue
+                for i in range(j, n):
+                    c = cycle[j, i]
+                    cand = a if a > c else c
+                    if cand < dp[k, i + 1]:
+                        dp[k, i + 1] = cand
+                        parent[k, i + 1] = j
+            for i in range(1, n + 1):
+                if dp[k, i] == inf:
+                    parent[k, i] = -1
+        return dp, parent
+
+    @jit
+    def min_latency_tables(cycle, term, period_bound, n, p):
+        inf = np.inf
+        bound = period_bound + 1e-12
+        dp = np.full((p + 1, n + 1), inf)
+        dp[0, 0] = 0.0
+        parent = np.full((p + 1, n + 1), np.int64(-1))
+        for k in range(1, p + 1):
+            jlo = k - 1 if k - 1 > 0 else 0
+            for j in range(jlo, n):
+                a = dp[k - 1, j]
+                if a == inf:
+                    continue
+                for i in range(j, n):
+                    if not (cycle[j, i] <= bound):
+                        continue
+                    cand = a + term[j, i]
+                    if cand < dp[k, i + 1]:
+                        dp[k, i + 1] = cand
+                        parent[k, i + 1] = j
+            for i in range(1, n + 1):
+                if dp[k, i] == inf:
+                    parent[k, i] = -1
+        return dp, parent
+
+    @jit
+    def _batch_terms(
+        comm, prefix, speeds, starts, ends, procs, offsets,
+        homogeneous, bandwidth, input_bandwidth, output_bandwidth, bmat,
+    ):
+        total = starts.size
+        cycle = np.empty(total)
+        contribution = np.empty(total)
+        output_time = np.empty(total)
+        m = offsets.size - 1
+        for i in range(m):
+            first = offsets[i]
+            last = offsets[i + 1] - 1
+            for t in range(first, last + 1):
+                u = procs[t]
+                if t == first:
+                    in_bw = input_bandwidth
+                elif homogeneous:
+                    in_bw = bandwidth
+                else:
+                    in_bw = bmat[procs[t - 1], u]
+                if t == last:
+                    out_bw = output_bandwidth
+                elif homogeneous:
+                    out_bw = bandwidth
+                else:
+                    out_bw = bmat[u, procs[t + 1]]
+                delta_in = comm[starts[t]]
+                delta_out = comm[ends[t] + 1]
+                input_t = 0.0 if delta_in == 0.0 else delta_in / in_bw
+                output_t = 0.0 if delta_out == 0.0 else delta_out / out_bw
+                compute_t = (prefix[ends[t] + 1] - prefix[starts[t]]) / speeds[u]
+                contrib = input_t + compute_t
+                cycle[t] = contrib + output_t
+                contribution[t] = contrib
+                output_time[t] = output_t
+        return cycle, contribution, output_time
+
+    @jit
+    def _interval_components(
+        prefix, comm, starts, ends, speeds, n_stages,
+        bandwidth, input_bandwidth, output_bandwidth,
+    ):
+        count = starts.size
+        input_time = np.empty(count)
+        compute_time = np.empty(count)
+        output_time = np.empty(count)
+        for t in range(count):
+            in_bw = input_bandwidth if starts[t] == 0 else bandwidth
+            out_bw = output_bandwidth if ends[t] == n_stages - 1 else bandwidth
+            input_time[t] = comm[starts[t]] / in_bw
+            output_time[t] = comm[ends[t] + 1] / out_bw
+            compute_time[t] = (prefix[ends[t] + 1] - prefix[starts[t]]) / speeds[t]
+        return input_time, compute_time, output_time
+
+    def batch_terms(
+        comm, prefix, speeds, starts, ends, procs, offsets,
+        n_stages, homogeneous, bandwidth, input_bandwidth, output_bandwidth,
+        bmat,
+    ):
+        if bmat is None:  # keep the jitted signature monomorphic
+            bmat = np.empty((0, 0), dtype=np.float64)
+        return _batch_terms(
+            np.ascontiguousarray(comm, dtype=np.float64),
+            np.ascontiguousarray(prefix, dtype=np.float64),
+            np.ascontiguousarray(speeds, dtype=np.float64),
+            np.ascontiguousarray(starts, dtype=np.int64),
+            np.ascontiguousarray(ends, dtype=np.int64),
+            np.ascontiguousarray(procs, dtype=np.int64),
+            np.ascontiguousarray(offsets, dtype=np.int64),
+            bool(homogeneous), float(bandwidth),
+            float(input_bandwidth), float(output_bandwidth),
+            np.ascontiguousarray(bmat, dtype=np.float64),
+        )
+
+    def interval_components(
+        prefix, comm, starts, ends, speeds, n_stages,
+        bandwidth, input_bandwidth, output_bandwidth,
+    ):
+        return _interval_components(
+            np.ascontiguousarray(prefix, dtype=np.float64),
+            np.ascontiguousarray(comm, dtype=np.float64),
+            np.ascontiguousarray(starts, dtype=np.int64),
+            np.ascontiguousarray(ends, dtype=np.int64),
+            np.ascontiguousarray(speeds, dtype=np.float64),
+            int(n_stages), float(bandwidth),
+            float(input_bandwidth), float(output_bandwidth),
+        )
+
+    def tables_mp(cycle, n, p):
+        return min_period_tables(
+            np.ascontiguousarray(cycle, dtype=np.float64), int(n), int(p)
+        )
+
+    def tables_ml(cycle, term, period_bound, n, p):
+        return min_latency_tables(
+            np.ascontiguousarray(cycle, dtype=np.float64),
+            np.ascontiguousarray(term, dtype=np.float64),
+            float(period_bound), int(n), int(p),
+        )
+
+    return {
+        "min_period_tables": tables_mp,
+        "min_latency_tables": tables_ml,
+        "batch_terms": batch_terms,
+        "interval_components": interval_components,
+    }

@@ -189,6 +189,7 @@ def solve_result_to_dict(result) -> dict[str, Any]:
         "history": [[float(p), float(l)] for p, l in result.history],
         "wall_time": float(result.wall_time),
         "cache_hit": bool(result.cache_hit),
+        "backend": None if result.backend is None else str(result.backend),
         "details": dict(result.details),
     }
 
@@ -215,6 +216,8 @@ def solve_result_from_dict(document: Mapping[str, Any]):
         ),
         wall_time=float(document.get("wall_time", 0.0)),
         cache_hit=bool(document.get("cache_hit", False)),
+        # absent in documents predating the kernel-backend knob
+        backend=document.get("backend"),
         details=dict(document.get("details", {})),
     )
 

@@ -16,21 +16,30 @@ solvers below provide:
 They are used as baselines and as ground truth in the tests: on a homogeneous
 platform the heuristics of Section 4 can never beat them.
 
-Both DPs run their ``O(n^2)`` inner loops as NumPy prefix-sum / broadcast
-kernels (one ``(n, n)`` candidate matrix per processor level, reduced with
-``min``/``argmin``), in the style of :func:`repro.core.costs.evaluate_batch`.
-The original scalar loops are kept behind ``vectorized=False`` as the
-reference implementation; ``benchmarks/bench_exact_runtime.py`` records the
-speedup and the tests assert the two paths agree.
+Both DPs dispatch their ``O(n^2)`` inner loops through
+:mod:`repro.core.kernels` behind a single ``backend`` knob: ``numpy`` (the
+broadcast/reduce reference, one ``(n, n)`` candidate matrix per processor
+level), ``scalar`` (the original Python loops, the historical
+``vectorized=False``), and ``compiled`` (numba or the built-in C library,
+validated bit-for-bit against the numpy tables).  The legacy ``vectorized=``
+flag is still accepted; ``benchmarks/bench_kernel_speedup.py`` records the
+backend speedups and the tests assert all paths agree.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core import kernels
 from ..core.application import PipelineApplication
 from ..core.costs import evaluate
 from ..core.exceptions import InfeasibleError, InvalidPlatformError
+from ..core.kernels.reference import (  # noqa: F401 - historical aliases
+    min_latency_tables_numpy as _min_latency_tables_vectorized,
+    min_latency_tables_scalar as _min_latency_tables_scalar,
+    min_period_tables_numpy as _min_period_tables_vectorized,
+    min_period_tables_scalar as _min_period_tables_scalar,
+)
 from ..core.mapping import Interval, IntervalMapping
 from ..core.platform import Platform
 
@@ -157,65 +166,24 @@ def _rebuild_boundaries(parent: np.ndarray, n: int, best_k: int) -> list[int]:
 
 
 # --------------------------------------------------------------------------- #
-# DP tables (vectorized + scalar reference)
+# DP entry points (tables live in repro.core.kernels)
 # --------------------------------------------------------------------------- #
-def _min_period_tables_vectorized(
-    cycle: np.ndarray, n: int, p: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Bottleneck-partition DP, one broadcast/reduce per processor level.
-
-    Level ``k`` builds the candidate matrix ``M[j, i-1] = max(dp[k-1, j],
-    cycle[j, i-1])`` in one shot and reduces it column-wise; the triangular
-    ``inf`` structure of ``cycle`` enforces ``j <= i - 1`` for free.
-    """
-    dp = np.full((p + 1, n + 1), _INF)
-    dp[0, 0] = 0.0
-    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
-    for k in range(1, p + 1):
-        candidates = np.maximum(dp[k - 1, :n, None], cycle)
-        if k - 1 > 0:
-            candidates[: k - 1, :] = _INF  # j >= k - 1
-        dp[k, 1:] = candidates.min(axis=0)
-        best_j = candidates.argmin(axis=0)
-        parent[k, 1:] = np.where(np.isfinite(dp[k, 1:]), best_j, -1)
-    return dp, parent
-
-
-def _min_period_tables_scalar(
-    cycle: np.ndarray, n: int, p: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Scalar reference of the bottleneck-partition DP (benchmark baseline)."""
-    dp = np.full((p + 1, n + 1), _INF)
-    dp[0, 0] = 0.0
-    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
-    for k in range(1, p + 1):
-        for i in range(1, n + 1):
-            best = _INF
-            best_j = -1
-            for j in range(k - 1, i):
-                if dp[k - 1, j] == _INF:
-                    continue
-                candidate = max(dp[k - 1, j], cycle[j, i - 1])
-                if candidate < best:
-                    best = candidate
-                    best_j = j
-            dp[k, i] = best
-            parent[k, i] = best_j
-    return dp, parent
-
-
 def homogeneous_min_period(
-    app: PipelineApplication, platform: Platform, *, vectorized: bool = True
+    app: PipelineApplication,
+    platform: Platform,
+    *,
+    vectorized: bool | None = None,
+    backend: str | None = None,
 ) -> tuple[IntervalMapping, float]:
     """Optimal-period interval mapping on a fully homogeneous platform."""
+    resolved = kernels.backend_from_flags(backend, vectorized)
     n = app.n_stages
     p = min(platform.n_processors, n)
-    if vectorized:
-        cycle = _cycle_matrix(app, platform)
-        dp, parent = _min_period_tables_vectorized(cycle, n, p)
-    else:
+    if resolved == "scalar":
         cycle = _cycle_matrix_scalar(app, platform)
-        dp, parent = _min_period_tables_scalar(cycle, n, p)
+    else:
+        cycle = _cycle_matrix(app, platform)
+    dp, parent = kernels.min_period_tables(cycle, n, p, backend=resolved)
 
     best_k = int(np.argmin(dp[1 : p + 1, n])) + 1
     best_value = float(dp[best_k, n])
@@ -225,81 +193,26 @@ def homogeneous_min_period(
     return mapping, float(ev.period)
 
 
-def _min_latency_tables_vectorized(
-    cycle: np.ndarray,
-    term: np.ndarray,
-    period_bound: float,
-    n: int,
-    p: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Period-constrained additive DP, one broadcast/reduce per level.
-
-    Cells whose interval violates the period bound are masked to ``inf``
-    before the levels run, so every level is a plain ``min`` reduction of
-    ``dp[k-1, j] + term[j, i-1]`` over the candidate matrix.
-    """
-    allowed = np.where(cycle <= period_bound + 1e-12, term, _INF)
-    dp = np.full((p + 1, n + 1), _INF)
-    dp[0, 0] = 0.0
-    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
-    for k in range(1, p + 1):
-        candidates = dp[k - 1, :n, None] + allowed
-        if k - 1 > 0:
-            candidates[: k - 1, :] = _INF
-        dp[k, 1:] = candidates.min(axis=0)
-        best_j = candidates.argmin(axis=0)
-        parent[k, 1:] = np.where(np.isfinite(dp[k, 1:]), best_j, -1)
-    return dp, parent
-
-
-def _min_latency_tables_scalar(
-    cycle: np.ndarray,
-    term: np.ndarray,
-    period_bound: float,
-    n: int,
-    p: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Scalar reference of the period-constrained DP (benchmark baseline)."""
-    dp = np.full((p + 1, n + 1), _INF)
-    dp[0, 0] = 0.0
-    parent = np.full((p + 1, n + 1), -1, dtype=np.int64)
-    for k in range(1, p + 1):
-        for i in range(k, n + 1):
-            best = _INF
-            best_j = -1
-            for j in range(k - 1, i):
-                if dp[k - 1, j] == _INF:
-                    continue
-                if cycle[j, i - 1] > period_bound + 1e-12:
-                    continue
-                candidate = dp[k - 1, j] + term[j, i - 1]
-                if candidate < best - 1e-15:
-                    best = candidate
-                    best_j = j
-            dp[k, i] = best
-            parent[k, i] = best_j
-    return dp, parent
-
-
 def homogeneous_min_latency_for_period(
     app: PipelineApplication,
     platform: Platform,
     period_bound: float,
     *,
-    vectorized: bool = True,
+    vectorized: bool | None = None,
+    backend: str | None = None,
 ) -> tuple[IntervalMapping, float]:
     """Optimal latency subject to ``period <= period_bound`` (homogeneous case)."""
+    resolved = kernels.backend_from_flags(backend, vectorized)
     n = app.n_stages
     p = min(platform.n_processors, n)
-    if vectorized:
-        cycle = _cycle_matrix(app, platform)
-    else:
+    if resolved == "scalar":
         cycle = _cycle_matrix_scalar(app, platform)
+    else:
+        cycle = _cycle_matrix(app, platform)
     term = _latency_term_matrix(app, platform)
-    tables = (
-        _min_latency_tables_vectorized if vectorized else _min_latency_tables_scalar
+    dp, parent = kernels.min_latency_tables(
+        cycle, term, period_bound, n, p, backend=resolved
     )
-    dp, parent = tables(cycle, term, period_bound, n, p)
 
     finite_levels = [k for k in range(1, p + 1) if dp[k, n] < _INF]
     if not finite_levels:
@@ -320,7 +233,8 @@ def homogeneous_min_period_for_latency(
     platform: Platform,
     latency_bound: float,
     *,
-    vectorized: bool = True,
+    vectorized: bool | None = None,
+    backend: str | None = None,
 ) -> tuple[IntervalMapping, float]:
     """Optimal period subject to ``latency <= latency_bound`` (homogeneous case).
 
@@ -328,9 +242,11 @@ def homogeneous_min_period_for_latency(
     exact binary search over the sorted candidate values is performed, using
     :func:`homogeneous_min_latency_for_period` as the feasibility oracle.
     """
-    cycle = _cycle_matrix(app, platform) if vectorized else _cycle_matrix_scalar(
-        app, platform
-    )
+    resolved = kernels.backend_from_flags(backend, vectorized)
+    if resolved == "scalar":
+        cycle = _cycle_matrix_scalar(app, platform)
+    else:
+        cycle = _cycle_matrix(app, platform)
     candidates = np.unique(cycle[np.isfinite(cycle)])
 
     best: tuple[IntervalMapping, float] | None = None
@@ -340,7 +256,7 @@ def homogeneous_min_period_for_latency(
         period_bound = float(candidates[mid])
         try:
             mapping, latency = homogeneous_min_latency_for_period(
-                app, platform, period_bound, vectorized=vectorized
+                app, platform, period_bound, backend=resolved
             )
             feasible = latency <= latency_bound + 1e-9
         except InfeasibleError:

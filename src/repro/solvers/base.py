@@ -292,6 +292,13 @@ class SolveResult:
         (:mod:`repro.cache`) instead of an actual solver run.  Run
         provenance, not solution data: excluded from :meth:`identity`, so a
         cold solve and its warm replay compare byte-identical.
+    backend:
+        The kernel backend (:mod:`repro.core.kernels`) active when the
+        solver ran — ``numpy``, ``scalar`` or ``compiled`` (``None`` on
+        results predating the knob).  Run provenance like ``wall_time``:
+        the backends are validated to produce identical solutions, so the
+        stamp is excluded from :meth:`identity` and from cache keys — a
+        compiled solve may serve a numpy request and vice versa.
     details:
         Solver-specific extras as JSON-safe scalars/lists (e.g. the replica
         groups of a replicated mapping).
@@ -309,6 +316,7 @@ class SolveResult:
     history: tuple[tuple[float, float], ...] = field(default_factory=tuple)
     wall_time: float = 0.0
     cache_hit: bool = False
+    backend: str | None = None
     details: Mapping[str, Any] = field(default_factory=dict)
 
     @property
@@ -338,20 +346,34 @@ class SolveResult:
             history=result.history,
         )
 
-    def stamped(self, *, solver: str, family: str, wall_time: float) -> "SolveResult":
+    def stamped(
+        self,
+        *,
+        solver: str,
+        family: str,
+        wall_time: float,
+        backend: str | None = None,
+    ) -> "SolveResult":
         """Copy with provenance filled in (used by the registry wrapper)."""
-        return replace(self, solver=solver, family=family, wall_time=wall_time)
+        return replace(
+            self,
+            solver=solver,
+            family=family,
+            wall_time=wall_time,
+            backend=backend if backend is not None else self.backend,
+        )
 
     #: provenance fields that describe the actual run and therefore differ
     #: between byte-identical solves (serial vs pooled, machine to machine,
-    #: cold solve vs warm cache replay)
-    NONDETERMINISTIC_FIELDS = ("wall_time", "cache_hit")
+    #: cold solve vs warm cache replay, one kernel backend vs another)
+    NONDETERMINISTIC_FIELDS = ("wall_time", "cache_hit", "backend")
 
     def identity(self) -> dict[str, Any]:
         """Byte-comparable view: every solution field, no run provenance.
 
-        ``wall_time`` measures the actual run and ``cache_hit`` records how
-        the result was obtained, so two byte-identical solves (serial versus
+        ``wall_time`` measures the actual run, ``cache_hit`` records how
+        the result was obtained and ``backend`` which kernels computed it,
+        so two byte-identical solves (serial versus
         process pool, cold versus warm cache, or across machines)
         legitimately differ on them.  Every comparison asserting the
         engine's determinism contract

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from ..core import kernels
 from ..core.exceptions import ConfigurationError
 from ..heuristics.base import PipelineHeuristic
 from ..utils.validation import suggest_names
@@ -219,7 +220,12 @@ class Solver:
         start = time.perf_counter()
         result = self.spec.solve_fn(app, platform, request)
         elapsed = time.perf_counter() - start
-        return result.stamped(solver=self.name, family=self.family, wall_time=elapsed)
+        return result.stamped(
+            solver=self.name,
+            family=self.family,
+            wall_time=elapsed,
+            backend=kernels.active_backend(),
+        )
 
     def run(
         self,

@@ -33,8 +33,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from ..cache.keys import CacheKey, solve_key
+from ..core import kernels
+from ..core.exceptions import ConfigurationError
 from ..core.identity import instance_digest
-from ..utils.parallel import parallel_map
+from ..utils.parallel import parallel_map, resolve_worker_count
+from ..utils.shm import InstanceArena, InstanceRef, resolve_instance
 from .base import SolveRequest, SolveResult
 from .registry import Solver, as_solver, resolve_solvers
 
@@ -142,6 +145,25 @@ def _solve_task(
     return handle.solve(app, platform, request)
 
 
+def _solve_ref_task(
+    task: tuple[Solver, InstanceRef, SolveRequest],
+) -> SolveResult:
+    """A unique cell whose instance travels by shared-memory reference.
+
+    The ref resolves against the worker's installed
+    :class:`~repro.utils.shm.InstanceShipment`; the pair is rehydrated at
+    most once per worker and memoised, so a worker that solves the same
+    instance for many solvers or thresholds deserialises it exactly once.
+    """
+    handle, ref, request = task
+    app, platform = resolve_instance(ref)
+    return handle.solve(app, platform, request)
+
+
+#: valid values of the ``transport`` knob of :func:`solve_many`
+_TRANSPORTS = ("auto", "shm", "pickle")
+
+
 def _resolve_handles(solvers: Any) -> list[Solver]:
     """Solver selection -> handles (group string, names, handles, heuristics)."""
     if solvers is None or isinstance(solvers, str):
@@ -162,6 +184,8 @@ def solve_many(
     workers: int | None = None,
     batch_size: int | None = None,
     cache: "SolveCache | None" = None,
+    backend: str | None = None,
+    transport: str = "auto",
 ) -> BatchResult:
     """Solve every instance with every selected solver, doing minimal work.
 
@@ -193,7 +217,53 @@ def solve_many(
     cache:
         A :class:`~repro.cache.store.SolveCache`.  ``None`` disables
         memoisation (deduplication still applies).
+    backend:
+        Kernel backend (:mod:`repro.core.kernels`) active for the whole
+        batch, in the parent and every worker; ``None`` keeps the current
+        active backend.  Results are byte-identical across ``numpy`` and
+        ``compiled`` (the compiled engines are validated bit-for-bit), so
+        the backend is stamped on results as provenance but excluded from
+        cache keys.
+    transport:
+        How instances reach pool workers: ``"auto"`` publishes the unique
+        cache-missing instances once into a shared-memory arena
+        (:mod:`repro.utils.shm`) and ships digest-sized refs per task,
+        ``"pickle"`` forces the legacy per-task instance pickling,
+        ``"shm"`` forces the arena even for serial runs (tests).
     """
+    if transport not in _TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown transport {transport!r}; expected one of {', '.join(_TRANSPORTS)}"
+        )
+    with kernels.use_backend(backend):
+        return _solve_many_active(
+            instances,
+            solvers,
+            period_bound=period_bound,
+            latency_bound=latency_bound,
+            max_steps=max_steps,
+            time_budget=time_budget,
+            workers=workers,
+            batch_size=batch_size,
+            cache=cache,
+            transport=transport,
+        )
+
+
+def _solve_many_active(
+    instances: Sequence[Any],
+    solvers: Any,
+    *,
+    period_bound: float | None,
+    latency_bound: float | None,
+    max_steps: int | None,
+    time_budget: float | None,
+    workers: int | None,
+    batch_size: int | None,
+    cache: "SolveCache | None",
+    transport: str,
+) -> BatchResult:
+    """The batch pipeline, run under the already-active kernel backend."""
     pairs = [as_instance_pair(item) for item in instances]
     handles = _resolve_handles(solvers)
     requests = [
@@ -239,12 +309,36 @@ def solve_many(
         else:
             n_cache_hits += 1
 
-    solved = parallel_map(
-        _solve_task,
-        [unique_tasks[u] for u in misses],
-        workers=workers,
-        batch_size=batch_size,
+    # -- ship the misses: shared-memory refs when pooling, objects serially - #
+    use_arena = transport == "shm" or (
+        transport == "auto" and resolve_worker_count(workers) > 1 and len(misses) > 1
     )
+    if use_arena:
+        with InstanceArena(
+            (unique_tasks[u][1], unique_tasks[u][2]) for u in misses
+        ) as arena:
+            ref_tasks = [
+                (
+                    unique_tasks[u][0],
+                    arena.ref(unique_tasks[u][1], unique_tasks[u][2]),
+                    unique_tasks[u][3],
+                )
+                for u in misses
+            ]
+            solved = parallel_map(
+                _solve_ref_task,
+                ref_tasks,
+                workers=workers,
+                batch_size=batch_size,
+                payload=arena.shipment(),
+            )
+    else:
+        solved = parallel_map(
+            _solve_task,
+            [unique_tasks[u] for u in misses],
+            workers=workers,
+            batch_size=batch_size,
+        )
     for u, result in zip(misses, solved):
         unique_results[u] = result
         if cache is not None and keys[u] is not None:

@@ -11,6 +11,12 @@ that with a :mod:`multiprocessing` pool:
 * **chunking** — items are shipped to workers in contiguous chunks of
   ``batch_size`` to amortise the pickling overhead (the instance streams are
   small, the per-item work is the expensive part);
+* **ship-once transport** — the mapped function travels to each worker
+  exactly once through the pool initializer (not once per chunk), the
+  parent's active kernel backend (:mod:`repro.core.kernels`) is mirrored
+  into every worker, and an optional ``payload`` (e.g. the shared-memory
+  :class:`repro.utils.shm.InstanceShipment`) is installed per worker the
+  same way;
 * **graceful degradation** — ``workers=None``/``0``/``1``, a single-item
   input, or an environment without usable ``multiprocessing`` all fall back
   to a plain serial loop, so callers never need a special case.
@@ -24,7 +30,8 @@ mappings, heuristic results) pickles cleanly.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Iterable, Sequence, TypeVar
+import os
+from typing import Callable, Iterable, Protocol, Sequence, TypeVar
 
 __all__ = [
     "DEFAULT_WORKERS",
@@ -49,7 +56,17 @@ _MAX_BATCH = 256
 
 
 def available_cpus() -> int:
-    """Number of CPUs usable by the experiment engine (at least 1)."""
+    """Number of CPUs usable by the experiment engine (at least 1).
+
+    Respects the process CPU affinity mask where the platform exposes one
+    (``taskset``/cgroup-restricted jobs see their actual allowance, not the
+    machine's core count); falls back to :func:`multiprocessing.cpu_count`.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - affinity query refused
+            pass
     try:
         return max(1, multiprocessing.cpu_count())
     except NotImplementedError:  # pragma: no cover - exotic platforms
@@ -92,9 +109,42 @@ def chunk_items(items: Sequence[_T], batch_size: int) -> list[Sequence[_T]]:
     return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]
 
 
-def _apply_chunk(payload: tuple[Callable[[_T], _R], Sequence[_T]]) -> list[_R]:
-    """Worker entry point: apply the function to one chunk of items."""
-    fn, chunk = payload
+class WorkerPayload(Protocol):
+    """Anything installable once per worker via the pool initializer."""
+
+    def install(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+#: per-worker mapped function, set once by :func:`_worker_init`
+_WORKER_FN: Callable | None = None
+
+
+def _worker_init(
+    fn: Callable[[_T], _R], backend: str | None, payload: WorkerPayload | None
+) -> None:
+    """Pool initializer: receive the function, backend and payload **once**.
+
+    Everything a task needs beyond its own item lands here, pickled exactly
+    once per worker process instead of once per chunk or once per task: the
+    mapped function, the parent's active kernel backend (so pooled runs
+    compute with the same kernels as serial ones), and the optional
+    shared-memory shipment.
+    """
+    global _WORKER_FN
+    _WORKER_FN = fn
+    if backend is not None:
+        from ..core import kernels
+
+        kernels.set_active_backend(backend)
+    if payload is not None:
+        payload.install()
+
+
+def _apply_chunk(chunk: Sequence[_T]) -> list[_R]:
+    """Worker entry point: apply the installed function to one chunk."""
+    fn = _WORKER_FN
+    assert fn is not None, "worker used before its initializer ran"
     return [fn(item) for item in chunk]
 
 
@@ -112,6 +162,7 @@ def parallel_map(
     *,
     workers: int | None = None,
     batch_size: int | None = None,
+    payload: WorkerPayload | None = None,
 ) -> list[_R]:
     """Map a pure picklable function over items, optionally across processes.
 
@@ -120,10 +171,17 @@ def parallel_map(
     chunks; because each item is computed independently and the chunk results
     are re-assembled in order, the output is byte-identical to the serial
     path no matter how many workers run or how the stream is chunked.
+
+    ``payload`` is installed once per worker through the pool initializer
+    (and once in-process on the serial path), letting callers publish bulky
+    shared state — e.g. a :class:`repro.utils.shm.InstanceShipment` — out of
+    band of the task stream.
     """
     item_list = list(items)
     n_workers = resolve_worker_count(workers)
     if n_workers <= 1 or len(item_list) <= 1:
+        if payload is not None:
+            payload.install()
         return [fn(item) for item in item_list]
     size = (
         default_batch_size(len(item_list), n_workers)
@@ -132,9 +190,17 @@ def parallel_map(
     )
     chunks = chunk_items(item_list, size)
     if len(chunks) == 1:
+        if payload is not None:
+            payload.install()
         return [fn(item) for item in item_list]
+    from ..core import kernels
+
     n_processes = min(n_workers, len(chunks))
     ctx = _pool_context()
-    with ctx.Pool(processes=n_processes) as pool:
-        chunk_results = pool.map(_apply_chunk, [(fn, chunk) for chunk in chunks])
+    with ctx.Pool(
+        processes=n_processes,
+        initializer=_worker_init,
+        initargs=(fn, kernels.active_backend(), payload),
+    ) as pool:
+        chunk_results = pool.map(_apply_chunk, chunks)
     return [result for chunk in chunk_results for result in chunk]

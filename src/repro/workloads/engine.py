@@ -39,10 +39,12 @@ from functools import partial
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Any, Iterable, Sequence
 
+from ..core import kernels
 from ..core.exceptions import ReproError
 from ..core.serialization import solve_result_from_dict, solve_result_to_dict
 from ..solvers.service import solve_many
-from ..utils.parallel import parallel_map
+from ..utils.parallel import parallel_map, resolve_worker_count
+from ..utils.shm import InstanceArena, resolve_instance
 from ..utils.tables import format_table
 from .plan import WorkloadPlan, WorkloadTask
 from .sinks import RunningAggregate, differential_row, solve_row
@@ -250,11 +252,15 @@ def _open_journal(
 # --------------------------------------------------------------------------- #
 # execution
 # --------------------------------------------------------------------------- #
-def _oracle_task(n_datasets: int, cache, pair) -> "DifferentialReport":
-    """One oracle run (module-level, pool-picklable)."""
+def _oracle_task(n_datasets: int, cache, item) -> "DifferentialReport":
+    """One oracle run (module-level, pool-picklable).
+
+    ``item`` is an ``(application, platform)`` pair or a shared-memory
+    :class:`~repro.utils.shm.InstanceRef` to one.
+    """
     from ..scenarios.differential import differential_check
 
-    app, platform = pair
+    app, platform = resolve_instance(item)
     return differential_check(app, platform, n_datasets=n_datasets, cache=cache)
 
 
@@ -288,6 +294,8 @@ def execute_plan(
     batch_size: int | None = None,
     cache: "SolveCache | None" = None,
     max_tasks: int | None = None,
+    backend: str | None = None,
+    transport: str = "auto",
 ) -> WorkloadRun:
     """Execute a plan's incomplete tasks; checkpoint and replay via ``journal``.
 
@@ -312,7 +320,42 @@ def execute_plan(
         remaining tasks are *deferred*).  This is the deterministic
         "interrupt" used by the resume smoke tests: a capped run plus a
         resumed run equals one uninterrupted run.
+    backend:
+        Kernel backend (:mod:`repro.core.kernels`) active for the whole
+        run, mirrored into every pool worker; ``None`` keeps the current
+        active backend.  Reports and sinks are byte-identical across
+        ``numpy`` and ``compiled``.
+    transport:
+        Instance transport for pooled execution, as in
+        :func:`repro.solvers.service.solve_many`: ``"auto"`` ships each
+        unique instance to each worker at most once through a shared-memory
+        arena, ``"pickle"`` forces the legacy per-task pickling.
     """
+    with kernels.use_backend(backend):
+        return _execute_plan_active(
+            plan,
+            journal=journal,
+            resume=resume,
+            workers=workers,
+            batch_size=batch_size,
+            cache=cache,
+            max_tasks=max_tasks,
+            transport=transport,
+        )
+
+
+def _execute_plan_active(
+    plan: WorkloadPlan,
+    *,
+    journal: str | Path | None,
+    resume: bool,
+    workers: int | None,
+    batch_size: int | None,
+    cache: "SolveCache | None",
+    max_tasks: int | None,
+    transport: str,
+) -> WorkloadRun:
+    """The execution loop, run under the already-active kernel backend."""
     completed: dict[str, Any] = {}
     journal_path = None if journal is None else Path(journal)
     if journal_path is not None and resume and journal_path.exists():
@@ -350,6 +393,7 @@ def execute_plan(
                     workers=workers,
                     batch_size=batch_size,
                     cache=cache,
+                    transport=transport,
                 )
                 n_cache_hits += outcome.stats.n_cache_hits
                 n_solved += outcome.stats.n_solved
@@ -368,12 +412,28 @@ def execute_plan(
             step = _CHECKPOINT_INTERVAL if handle is not None else len(batch)
             for start in range(0, len(batch), step):
                 chunk = batch[start : start + step]
-                reports = parallel_map(
-                    partial(_oracle_task, n_datasets, cache),
-                    [plan.pair_for(task.instance_hash) for task in chunk],
-                    workers=workers,
-                    batch_size=batch_size,
+                pairs = [plan.pair_for(task.instance_hash) for task in chunk]
+                use_arena = transport == "shm" or (
+                    transport == "auto"
+                    and resolve_worker_count(workers) > 1
+                    and len(pairs) > 1
                 )
+                if use_arena:
+                    with InstanceArena(pairs) as arena:
+                        reports = parallel_map(
+                            partial(_oracle_task, n_datasets, cache),
+                            [arena.ref(app, plat) for app, plat in pairs],
+                            workers=workers,
+                            batch_size=batch_size,
+                            payload=arena.shipment(),
+                        )
+                else:
+                    reports = parallel_map(
+                        partial(_oracle_task, n_datasets, cache),
+                        pairs,
+                        workers=workers,
+                        batch_size=batch_size,
+                    )
                 for task, report in zip(chunk, reports):
                     completed[task.digest] = report
                     if handle is not None:

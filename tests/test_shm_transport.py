@@ -1,0 +1,239 @@
+"""The zero-pickle instance transport (:mod:`repro.utils.shm`) and the
+ship-once pool plumbing (:mod:`repro.utils.parallel`).
+
+Contracts under test:
+
+* the arena publishes each **unique** instance once (dedup by canonical
+  digest) and workers rehydrate each digest **at most once per process**,
+  no matter how many tasks reference it — asserted from inside real pool
+  workers via :func:`repro.utils.shm.worker_attach_counts`;
+* rehydrated instances are exact: the canonical JSON payloads round-trip
+  the float values bit for bit, so pooled reports stay byte-identical to
+  serial ones under every ``transport`` knob;
+* the transport degrades gracefully: no ``/dev/shm`` (``REPRO_DISABLE_SHM``)
+  means inline bytes through the initializer — still once per worker;
+* the mapped function travels through the pool **initializer**, never
+  inside task tuples (the historical once-per-chunk pickling);
+* ``available_cpus`` respects the scheduler affinity mask, so cgroup- or
+  ``taskset``-restricted jobs size their pools by their actual allowance.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.core.identity import instance_digest
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.solvers.service import solve_many
+from repro.utils import parallel, shm
+from repro.utils.parallel import available_cpus, parallel_map
+from repro.utils.shm import InstanceArena, InstanceRef, resolve_instance
+
+
+def _instances(n: int = 4):
+    config = experiment_config("E2", 6, 5, n_instances=n)
+    return generate_instances(config, seed=23)
+
+
+def _pairs(instances):
+    return [(inst.application, inst.platform) for inst in instances]
+
+
+def _resolve_and_snapshot(ref: InstanceRef):
+    """Pool task: resolve one ref, report this worker's rehydration counts."""
+    app, platform = resolve_instance(ref)
+    return os.getpid(), app.n_stages, dict(shm.worker_attach_counts())
+
+
+def _has_fork() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------------- #
+# the arena
+# ----------------------------------------------------------------------------- #
+class TestInstanceArena:
+    def test_publishes_each_unique_instance_once(self):
+        instances = _instances(3)
+        pairs = _pairs(instances)
+        with InstanceArena(pairs * 5) as arena:  # repeated stream, 3 unique
+            assert arena.n_instances == 3
+            for app, platform in pairs:
+                assert arena.ref(app, platform) == InstanceRef(
+                    instance_digest(app, platform)
+                )
+
+    def test_ref_of_unpublished_instance_raises(self):
+        first, second = _instances(2)
+        with InstanceArena([(first.application, first.platform)]) as arena:
+            with pytest.raises(KeyError):
+                arena.ref(second.application, second.platform)
+
+    def test_refs_pickle_small(self):
+        """The point of the transport: tasks carry digests, not instances."""
+        config = experiment_config("E2", 24, 8, n_instances=1)
+        inst = generate_instances(config, seed=23)[0]
+        pair = (inst.application, inst.platform)
+        with InstanceArena([pair]) as arena:
+            ref = arena.ref(*pair)
+            assert len(pickle.dumps(ref)) < len(pickle.dumps(pair)) / 10
+
+    def test_rehydration_is_exact(self):
+        """Round-tripped instances have the same canonical digest."""
+        for inst in _instances(4):
+            pair = (inst.application, inst.platform)
+            with InstanceArena([pair]) as arena:
+                arena.shipment().install()
+                app, platform = resolve_instance(arena.ref(*pair))
+            assert instance_digest(app, platform) == instance_digest(*pair)
+            assert app.name == inst.application.name
+            assert platform.name == inst.platform.name
+
+    def test_inline_fallback_without_shared_memory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        instances = _instances(2)
+        with InstanceArena(_pairs(instances)) as arena:
+            assert not arena.uses_shared_memory
+            shipment = arena.shipment()
+            assert shipment.segment is None and shipment.inline is not None
+            shipment.install()
+            for inst in instances:
+                pair = (inst.application, inst.platform)
+                app, platform = resolve_instance(arena.ref(*pair))
+                assert instance_digest(app, platform) == instance_digest(*pair)
+
+
+# ----------------------------------------------------------------------------- #
+# ship-at-most-once, asserted from inside pool workers
+# ----------------------------------------------------------------------------- #
+@pytest.mark.skipif(not _has_fork(), reason="needs the fork start method")
+class TestShipOnce:
+    @pytest.mark.parametrize("disable_shm", [False, True])
+    def test_workers_rehydrate_each_digest_at_most_once(
+        self, monkeypatch, disable_shm
+    ):
+        """24 tasks over 3 instances: every worker count stays at 1."""
+        if disable_shm:
+            monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
+        pairs = _pairs(_instances(3))
+        with InstanceArena(pairs) as arena:
+            assert arena.uses_shared_memory is not disable_shm
+            refs = [arena.ref(*pair) for pair in pairs] * 8
+            snapshots = parallel_map(
+                _resolve_and_snapshot,
+                refs,
+                workers=2,
+                batch_size=3,
+                payload=arena.shipment(),
+            )
+        assert len(snapshots) == len(refs)
+        worker_pids = {pid for pid, _, _ in snapshots}
+        assert len(worker_pids) > 1  # the pool actually ran
+        for _, _, counts in snapshots:
+            assert counts  # instrumentation is live in the workers
+            assert all(count == 1 for count in counts.values())
+
+    def test_mapped_function_never_rides_in_task_tuples(self):
+        """An unpicklable closure maps fine: it travels by initializer.
+
+        Under the historical transport every chunk carried ``(fn, items)``
+        and pickling the closure would raise; the initializer path inherits
+        it through ``fork`` without ever serialising it.
+        """
+        offset = 17
+        results = parallel_map(
+            lambda x: x + offset, list(range(40)), workers=2, batch_size=4
+        )
+        assert results == [x + offset for x in range(40)]
+
+
+# ----------------------------------------------------------------------------- #
+# end-to-end identity across transports and backends
+# ----------------------------------------------------------------------------- #
+def _identity_bytes(batch) -> list[bytes]:
+    return [
+        pickle.dumps(result.identity()) for row in batch.results for result in row
+    ]
+
+
+class TestTransportIdentity:
+    SOLVERS = ("H1", "H4", "bitmask-dp-latency-for-period")
+
+    def test_pooled_equals_serial_under_every_transport(self):
+        instances = _instances(5) * 2  # repeats exercise dedupe + memoisation
+        serial = solve_many(instances, self.SOLVERS, period_bound=9.0)
+        reference = _identity_bytes(serial)
+        for transport in ("auto", "shm", "pickle"):
+            pooled = solve_many(
+                instances,
+                self.SOLVERS,
+                period_bound=9.0,
+                workers=2,
+                batch_size=2,
+                transport=transport,
+            )
+            assert _identity_bytes(pooled) == reference, transport
+
+    def test_identity_holds_with_and_without_compiled_engines(self, monkeypatch):
+        """Serial == pooled == compiled-less, byte for byte."""
+        from repro.core.kernels import compiled
+
+        instances = _instances(4)
+        reference = _identity_bytes(
+            solve_many(instances, self.SOLVERS, period_bound=9.0)
+        )
+        with_engine = solve_many(
+            instances,
+            self.SOLVERS,
+            period_bound=9.0,
+            workers=2,
+            backend="compiled",
+            transport="shm",
+        )
+        assert _identity_bytes(with_engine) == reference
+        monkeypatch.setenv("REPRO_KERNELS_DISABLE", "all")
+        compiled.reset()
+        try:
+            assert compiled.engine_functions() is None
+            without_engine = solve_many(
+                instances,
+                self.SOLVERS,
+                period_bound=9.0,
+                workers=2,
+                backend="compiled",
+                transport="shm",
+            )
+        finally:
+            monkeypatch.delenv("REPRO_KERNELS_DISABLE")
+            compiled.reset()
+        assert _identity_bytes(without_engine) == reference
+
+
+# ----------------------------------------------------------------------------- #
+# pool sizing respects the affinity mask
+# ----------------------------------------------------------------------------- #
+class TestAvailableCpus:
+    def test_respects_affinity_mask(self, monkeypatch):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3})
+        assert available_cpus() == 2
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(multiprocessing, "cpu_count", lambda: 6)
+        assert parallel.available_cpus() == 6
+
+    def test_at_least_one(self, monkeypatch):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set())
+        assert available_cpus() == 1

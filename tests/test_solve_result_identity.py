@@ -2,9 +2,10 @@
 
 The parallel engine's contract is that every *solution* field of a result is
 byte-identical between serial, pooled and cache-served runs; only the
-``wall_time`` stamp (measures the actual run) and the ``cache_hit`` flag
-(records how the result was obtained) legitimately differ.  These tests pin
-down the contract's single implementation point:
+``wall_time`` stamp (measures the actual run), the ``cache_hit`` flag and
+the ``backend`` stamp (both record *how* the result was obtained)
+legitimately differ.  These tests pin down the contract's single
+implementation point:
 
 * ``identity()`` covers every dataclass field except the declared
   nondeterministic ones — automatically, so a future field cannot silently
@@ -39,8 +40,10 @@ class TestIdentityContract:
             instance.application, instance.platform, period_bound=10.0
         )
         identity = result.identity()
-        assert set(identity) == field_names - {"wall_time", "cache_hit"}
-        assert SolveResult.NONDETERMINISTIC_FIELDS == ("wall_time", "cache_hit")
+        assert set(identity) == field_names - {"wall_time", "cache_hit", "backend"}
+        assert SolveResult.NONDETERMINISTIC_FIELDS == (
+            "wall_time", "cache_hit", "backend",
+        )
 
     def test_identity_ignores_wall_time_only(self):
         instance = _instances(1)[0]
@@ -70,6 +73,26 @@ class TestIdentityContract:
         cold = run_solver("H1", instances, 8.0, cache=cache)
         warm = run_solver("H1", instances, 8.0, cache=cache)
         assert all(not r.result.cache_hit for r in cold)
+        assert all(r.result.cache_hit for r in warm)
+        assert [pickle.dumps(a.result.identity()) for a in cold] == [
+            pickle.dumps(b.result.identity()) for b in warm
+        ]
+
+    def test_backend_stamp_excluded_from_identity_and_cache_key(self):
+        """Backends are bit-identical, so the stamp must not split the cache:
+        a result solved under one backend serves a request made under
+        another, and ``identity()`` compares equal across the stamps."""
+        from repro.cache import SolveCache
+        from repro.core import kernels
+
+        instances = _instances(3)
+        cache = SolveCache()
+        with kernels.use_backend("numpy"):
+            cold = run_solver("H1", instances, 8.0, cache=cache)
+        with kernels.use_backend("compiled"):
+            warm = run_solver("H1", instances, 8.0, cache=cache)
+        assert all(r.result.backend == "numpy" for r in cold)
+        # every request hit despite the different active backend
         assert all(r.result.cache_hit for r in warm)
         assert [pickle.dumps(a.result.identity()) for a in cold] == [
             pickle.dumps(b.result.identity()) for b in warm
