@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-cache bench-kernels cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke sweep-demo clean-results
+.PHONY: test lint bench-smoke bench bench-cache bench-kernels cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke shard-smoke sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
@@ -81,6 +81,33 @@ workload-smoke:
 	cmp .workload-smoke/resumed.txt .workload-smoke/fresh.txt
 	cmp .workload-smoke/resumed.jsonl .workload-smoke/fresh.jsonl
 	rm -rf .workload-smoke
+
+## CI's shard smoke slice: run a spec as 3 independent shards against one
+## shared --cache-dir (each exits 3: shard done, run incomplete), fold the
+## shard journals with merge-journals, replay the merged journal with
+## --resume, and assert the final report is byte-identical to a whole run
+shard-smoke:
+	rm -rf .shard-smoke && mkdir -p .shard-smoke
+	for i in 0 1 2; do \
+		$(PYTHON) -m repro.cli run examples/workload_smoke.json \
+			--journal .shard-smoke/shard$$i.jsonl --shard $$i/3 \
+			--cache-dir .shard-smoke/cache \
+			> .shard-smoke/shard$$i.txt; rc=$$?; \
+		test $$rc -eq 3 || exit 1; \
+	done
+	$(PYTHON) -m repro.cli merge-journals .shard-smoke/shard0.jsonl \
+		.shard-smoke/shard1.jsonl .shard-smoke/shard2.jsonl \
+		--output .shard-smoke/merged.jsonl
+	$(PYTHON) -m repro.cli run examples/workload_smoke.json \
+		--journal .shard-smoke/merged.jsonl --resume \
+		--sink .shard-smoke/merged.jsonl.rows.jsonl \
+		> .shard-smoke/merged.txt
+	$(PYTHON) -m repro.cli run examples/workload_smoke.json \
+		--sink .shard-smoke/whole.jsonl.rows.jsonl \
+		> .shard-smoke/whole.txt
+	cmp .shard-smoke/merged.txt .shard-smoke/whole.txt
+	cmp .shard-smoke/merged.jsonl.rows.jsonl .shard-smoke/whole.jsonl.rows.jsonl
+	rm -rf .shard-smoke
 
 ## one parallel figure panel end to end (smoke test of the --workers path)
 sweep-demo:

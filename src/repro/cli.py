@@ -23,7 +23,12 @@ The ``repro-pipeline`` entry point exposes the main workflows:
   ``--resume`` make runs interruption-safe (a resumed run re-executes only
   the incomplete tasks and prints a byte-identical final report),
   ``--sink`` streams per-task results to JSONL/CSV files, ``--max-tasks``
-  caps a run for smoke tests.
+  caps a run for smoke tests, and ``--shard I/N`` executes one
+  deterministic shard of the plan's task list (split a campaign over
+  processes or hosts, one journal per shard);
+* ``merge-journals`` — fold the shard journals of one plan back into a
+  single journal that ``run --journal ... --resume`` replays into the
+  final report, byte-identical to an unsharded run.
 
 All output is plain text (the environment is headless); every command accepts
 ``--seed`` so results are reproducible.  The experiment commands additionally
@@ -217,9 +222,28 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="execute at most N incomplete tasks, then stop "
                           "(exit status 3; resume later with --resume)")
+    run.add_argument("--shard", type=_shard_arg, default=None, metavar="I/N",
+                     help="execute only shard I of N (a deterministic "
+                          "partition of the task list by task digest; "
+                          "requires --journal); run every shard — on any "
+                          "mix of processes or hosts — then fold the "
+                          "journals with 'merge-journals' and finish with "
+                          "--resume; a shared --cache-dir deduplicates "
+                          "solve work across shards")
     _add_parallel_arguments(run)
     _add_backend_argument(run)
     _add_cache_arguments(run)
+
+    merge = sub.add_parser(
+        "merge-journals",
+        help="merge shard journals of one plan into a single resumable journal",
+    )
+    merge.add_argument("inputs", nargs="+", metavar="JOURNAL",
+                       help="shard journal files; each must pin the same "
+                            "plan digest and journal schema")
+    merge.add_argument("--output", "-o", required=True, metavar="PATH",
+                       help="merged journal path (written atomically); "
+                            "replay it with 'run SPEC --journal PATH --resume'")
 
     return parser
 
@@ -253,6 +277,21 @@ def _positive_int_arg(value: str) -> int:
     if n <= 0:
         raise argparse.ArgumentTypeError("must be a positive integer")
     return n
+
+
+def _shard_arg(value: str) -> tuple[int, int]:
+    try:
+        index_text, count_text = value.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected INDEX/COUNT (e.g. 0/3), got {value!r}"
+        )
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard needs 0 <= INDEX < COUNT, got {value!r}"
+        )
+    return index, count
 
 
 def _positive_float_arg(value: str) -> float:
@@ -795,6 +834,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         print("error: --resume needs --journal PATH", file=sys.stderr)
         return 2
+    if args.shard is not None and not args.journal:
+        print(
+            "error: --shard needs --journal PATH (shard results are "
+            "collected via journals and 'merge-journals')",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = load_spec(args.spec)
         plan = expand_spec(spec)
@@ -832,6 +878,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 cache=cache,
                 max_tasks=args.max_tasks,
+                shard=args.shard,
             )
             write_sinks(run, sinks)
         except ReproError as exc:
@@ -844,12 +891,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(run.stats.describe(), file=sys.stderr)
     _report_cache(cache)
     if not run.complete:
-        print(
-            f"note: {run.stats.n_deferred} task(s) deferred by --max-tasks; "
-            "rerun with --resume to finish",
-            file=sys.stderr,
-        )
+        if args.shard is not None and run.stats.n_deferred == 0:
+            index, count = args.shard
+            print(
+                f"note: shard {index}/{count} done; "
+                f"{run.stats.n_out_of_shard} task(s) belong to other shards "
+                "— run them, fold the journals with 'merge-journals' and "
+                "finish with --resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"note: {run.stats.n_deferred} task(s) deferred by "
+                "--max-tasks; rerun with --resume to finish",
+                file=sys.stderr,
+            )
         return 3
+    return 0
+
+
+def _cmd_merge_journals(args: argparse.Namespace) -> int:
+    """Merge shard journals into one resumable journal (see ``--help``).
+
+    Exit status: 0 on success, 2 when the inputs cannot be merged (missing
+    files, mismatched plan digests or schemas, conflicting records).
+    """
+    from .workloads import merge_journals
+
+    try:
+        summary = merge_journals(args.inputs, args.output)
+    except FileNotFoundError as exc:
+        print(f"error: journal {exc.filename!r} not found", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    duplicates = (
+        f", {summary.n_duplicates} duplicate(s) dropped"
+        if summary.n_duplicates
+        else ""
+    )
+    print(
+        f"merged {summary.n_inputs} journal(s) into {args.output}: "
+        f"{summary.n_records} task record(s){duplicates}, "
+        f"plan {summary.plan[:12]}"
+    )
     return 0
 
 
@@ -867,6 +953,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate": _cmd_validate,
         "fuzz": _cmd_fuzz,
         "run": _cmd_run,
+        "merge-journals": _cmd_merge_journals,
     }
     # --backend applies to the whole command; worker pools mirror the active
     # backend through the parallel_map initializer.

@@ -31,9 +31,11 @@ parent still owns it.  The parent alone creates and unlinks the segment.
 
 from __future__ import annotations
 
+import atexit
 import json
 import mmap
 import os
+import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -52,6 +54,23 @@ __all__ = [
 
 #: /dev/shm segment directory used by CPython's POSIX shared memory
 _SHM_DIR = "/dev/shm"
+
+#: arenas whose segment is still linked: the atexit guard below unlinks
+#: them if the parent exits without reaching ``close()`` (an exception path
+#: that skipped the context manager, a bare sys.exit inside a callback);
+#: ``close()`` discards its arena, so the happy path never re-enters here.
+#: A parent killed outright (SIGKILL) never runs atexit — that case is
+#: covered by the multiprocessing resource tracker, which outlives the
+#: parent and unlinks every segment it still has registered.
+_LIVE_ARENAS: "weakref.WeakSet[InstanceArena]" = weakref.WeakSet()
+
+
+def _close_live_arenas() -> None:
+    for arena in list(_LIVE_ARENAS):
+        arena.close()
+
+
+atexit.register(_close_live_arenas)
 
 
 def shm_supported() -> bool:
@@ -150,6 +169,7 @@ class InstanceArena:
             else:
                 self._shm = segment
                 self._inline = None
+                _LIVE_ARENAS.add(self)
         else:
             self._inline = data
 
@@ -184,6 +204,7 @@ class InstanceArena:
         segment, self._shm = self._shm, None
         if segment is None:
             return
+        _LIVE_ARENAS.discard(self)
         try:
             segment.close()
             segment.unlink()

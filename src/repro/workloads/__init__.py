@@ -26,10 +26,12 @@ package; the CLI ``run`` command executes spec files directly.
 from .engine import (
     JOURNAL_SCHEMA,
     JournalError,
+    MergeSummary,
     WorkloadRun,
     WorkloadStats,
     execute_plan,
     load_journal,
+    merge_journals,
     render_workload_report,
     write_sinks,
 )
@@ -40,6 +42,7 @@ from .plan import (
     WorkloadTask,
     differential_plan,
     expand_spec,
+    shard_tasks,
     solve_plan,
 )
 from .sinks import CsvSink, JsonlSink, RunningAggregate, open_sink
@@ -67,13 +70,16 @@ __all__ = [
     "WorkloadTask",
     "differential_plan",
     "expand_spec",
+    "shard_tasks",
     "solve_plan",
     "JOURNAL_SCHEMA",
     "JournalError",
+    "MergeSummary",
     "WorkloadRun",
     "WorkloadStats",
     "execute_plan",
     "load_journal",
+    "merge_journals",
     "render_workload_report",
     "write_sinks",
     "JsonlSink",

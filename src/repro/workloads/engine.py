@@ -29,24 +29,36 @@ The journal guards itself: its header records the plan digest, and a
 journal written for a different plan is rejected instead of silently
 replaying wrong results.  A truncated trailing line (the process died
 mid-write) is ignored; everything before it is still valid.
+
+**Sharding.** ``execute_plan(plan, shard=(i, n))`` executes only the tasks
+:func:`~repro.workloads.plan.shard_tasks` assigns to shard ``i`` of ``n``
+— a deterministic partition of the task list by content-addressed digest —
+while journaling against the *full* plan digest.  Independently-run shard
+journals (different processes, different hosts) are folded back into one
+resumable journal by :func:`merge_journals`, and
+``execute_plan(resume=True)`` on the merged journal replays straight into
+the final report: a plan run whole and a plan run as ``n`` merged shards
+produce byte-identical reports (CI's ``shard-smoke`` target pins this).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Any, Iterable, Sequence
 
 from ..core import kernels
-from ..core.exceptions import ReproError
+from ..core.exceptions import ConfigurationError, ReproError
 from ..core.serialization import solve_result_from_dict, solve_result_to_dict
+from ..solvers.base import SolveResult
 from ..solvers.service import solve_many
 from ..utils.parallel import parallel_map, resolve_worker_count
 from ..utils.shm import InstanceArena, resolve_instance
 from ..utils.tables import format_table
-from .plan import WorkloadPlan, WorkloadTask
+from .plan import WorkloadPlan, WorkloadTask, shard_tasks
 from .sinks import RunningAggregate, differential_row, solve_row
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
@@ -56,9 +68,11 @@ if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
 __all__ = [
     "JOURNAL_SCHEMA",
     "JournalError",
+    "MergeSummary",
     "WorkloadStats",
     "WorkloadRun",
     "load_journal",
+    "merge_journals",
     "execute_plan",
     "write_sinks",
     "render_workload_report",
@@ -87,16 +101,22 @@ class WorkloadStats:
     n_deferred: int
     n_cache_hits: int = 0
     n_solved: int = 0
+    #: incomplete tasks that belong to another shard of a ``shard=(i, n)``
+    #: run (left for the sibling shards; merge the journals to collect them)
+    n_out_of_shard: int = 0
 
     def describe(self) -> str:
         """One-line execution summary (never part of the final report)."""
-        return (
+        line = (
             f"workload tasks: {self.n_tasks} total, "
             f"{self.n_from_journal} replayed from journal, "
             f"{self.n_executed} executed "
             f"({self.n_cache_hits} cache hit(s), {self.n_solved} solved), "
             f"{self.n_deferred} deferred"
         )
+        if self.n_out_of_shard:
+            line += f", {self.n_out_of_shard} in other shards"
+        return line
 
 
 class WorkloadRun:
@@ -168,7 +188,11 @@ def load_journal(path: str | Path, plan: WorkloadPlan) -> dict[str, Any]:
     The header's plan digest must match ``plan`` — a journal belongs to
     exactly one plan.  A truncated trailing line is tolerated (the writer
     died mid-append); corrupt content before that is an error.  Entries for
-    digests the plan does not contain are ignored defensively.
+    digests the plan does not contain are ignored defensively, and so are
+    entries for tasks carrying a wall-clock ``time_budget`` — their results
+    are machine-dependent, so a resumed run re-executes them instead of
+    replaying a stale measurement (the engine does not write such records
+    in the first place; this guards against journals from older builds).
     """
     path = Path(path)
     text = path.read_text(encoding="utf-8")
@@ -206,7 +230,7 @@ def load_journal(path: str | Path, plan: WorkloadPlan) -> dict[str, Any]:
                 break  # truncated tail: the writer was interrupted mid-line
             raise JournalError(f"journal {path} is corrupt at line {i}")
         task = known.get(entry.get("task"))
-        if task is None:
+        if task is None or task.time_budget is not None:
             continue
         if entry.get("kind") == "differential":
             completed[task.digest] = _report_from_document(entry["report"])
@@ -221,11 +245,24 @@ def _repair_truncated_tail(path: Path) -> None:
     :func:`load_journal` already ignores such a tail when *reading*; before
     *appending* it must also be removed, or the next record would be written
     onto the same physical line and merge into unparseable garbage.
+
+    A final line that parses as complete JSON only lost its newline (e.g. a
+    journal holding exactly one complete header line and nothing else) —
+    cutting it would throw the header away and silently restart the run, so
+    it is kept and its newline restored instead.
     """
     data = path.read_bytes()
-    if data and not data.endswith(b"\n"):
+    if not data or data.endswith(b"\n"):
+        return
+    cut = data.rfind(b"\n") + 1
+    try:
+        json.loads(data[cut:])
+    except json.JSONDecodeError:
         with path.open("r+b") as handle:
-            handle.truncate(data.rfind(b"\n") + 1)
+            handle.truncate(cut)
+    else:
+        with path.open("ab") as handle:
+            handle.write(b"\n")
 
 
 def _open_journal(
@@ -247,6 +284,171 @@ def _open_journal(
     handle.write(json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n")
     handle.flush()
     return handle
+
+
+# --------------------------------------------------------------------------- #
+# journal merging (shard collection)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MergeSummary:
+    """Outcome of :func:`merge_journals` (for reporting, not for identity)."""
+
+    plan: str
+    n_inputs: int
+    n_records: int
+    n_duplicates: int
+
+
+def _scan_journal(path: Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Parse one journal into (header, entries), tolerating a truncated tail.
+
+    The tolerance mirrors :func:`load_journal`: a final line that fails to
+    parse is the writer's mid-append death and is dropped; corrupt content
+    anywhere before it is an error.
+    """
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines:
+        raise JournalError(
+            f"journal {path} is empty (no header line); a shard that never "
+            "started has nothing to merge — drop it from the input list"
+        )
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        if len(lines) == 1:
+            raise JournalError(
+                f"journal {path} holds only a truncated header (the writer "
+                "died before checkpointing anything); drop it from the "
+                "input list"
+            ) from exc
+        raise JournalError(f"journal {path} has an unreadable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != "workload-journal":
+        raise JournalError(
+            f"journal {path} is not a workload journal (header kind "
+            f"{header.get('kind') if isinstance(header, dict) else header!r})"
+        )
+    if header.get("schema") != JOURNAL_SCHEMA:
+        raise JournalError(
+            f"journal {path} has unsupported schema {header.get('schema')!r} "
+            f"(expected {JOURNAL_SCHEMA}); re-run that shard with this build "
+            "instead of merging journals across incompatible formats"
+        )
+    entries: list[dict[str, Any]] = []
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines):
+                break  # truncated tail: the shard writer was interrupted
+            raise JournalError(f"journal {path} is corrupt at line {i}")
+        if not isinstance(entry, dict) or "task" not in entry:
+            raise JournalError(
+                f"journal {path} line {i} is not a task record (no 'task' key)"
+            )
+        entries.append(entry)
+    return header, entries
+
+
+def _record_identity(entry: dict[str, Any]) -> bytes:
+    """Canonical bytes of a record with run provenance stripped.
+
+    Two shards may legitimately have executed the same task (overlapping
+    resumes, a re-run shard): their records agree on the solution but differ
+    on ``wall_time`` / ``cache_hit`` / ``backend``.  Conflict detection must
+    compare solutions, not provenance — exactly the
+    :attr:`~repro.solvers.base.SolveResult.NONDETERMINISTIC_FIELDS`
+    exclusion the determinism tests use.
+    """
+    document = dict(entry)
+    result = document.get("result")
+    if isinstance(result, dict):
+        document["result"] = {
+            key: value
+            for key, value in result.items()
+            if key not in SolveResult.NONDETERMINISTIC_FIELDS
+        }
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode()
+
+
+def merge_journals(
+    inputs: Sequence[str | Path], output: str | Path
+) -> MergeSummary:
+    """Merge shard journals of one plan into a single resumable journal.
+
+    Every input must pin the same plan digest and the current journal
+    schema; a truncated trailing line per shard is tolerated.  Records
+    sharing a task digest must agree on the solution (run provenance such
+    as ``wall_time`` aside) — overlapping-but-conflicting records raise
+    :class:`JournalError` instead of silently picking one.  The merged
+    journal lists records sorted by task digest under a fresh header, is
+    written atomically, and replays through
+    ``execute_plan(plan, journal=..., resume=True)`` exactly like a journal
+    the engine wrote itself.
+    """
+    paths = [Path(path) for path in inputs]
+    if not paths:
+        raise ConfigurationError("merge_journals needs at least one input journal")
+    reference_header: dict[str, Any] | None = None
+    reference_path: Path | None = None
+    merged: dict[str, tuple[bytes, dict[str, Any], Path]] = {}
+    n_duplicates = 0
+    for path in paths:
+        header, entries = _scan_journal(path)
+        if reference_header is None:
+            reference_header, reference_path = header, path
+        elif header.get("plan") != reference_header.get("plan"):
+            raise JournalError(
+                f"journal {path} pins plan "
+                f"{str(header.get('plan'))[:12]}..., but {reference_path} "
+                f"pins {str(reference_header.get('plan'))[:12]}...; shards "
+                "of one run must share a single plan (was one shard run "
+                "against a different spec or build?)"
+            )
+        for entry in entries:
+            digest = str(entry["task"])
+            identity = _record_identity(entry)
+            seen = merged.get(digest)
+            if seen is None:
+                merged[digest] = (identity, entry, path)
+            elif seen[0] != identity:
+                raise JournalError(
+                    f"conflicting records for task {digest[:12]}... in "
+                    f"{seen[2]} and {path}: same task digest, different "
+                    "solution payloads; one shard ran a different solver "
+                    "build — re-run it and merge again"
+                )
+            else:
+                n_duplicates += 1
+    out = Path(output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    header_line = json.dumps(
+        {
+            "schema": JOURNAL_SCHEMA,
+            "kind": "workload-journal",
+            "plan": reference_header.get("plan"),
+            "spec": reference_header.get("spec"),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    scratch = out.with_name(out.name + ".tmp")
+    with scratch.open("w", encoding="utf-8") as handle:
+        handle.write(header_line + "\n")
+        for digest in sorted(merged):
+            _, entry, _ = merged[digest]
+            handle.write(
+                json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+    os.replace(scratch, out)
+    return MergeSummary(
+        plan=str(reference_header.get("plan")),
+        n_inputs=len(paths),
+        n_records=len(merged),
+        n_duplicates=n_duplicates,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -277,6 +479,7 @@ def _solve_groups(
             task.period_bound,
             task.latency_bound,
             task.max_steps,
+            task.time_budget,
         )
         if key not in groups:
             groups[key] = []
@@ -294,6 +497,7 @@ def execute_plan(
     batch_size: int | None = None,
     cache: "SolveCache | None" = None,
     max_tasks: int | None = None,
+    shard: tuple[int, int] | None = None,
     backend: str | None = None,
     transport: str = "auto",
 ) -> WorkloadRun:
@@ -320,6 +524,13 @@ def execute_plan(
         remaining tasks are *deferred*).  This is the deterministic
         "interrupt" used by the resume smoke tests: a capped run plus a
         resumed run equals one uninterrupted run.
+    shard:
+        ``(index, count)``: execute only the tasks
+        :func:`~repro.workloads.plan.shard_tasks` assigns to shard
+        ``index`` of ``count``; everything else is left for the sibling
+        shards (counted as ``n_out_of_shard``).  The journal still pins
+        the *full* plan digest, so independently-run shard journals merge
+        via :func:`merge_journals` and replay into one complete run.
     backend:
         Kernel backend (:mod:`repro.core.kernels`) active for the whole
         run, mirrored into every pool worker; ``None`` keeps the current
@@ -340,6 +551,7 @@ def execute_plan(
             batch_size=batch_size,
             cache=cache,
             max_tasks=max_tasks,
+            shard=shard,
             transport=transport,
         )
 
@@ -353,9 +565,14 @@ def _execute_plan_active(
     batch_size: int | None,
     cache: "SolveCache | None",
     max_tasks: int | None,
+    shard: tuple[int, int] | None,
     transport: str,
 ) -> WorkloadRun:
     """The execution loop, run under the already-active kernel backend."""
+    in_shard: set[str] | None = None
+    if shard is not None:
+        index, count = shard
+        in_shard = {task.digest for task in shard_tasks(plan, index, count)}
     completed: dict[str, Any] = {}
     journal_path = None if journal is None else Path(journal)
     if journal_path is not None and resume and journal_path.exists():
@@ -363,6 +580,10 @@ def _execute_plan_active(
     n_from_journal = len(completed)
 
     pending = [task for task in plan.tasks if task.digest not in completed]
+    out_of_shard = 0
+    if in_shard is not None:
+        out_of_shard = sum(1 for task in pending if task.digest not in in_shard)
+        pending = [task for task in pending if task.digest in in_shard]
     deferred = 0
     if max_tasks is not None and max_tasks < len(pending):
         deferred = len(pending) - max_tasks
@@ -390,6 +611,7 @@ def _execute_plan_active(
                     period_bound=head.period_bound,
                     latency_bound=head.latency_bound,
                     max_steps=head.max_steps,
+                    time_budget=head.time_budget,
                     workers=workers,
                     batch_size=batch_size,
                     cache=cache,
@@ -399,7 +621,11 @@ def _execute_plan_active(
                 n_solved += outcome.stats.n_solved
                 for task, row in zip(chunk, outcome.results):
                     completed[task.digest] = row[0]
-                    if handle is not None:
+                    # wall-clock-budgeted results are machine-dependent and
+                    # documented non-replayable: they never enter the journal,
+                    # so a resumed run re-executes them (and merged shard
+                    # journals never carry conflicting copies of them)
+                    if handle is not None and task.time_budget is None:
                         handle.write(_journal_line(task, row[0]))
                 if handle is not None:
                     handle.flush()
@@ -451,6 +677,7 @@ def _execute_plan_active(
         n_deferred=deferred,
         n_cache_hits=n_cache_hits,
         n_solved=n_solved,
+        n_out_of_shard=out_of_shard,
     )
     return WorkloadRun(plan, completed, stats)
 

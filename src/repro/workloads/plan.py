@@ -52,6 +52,7 @@ __all__ = [
     "expand_spec",
     "solve_plan",
     "differential_plan",
+    "shard_tasks",
 ]
 
 #: pseudo-solver name of the differential-oracle task kind
@@ -84,6 +85,12 @@ class WorkloadTask:
     n_datasets: int | None = None
     repeat: int = 0
     max_steps: int | None = None
+    #: wall-clock budget (seconds) for anytime solvers.  Excluded from
+    #: :meth:`document` — like the solve-cache key, the task digest covers
+    #: only reproducible inputs, and a wall-clock result is not one.  The
+    #: engine therefore never replays such a task from a journal (see
+    #: :func:`repro.workloads.engine.load_journal`).
+    time_budget: float | None = None
 
     def document(self) -> dict[str, Any]:
         """Canonical JSON-safe document of the task (digest/sort input)."""
@@ -136,6 +143,7 @@ class WorkloadTask:
             period_bound=self.period_bound,
             latency_bound=self.latency_bound,
             max_steps=self.max_steps,
+            time_budget=self.time_budget,
         )
 
     @property
@@ -193,6 +201,18 @@ class WorkloadPlan:
                 f"plan task {missing[0].digest[:12]} references instance "
                 f"{missing[0].instance_hash[:12]} which the plan does not carry"
             )
+        # the digest deliberately excludes wall-clock budgets, so two cells
+        # differing only in time_budget would collide on one journal key
+        # while behaving differently — reject that up front
+        by_digest: dict[str, WorkloadTask] = {}
+        for task in self.tasks:
+            other = by_digest.setdefault(task.digest, task)
+            if other != task:
+                raise ConfigurationError(
+                    f"two tasks share digest {task.digest[:12]} but carry "
+                    "different wall-clock budgets; a plan needs one "
+                    "time_budget per (solver, threshold) cell"
+                )
         self._digest: str | None = None
 
     # -- identity --------------------------------------------------------- #
@@ -297,7 +317,9 @@ def solve_plan(
     """Build a solve plan from an instance stream and (solver, threshold) cells.
 
     ``cells`` entries are ``(solver, threshold)`` pairs — or
-    ``(solver, threshold, max_steps)`` triples for anytime solvers — where
+    ``(solver, threshold, max_steps)`` triples and
+    ``(solver, threshold, max_steps, time_budget)`` quadruples for anytime
+    solvers — where
     the solver may be a registry name, a registry handle or an ad-hoc
     heuristic instance (wrapped via
     :func:`~repro.solvers.registry.as_solver`); the threshold is forwarded
@@ -305,9 +327,11 @@ def solve_plan(
     the experiment runner always did.  A step budget on a non-anytime
     solver's cell is dropped (see :meth:`~repro.solvers.registry.Solver.
     default_request`), so blanket budgets never perturb historical task
-    digests.  Returns the canonical plan plus one :class:`PlanCell` per
-    input cell so callers can map results back onto their own instance
-    order.
+    digests.  A wall-clock ``time_budget`` never enters the task digest —
+    such tasks execute but are never replayed from a journal or served
+    from the solve cache.  Returns the canonical plan plus one
+    :class:`PlanCell` per input cell so callers can map results back onto
+    their own instance order.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
@@ -322,13 +346,17 @@ def solve_plan(
     for cell in cells:
         solver_like, threshold = cell[0], cell[1]
         cell_steps = cell[2] if len(cell) > 2 else None
+        cell_budget = cell[3] if len(cell) > 3 else None
         handle = coerced.get(id(solver_like))
         if handle is None:
             handle = as_solver(solver_like)
             coerced[id(solver_like)] = handle
         handle = _register_handle(solvers, handle)
         request = handle.default_request(
-            period_bound=threshold, latency_bound=threshold, max_steps=cell_steps
+            period_bound=threshold,
+            latency_bound=threshold,
+            max_steps=cell_steps,
+            time_budget=cell_budget,
         )
         cell_tasks: dict[str, WorkloadTask] = {}
         for repeat in range(repeats):
@@ -343,6 +371,7 @@ def solve_plan(
                     latency_bound=request.latency_bound,
                     repeat=repeat,
                     max_steps=request.max_steps,
+                    time_budget=request.time_budget,
                 )
                 tasks.append(task)
                 if repeat == 0:
@@ -435,6 +464,34 @@ def _materialise_source(spec: WorkloadSpec) -> list[tuple[Any, Any]]:
         app, platform, _ = instance_from_dict(dict(document))
         pairs.append((app, platform))
     return pairs
+
+
+def shard_tasks(
+    plan: WorkloadPlan, index: int, count: int
+) -> tuple[WorkloadTask, ...]:
+    """Deterministic shard ``index`` of ``count`` over a plan's task list.
+
+    Membership is a pure function of each task's content-addressed digest
+    (``int(digest, 16) % count == index``), never of the task's position:
+    the selection is stable under task reordering, identical across
+    processes and hosts, and — for any ``count`` — a **partition**: every
+    task digest lands in exactly one shard.  Shards of a small plan may
+    legitimately be empty.
+
+    The engine executes a shard against the *full* plan
+    (``execute_plan(plan, shard=(index, count))``), so every shard journal
+    pins the same plan digest and :func:`~repro.workloads.engine.
+    merge_journals` can fold the journals back into one resumable file.
+    """
+    if count < 1:
+        raise ConfigurationError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ConfigurationError(
+            f"shard index must satisfy 0 <= index < count, got {index}/{count}"
+        )
+    return tuple(
+        task for task in plan.tasks if int(task.digest, 16) % count == index
+    )
 
 
 def expand_spec(spec: WorkloadSpec) -> WorkloadPlan:

@@ -130,6 +130,79 @@ class TestRunCommand:
         assert "CSV sink" in capsys.readouterr().err
 
 
+class TestShardedRun:
+    N_SHARDS = 3
+
+    def _shard_paths(self, tmp_path):
+        return [tmp_path / f"shard{i}.jsonl" for i in range(self.N_SHARDS)]
+
+    def test_shard_needs_journal(self, spec_path, capsys):
+        assert main(["run", str(spec_path), "--shard", "0/3"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["3", "a/b", "1/0", "3/3", "-1/3"])
+    def test_malformed_shard_rejected_by_the_parser(self, spec_path, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", str(spec_path), "--journal", "j.jsonl",
+                  "--shard", value])
+        assert excinfo.value.code == 2
+
+    def test_sharded_run_merges_byte_identical_to_whole(
+        self, spec_path, tmp_path, capsys
+    ):
+        """The CI shard-smoke contract, end to end through the CLI."""
+        cache_dir = tmp_path / "cache"
+        for index, journal in enumerate(self._shard_paths(tmp_path)):
+            argv = [
+                "run", str(spec_path), "--journal", str(journal),
+                "--shard", f"{index}/{self.N_SHARDS}",
+                "--cache-dir", str(cache_dir),
+            ]
+            assert main(argv) == 3  # the shard is done, the run is not
+            captured = capsys.readouterr()
+            assert f"shard {index}/{self.N_SHARDS} done" in captured.err
+        merged = tmp_path / "merged.jsonl"
+        assert main(
+            ["merge-journals", *map(str, self._shard_paths(tmp_path)),
+             "--output", str(merged)]
+        ) == 0
+        assert "merged 3 journal(s)" in capsys.readouterr().out
+        assert main(
+            ["run", str(spec_path), "--journal", str(merged), "--resume"]
+        ) == 0
+        from_shards = capsys.readouterr().out
+        assert main(["run", str(spec_path)]) == 0
+        whole = capsys.readouterr().out
+        assert from_shards == whole
+
+    def test_merge_rejects_mismatched_plans(self, spec_path, tmp_path, capsys):
+        journal = tmp_path / "shard0.jsonl"
+        assert main(
+            ["run", str(spec_path), "--journal", str(journal),
+             "--shard", "0/2"]
+        ) == 3
+        other_doc = dict(
+            SPEC_DOC, jobs=[{"solvers": ["H1"], "thresholds": [5.0]}]
+        )
+        other_path = tmp_path / "other.json"
+        other_path.write_text(json.dumps(other_doc), encoding="utf-8")
+        foreign = tmp_path / "foreign.jsonl"
+        assert main(["run", str(other_path), "--journal", str(foreign)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["merge-journals", str(journal), str(foreign),
+             "--output", str(tmp_path / "out.jsonl")]
+        ) == 2
+        assert "share a single plan" in capsys.readouterr().err
+
+    def test_merge_missing_input_is_a_config_error(self, tmp_path, capsys):
+        assert main(
+            ["merge-journals", str(tmp_path / "nope.jsonl"),
+             "--output", str(tmp_path / "out.jsonl")]
+        ) == 2
+        assert "not found" in capsys.readouterr().err
+
+
 class TestFuzzJournal:
     def test_fuzz_resume_is_byte_identical(self, tmp_path, capsys):
         journal = tmp_path / "fuzz-journal.jsonl"

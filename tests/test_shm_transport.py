@@ -23,6 +23,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -109,6 +113,83 @@ class TestInstanceArena:
                 pair = (inst.application, inst.platform)
                 app, platform = resolve_instance(arena.ref(*pair))
                 assert instance_digest(app, platform) == instance_digest(*pair)
+
+
+# ----------------------------------------------------------------------------- #
+# segment lifetime: no stale /dev/shm files, however the parent dies
+# ----------------------------------------------------------------------------- #
+_ARENA_SCRIPT = """\
+import sys
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.utils.shm import InstanceArena
+
+config = experiment_config("E2", 4, 3, n_instances=1)
+inst = generate_instances(config, seed=5)[0]
+arena = InstanceArena([(inst.application, inst.platform)])
+assert arena.uses_shared_memory
+print(arena.shipment().segment, flush=True)
+if "--hang" in sys.argv:
+    import time
+    time.sleep(120)
+# otherwise: exit WITHOUT close() — the atexit guard must unlink the segment
+"""
+
+
+@pytest.mark.skipif(not shm.shm_supported(), reason="needs /dev/shm")
+class TestSegmentLifetime:
+    def _spawn(self, *extra: str) -> tuple[subprocess.Popen, str]:
+        process = subprocess.Popen(
+            [sys.executable, "-c", _ARENA_SCRIPT, *extra],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        segment = process.stdout.readline().strip()
+        assert segment, "the child never published a segment"
+        return process, os.path.join("/dev/shm", segment)
+
+    @staticmethod
+    def _wait_gone(path: str, timeout: float = 15.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not os.path.exists(path):
+                return True
+            time.sleep(0.1)
+        return not os.path.exists(path)
+
+    def test_killed_parent_leaves_no_stale_segment(self):
+        """SIGKILL skips atexit and __del__ both; the resource tracker —
+        a separate process that outlives the parent — unlinks the segment
+        the parent registered at creation."""
+        process, path = self._spawn("--hang")
+        try:
+            assert os.path.exists(path)
+            process.kill()
+            process.wait(timeout=30)
+            assert self._wait_gone(path), f"stale segment {path} after SIGKILL"
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+
+    def test_exit_without_close_leaves_no_stale_segment(self):
+        """A parent that simply returns without close() triggers the atexit
+        guard, which unlinks (and deregisters) the segment — so the
+        resource tracker has nothing to complain about either."""
+        process, path = self._spawn()
+        _, stderr = process.communicate(timeout=30)
+        assert process.returncode == 0, stderr
+        assert self._wait_gone(path), f"stale segment {path} after clean exit"
+        assert "leaked shared_memory" not in stderr
+
+    def test_atexit_guard_skips_closed_arenas(self):
+        """close() discards the arena from the guard's live set."""
+        pairs = _pairs(_instances(1))
+        arena = InstanceArena(pairs)
+        assert arena in shm._LIVE_ARENAS
+        arena.close()
+        assert arena not in shm._LIVE_ARENAS
+        shm._close_live_arenas()  # no-op on the closed arena
 
 
 # ----------------------------------------------------------------------------- #

@@ -179,6 +179,129 @@ class TestJournalResume:
             load_journal(journal, plan)
 
 
+class TestTruncatedTailRepair:
+    """``_repair_truncated_tail`` edge cases around the header line.
+
+    A journal holding exactly one complete header and nothing else — the
+    writer died right after the header's newline was lost, or never got to
+    checkpoint a record — must keep its header: cutting it would silently
+    restart the run on the next resume.
+    """
+
+    def test_empty_file_is_left_alone(self, tmp_path):
+        from repro.workloads.engine import _repair_truncated_tail
+
+        journal = tmp_path / "journal.jsonl"
+        journal.write_bytes(b"")
+        _repair_truncated_tail(journal)
+        assert journal.read_bytes() == b""
+
+    def test_complete_header_without_newline_is_preserved(self, plan, tmp_path):
+        from repro.workloads.engine import _repair_truncated_tail
+
+        journal = tmp_path / "journal.jsonl"
+        header = json.dumps(
+            {
+                "schema": 1,
+                "kind": "workload-journal",
+                "plan": plan.digest,
+                "spec": None,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        journal.write_text(header, encoding="utf-8")  # EOF, no newline
+        _repair_truncated_tail(journal)
+        assert journal.read_text(encoding="utf-8") == header + "\n"
+        # end to end: the resumed run appends to the same journal instead of
+        # restarting it, and a second resume replays everything
+        execute_plan(plan, journal=journal, resume=True)
+        replay = execute_plan(plan, journal=journal, resume=True)
+        assert replay.stats.n_executed == 0
+        assert replay.stats.n_from_journal == len(plan.tasks)
+
+    def test_header_plus_partial_record_keeps_the_header(self, plan, tmp_path):
+        from repro.workloads.engine import _repair_truncated_tail
+
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal, max_tasks=1)
+        lines = journal.read_text(encoding="utf-8").splitlines(keepends=True)
+        journal.write_text(lines[0] + lines[1][:-25], encoding="utf-8")
+        _repair_truncated_tail(journal)
+        assert journal.read_text(encoding="utf-8") == lines[0]
+        resumed = execute_plan(plan, journal=journal, resume=True)
+        assert resumed.complete and resumed.stats.n_from_journal == 0
+
+    def test_complete_record_without_newline_is_kept(self, plan, tmp_path):
+        from repro.workloads.engine import _repair_truncated_tail
+
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(plan, journal=journal, max_tasks=2)
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-1])  # only the final newline was lost
+        _repair_truncated_tail(journal)
+        assert journal.read_bytes() == data
+        resumed = execute_plan(plan, journal=journal, resume=True)
+        assert resumed.stats.n_from_journal == 2
+
+
+class TestTimeBudgetResume:
+    """Wall-clock-budgeted tasks are non-replayable by construction."""
+
+    CELLS = [("H1", 6.0), ("local-search-h1", 6.0, None, 0.02)]
+
+    def test_budget_tasks_never_enter_the_journal(self, instances, tmp_path):
+        built, _ = solve_plan(instances, self.CELLS)
+        budget_tasks = [t for t in built.tasks if t.time_budget is not None]
+        assert len(budget_tasks) == len(instances)
+        journal = tmp_path / "journal.jsonl"
+        first = execute_plan(built, journal=journal)
+        assert first.complete
+        text = journal.read_text(encoding="utf-8")
+        for task in budget_tasks:
+            assert task.digest not in text
+
+    def test_resume_reexecutes_exactly_the_budget_tasks(
+        self, instances, tmp_path
+    ):
+        built, _ = solve_plan(instances, self.CELLS)
+        n_budget = sum(1 for t in built.tasks if t.time_budget is not None)
+        journal = tmp_path / "journal.jsonl"
+        execute_plan(built, journal=journal)
+        resumed = execute_plan(built, journal=journal, resume=True)
+        assert resumed.complete
+        assert resumed.stats.n_from_journal == len(built.tasks) - n_budget
+        assert resumed.stats.n_executed == n_budget
+
+    def test_stale_budget_records_from_older_builds_are_skipped(
+        self, instances, tmp_path
+    ):
+        """Defence in depth: a journal written by a build that *did*
+        checkpoint budget-bearing results must not replay them."""
+        from repro.workloads.engine import _journal_line
+
+        built, _ = solve_plan(instances, self.CELLS)
+        journal = tmp_path / "journal.jsonl"
+        run = execute_plan(built, journal=journal)
+        budget_task = next(t for t in built.tasks if t.time_budget is not None)
+        with journal.open("a", encoding="utf-8") as handle:
+            handle.write(_journal_line(budget_task, run.result_for(budget_task)))
+        completed = load_journal(journal, built)
+        assert budget_task.digest not in completed
+
+    def test_cells_differing_only_in_budget_rejected(self, instances):
+        """time_budget is outside the task digest, so two such cells would
+        collide on one journal key while behaving differently."""
+        with pytest.raises(ConfigurationError, match="time_budget"):
+            solve_plan(
+                instances,
+                [
+                    ("local-search-h1", 6.0, None, 0.02),
+                    ("local-search-h1", 6.0, None, 0.05),
+                ],
+            )
+
+
 class TestSinks:
     def test_jsonl_and_csv_rows(self, plan, tmp_path):
         run = execute_plan(plan)

@@ -1,0 +1,268 @@
+"""Sharded workload execution and journal merging.
+
+Contracts under test:
+
+* :func:`repro.workloads.plan.shard_tasks` is a **partition** for any
+  shard count — every task digest lands in exactly one shard — and a pure
+  function of the digests, so membership survives task reordering;
+* shards executed via ``execute_plan(plan, shard=(i, n))`` journal against
+  the *full* plan digest, so :func:`repro.workloads.engine.merge_journals`
+  folds independently-written shard journals into one resumable journal;
+* a plan run whole and a plan run as ``n`` merged shards produce
+  **byte-identical** reports and sink files;
+* merging rejects what it must — mismatched plan digests, conflicting
+  payloads for one task digest, foreign schemas — with actionable
+  messages, while tolerating identical duplicates, provenance-only
+  differences (``wall_time`` et al.) and one truncated tail per shard.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import SolveCache
+from repro.core.exceptions import ConfigurationError
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.workloads import (
+    JournalError,
+    JsonlSink,
+    execute_plan,
+    merge_journals,
+    render_workload_report,
+    shard_tasks,
+    solve_plan,
+    write_sinks,
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    config = experiment_config("E1", 6, 5, n_instances=5)
+    return generate_instances(config, seed=11)
+
+
+@pytest.fixture(scope="module")
+def plan(instances):
+    built, _ = solve_plan(instances, [("H1", 4.0), ("H4", 20.0)])
+    return built
+
+
+# --------------------------------------------------------------------------- #
+# shard selection
+# --------------------------------------------------------------------------- #
+class TestShardTasks:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 6])
+    def test_shards_partition_the_task_list(self, plan, count):
+        """Every task digest lands in exactly one shard, for any count."""
+        shards = [shard_tasks(plan, index, count) for index in range(count)]
+        digests = [task.digest for shard in shards for task in shard]
+        assert sorted(digests) == sorted(task.digest for task in plan.tasks)
+        assert len(digests) == len(set(digests))
+
+    def test_membership_is_a_function_of_the_digest(self, plan):
+        for index in range(3):
+            for task in shard_tasks(plan, index, 3):
+                assert int(task.digest, 16) % 3 == index
+
+    def test_single_shard_is_the_whole_plan(self, plan):
+        assert shard_tasks(plan, 0, 1) == plan.tasks
+
+    def test_invalid_count_rejected(self, plan):
+        with pytest.raises(ConfigurationError, match="count must be >= 1"):
+            shard_tasks(plan, 0, 0)
+
+    @pytest.mark.parametrize("index", [-1, 3, 7])
+    def test_out_of_range_index_rejected(self, plan, index):
+        with pytest.raises(ConfigurationError, match="0 <= index < count"):
+            shard_tasks(plan, index, 3)
+
+
+# --------------------------------------------------------------------------- #
+# sharded execution + merge, end to end
+# --------------------------------------------------------------------------- #
+class TestShardedExecution:
+    N_SHARDS = 3
+
+    def _run_shards(self, plan, tmp_path, cache=None):
+        paths = []
+        for index in range(self.N_SHARDS):
+            path = tmp_path / f"shard{index}.jsonl"
+            run = execute_plan(
+                plan, journal=path, shard=(index, self.N_SHARDS), cache=cache
+            )
+            expected = len(shard_tasks(plan, index, self.N_SHARDS))
+            assert run.stats.n_executed == expected
+            assert run.stats.n_out_of_shard == len(plan.tasks) - expected
+            paths.append(path)
+        return paths
+
+    def test_merged_shards_replay_byte_identical_to_whole_run(
+        self, plan, tmp_path
+    ):
+        paths = self._run_shards(plan, tmp_path)
+        merged = tmp_path / "merged.jsonl"
+        summary = merge_journals(paths, merged)
+        assert summary.plan == plan.digest
+        assert summary.n_inputs == self.N_SHARDS
+        assert summary.n_records == len(plan.tasks)
+        assert summary.n_duplicates == 0
+
+        replayed = execute_plan(plan, journal=merged, resume=True)
+        whole = execute_plan(plan)
+        assert replayed.complete
+        assert replayed.stats.n_executed == 0
+        assert replayed.stats.n_from_journal == len(plan.tasks)
+        assert render_workload_report(replayed) == render_workload_report(whole)
+        for task in plan.tasks:
+            assert (
+                replayed.result_for(task).identity()
+                == whole.result_for(task).identity()
+            )
+
+    def test_sink_files_byte_identical_to_whole_run(self, plan, tmp_path):
+        paths = self._run_shards(plan, tmp_path)
+        merged = tmp_path / "merged.jsonl"
+        merge_journals(paths, merged)
+        replayed = execute_plan(plan, journal=merged, resume=True)
+        whole = execute_plan(plan)
+        merged_rows = tmp_path / "merged-rows.jsonl"
+        whole_rows = tmp_path / "whole-rows.jsonl"
+        with JsonlSink(merged_rows) as sink:
+            write_sinks(replayed, [sink])
+        with JsonlSink(whole_rows) as sink:
+            write_sinks(whole, [sink])
+        assert merged_rows.read_bytes() == whole_rows.read_bytes()
+
+    def test_shards_share_a_solve_cache(self, plan, tmp_path):
+        """A shared cache dedupes across shards: a whole run on the
+        shard-warmed cache solves nothing new."""
+        cache = SolveCache()
+        self._run_shards(plan, tmp_path, cache=cache)
+        whole = execute_plan(plan, cache=cache)
+        assert whole.stats.n_solved == 0
+        assert whole.stats.n_cache_hits == len(plan.tasks)
+
+    def test_truncated_shard_tail_is_tolerated(self, plan, tmp_path):
+        paths = self._run_shards(plan, tmp_path)
+        data = paths[0].read_bytes()
+        paths[0].write_bytes(data[:-20])  # shard 0's writer died mid-append
+        merged = tmp_path / "merged.jsonl"
+        summary = merge_journals(paths, merged)
+        assert summary.n_records == len(plan.tasks) - 1
+        resumed = execute_plan(plan, journal=merged, resume=True)
+        assert resumed.complete
+        assert resumed.stats.n_executed == 1
+        assert render_workload_report(resumed) == render_workload_report(
+            execute_plan(plan)
+        )
+
+    def test_shard_plus_resume_on_one_journal(self, plan, tmp_path):
+        """A shard interrupted by max_tasks resumes within the shard."""
+        journal = tmp_path / "shard0.jsonl"
+        capped = execute_plan(plan, journal=journal, shard=(0, 2), max_tasks=1)
+        assert capped.stats.n_deferred > 0
+        resumed = execute_plan(
+            plan, journal=journal, shard=(0, 2), resume=True
+        )
+        assert resumed.stats.n_deferred == 0
+        assert resumed.stats.n_from_journal == 1
+        expected = len(shard_tasks(plan, 0, 2))
+        assert resumed.stats.n_from_journal + resumed.stats.n_executed == expected
+
+
+# --------------------------------------------------------------------------- #
+# merge failure modes
+# --------------------------------------------------------------------------- #
+class TestMergeFailureModes:
+    def _journals(self, plan, tmp_path, n=2):
+        paths = []
+        for index in range(n):
+            path = tmp_path / f"shard{index}.jsonl"
+            execute_plan(plan, journal=path, shard=(index, n))
+            paths.append(path)
+        return paths
+
+    def test_no_inputs_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="at least one input"):
+            merge_journals([], tmp_path / "out.jsonl")
+
+    def test_mismatched_plan_digests_rejected(self, plan, instances, tmp_path):
+        first, second = self._journals(plan, tmp_path)
+        other, _ = solve_plan(instances, [("H1", 9.0)])
+        foreign = tmp_path / "foreign.jsonl"
+        execute_plan(other, journal=foreign)
+        with pytest.raises(JournalError, match="share a single plan"):
+            merge_journals([first, second, foreign], tmp_path / "out.jsonl")
+
+    def test_conflicting_payloads_for_one_digest_rejected(self, plan, tmp_path):
+        first, second = self._journals(plan, tmp_path)
+        # replay one of shard 0's records into shard 1 with a tampered
+        # solution: same task digest, different payload
+        record = json.loads(first.read_text(encoding="utf-8").splitlines()[1])
+        record["result"]["period"] = record["result"]["period"] + 1.0
+        with second.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with pytest.raises(JournalError, match="different\\s+solution payloads"):
+            merge_journals([first, second], tmp_path / "out.jsonl")
+
+    def test_provenance_only_differences_are_not_conflicts(self, plan, tmp_path):
+        first, second = self._journals(plan, tmp_path)
+        record = json.loads(first.read_text(encoding="utf-8").splitlines()[1])
+        record["result"]["wall_time"] = 123.456
+        record["result"]["cache_hit"] = True
+        record["result"]["backend"] = "somewhere-else"
+        with second.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        summary = merge_journals([first, second], tmp_path / "out.jsonl")
+        assert summary.n_records == len(plan.tasks)
+        assert summary.n_duplicates == 1
+
+    def test_identical_duplicates_collapse(self, plan, tmp_path):
+        first, second = self._journals(plan, tmp_path)
+        # merging a shard with itself changes nothing
+        summary = merge_journals(
+            [first, first, second], tmp_path / "out.jsonl"
+        )
+        assert summary.n_records == len(plan.tasks)
+        assert summary.n_duplicates > 0
+
+    def test_unsupported_schema_rejected(self, plan, tmp_path):
+        first, second = self._journals(plan, tmp_path)
+        lines = first.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = 99
+        lines[0] = json.dumps(header, sort_keys=True)
+        first.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="unsupported schema 99"):
+            merge_journals([first, second], tmp_path / "out.jsonl")
+
+    def test_foreign_header_kind_rejected(self, plan, tmp_path):
+        (first,) = self._journals(plan, tmp_path, n=1)
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"schema":1,"kind":"something-else"}\n')
+        with pytest.raises(JournalError, match="not a workload journal"):
+            merge_journals([first, bogus], tmp_path / "out.jsonl")
+
+    def test_empty_journal_rejected_with_guidance(self, plan, tmp_path):
+        (first,) = self._journals(plan, tmp_path, n=1)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(JournalError, match="drop it from the input list"):
+            merge_journals([first, empty], tmp_path / "out.jsonl")
+
+    def test_truncated_header_only_journal_rejected(self, plan, tmp_path):
+        (first,) = self._journals(plan, tmp_path, n=1)
+        stub = tmp_path / "stub.jsonl"
+        stub.write_text('{"schema":1,"kind":"workload-jo')
+        with pytest.raises(JournalError, match="truncated header"):
+            merge_journals([first, stub], tmp_path / "out.jsonl")
+
+    def test_corrupt_middle_line_rejected(self, plan, tmp_path):
+        first, second = self._journals(plan, tmp_path)
+        lines = first.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "{corrupt")
+        first.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="corrupt at line 2"):
+            merge_journals([first, second], tmp_path / "out.jsonl")
