@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-cache bench-kernels cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke shard-smoke sweep-demo clean-results
+.PHONY: test lint bench-smoke bench bench-cache bench-kernels bench-service cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke shard-smoke serve-smoke sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
@@ -108,6 +108,38 @@ shard-smoke:
 	cmp .shard-smoke/merged.txt .shard-smoke/whole.txt
 	cmp .shard-smoke/merged.jsonl.rows.jsonl .shard-smoke/whole.jsonl.rows.jsonl
 	rm -rf .shard-smoke
+
+## solver-daemon latency gate: warm daemon >= 5x over per-request CLI on a
+## Zipf-repeated mix, byte-identical answers; writes BENCH_service.json
+bench-service:
+	$(PYTHON) benchmarks/bench_service_latency.py
+
+## CI's solver-daemon smoke slice: start `serve` in the background, run the
+## same batch twice through `batch --server`, assert the two stdout reports
+## are byte-identical and the second pass hit the daemon's warm cache, then
+## SIGTERM the daemon and require a clean (drained) exit 0
+serve-smoke:
+	rm -rf .serve-smoke && mkdir -p .serve-smoke
+	set -e; \
+	$(PYTHON) -m repro.cli serve --socket .serve-smoke/daemon.sock \
+		2> .serve-smoke/serve.log & SRV=$$!; \
+	trap 'kill $$SRV 2>/dev/null || true' EXIT; \
+	$(PYTHON) -m repro.cli client ping --socket .serve-smoke/daemon.sock \
+		--wait 30 > /dev/null; \
+	$(PYTHON) -m repro.cli batch --family E1 --stages 8 --processors 6 \
+		--instances 10 --repeat 2 --period 12 --latency 60 \
+		--server .serve-smoke/daemon.sock > .serve-smoke/cold.txt; \
+	$(PYTHON) -m repro.cli batch --family E1 --stages 8 --processors 6 \
+		--instances 10 --repeat 2 --period 12 --latency 60 \
+		--server .serve-smoke/daemon.sock > .serve-smoke/warm.txt; \
+	cmp .serve-smoke/cold.txt .serve-smoke/warm.txt; \
+	$(PYTHON) -m repro.cli client stats --socket .serve-smoke/daemon.sock \
+		| $(PYTHON) -c "import json,sys; s=json.load(sys.stdin); \
+			assert s['cache']['hit_rate'] > 0, s['cache']; \
+			print('daemon cache hit rate:', s['cache']['hit_rate'])"; \
+	kill -TERM $$SRV; rc=0; wait $$SRV || rc=$$?; trap - EXIT; \
+	test $$rc -eq 0 || { echo "daemon exited $$rc (want 0)"; cat .serve-smoke/serve.log; exit 1; }
+	rm -rf .serve-smoke
 
 ## one parallel figure panel end to end (smoke test of the --workers path)
 sweep-demo:

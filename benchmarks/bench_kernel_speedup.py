@@ -132,7 +132,8 @@ def measure(smoke: bool = False) -> dict:
 
     # a batch safely above the compiled-dispatch floor (the dispatcher routes
     # smaller batches to numpy on purpose: below the floor numpy is faster)
-    n_mappings = 2 * kernels.ELEMENTWISE_COMPILED_MIN // (p // 2)
+    floor = kernels.elementwise_compiled_min()
+    n_mappings = 2 * floor // (p // 2)
     comm, prefix, speeds, starts, ends, procs, offsets = _batch_inputs(
         n, p, n_mappings
     )
@@ -140,7 +141,7 @@ def measure(smoke: bool = False) -> dict:
         comm, prefix, speeds, starts, ends, procs, offsets,
         n, True, 10.0, 10.0, 10.0, None,
     )
-    assert starts.size >= kernels.ELEMENTWISE_COMPILED_MIN
+    assert starts.size >= floor
     batch_reps = max(10, reps // 4)
     t_np, ref = _best_of(reference.batch_terms_numpy, *batch_args, reps=batch_reps)
     t_cc, got = _best_of(funcs["batch_terms"], *batch_args, reps=batch_reps)
@@ -150,6 +151,42 @@ def measure(smoke: bool = False) -> dict:
         "numpy_us": t_np * 1e6, "compiled_us": t_cc * 1e6, "speedup": t_np / t_cc,
         "n_intervals": int(starts.size),
     }
+
+    # --- dispatch-floor calibration: where does compiled overtake numpy? --
+    # Recorded, not gated: batch_terms is elementwise, so its compiled win
+    # is modest and crosses over with batch size.  The grid below is what
+    # the ELEMENTWISE_COMPILED_MIN default was derived from (break-even near
+    # ~2k intervals on the reference host, solid wins from ~4k); re-running
+    # the bench re-measures it here, and an operator who sees a different
+    # crossover can pin $REPRO_ELEMENTWISE_COMPILED_MIN or call
+    # kernels.set_elementwise_compiled_min() accordingly.
+    grid_targets = (
+        [floor // 2, floor, 2 * floor]
+        if smoke
+        else [floor // 8, floor // 4, floor // 2, floor, 2 * floor, 4 * floor]
+    )
+    calibration_grid = []
+    crossover = None
+    for target in grid_targets:
+        m = max(1, target // (p // 2))
+        comm, prefix, speeds, starts, ends, procs, offsets = _batch_inputs(n, p, m)
+        cal_args = (
+            comm, prefix, speeds, starts, ends, procs, offsets,
+            n, True, 10.0, 10.0, 10.0, None,
+        )
+        cal_reps = max(5, batch_reps // 2)
+        t_np, ref = _best_of(reference.batch_terms_numpy, *cal_args, reps=cal_reps)
+        t_cc, got = _best_of(funcs["batch_terms"], *cal_args, reps=cal_reps)
+        for a, b in zip(ref, got):
+            assert (a == b).all()
+        calibration_grid.append({
+            "n_intervals": int(starts.size),
+            "numpy_us": t_np * 1e6,
+            "compiled_us": t_cc * 1e6,
+            "speedup": t_np / t_cc,
+        })
+        if crossover is None and t_np / t_cc >= 1.0:
+            crossover = int(starts.size)
 
     # end-to-end: sweep the homogeneous DP solvers — the consumers of the
     # gated table kernels — numpy backend vs compiled backend; identical
@@ -181,6 +218,12 @@ def measure(smoke: bool = False) -> dict:
         "n_stages": n,
         "n_processors": p,
         "kernels": kernels_out,
+        "calibration": {
+            "kernel": "batch_terms",
+            "dispatch_floor": floor,
+            "crossover_intervals": crossover,
+            "grid": calibration_grid,
+        },
         "sweep": {
             "label": config.label,
             "numpy_s": t_sweep_np,
@@ -203,6 +246,22 @@ def render(data: dict) -> str:
             f"{name:<22} {row['numpy_us']:>10.1f}us {row['compiled_us']:>10.1f}us "
             f"{row['speedup']:>8.1f}x"
         )
+    calibration = data.get("calibration")
+    if calibration:
+        crossover = calibration["crossover_intervals"]
+        lines += [
+            "",
+            f"batch_terms dispatch calibration (floor: "
+            f"{calibration['dispatch_floor']} intervals, measured crossover: "
+            f"{'none in grid' if crossover is None else crossover}):",
+        ]
+        for row in calibration["grid"]:
+            lines.append(
+                f"  {row['n_intervals']:>8} intervals  "
+                f"numpy {row['numpy_us']:>8.1f}us  "
+                f"compiled {row['compiled_us']:>8.1f}us  "
+                f"{row['speedup']:>6.2f}x"
+            )
     sweep = data["sweep"]
     lines += [
         "",

@@ -1,0 +1,319 @@
+"""Latency/throughput gate of the solver daemon over per-request CLI runs.
+
+The acceptance case of the solver-as-a-service work: on a Zipf-repeated
+request mix (a few popular instances dominate, a long tail repeats rarely —
+the shape interactive and sweep-driver traffic actually has), a **warm
+daemon** answering over its unix socket must beat **spawning one CLI
+process per request** by **at least 5x** in both p50 latency and
+throughput.  The daemon's answers must stay byte-identical (through
+``SolveResult.identity()``) to a direct :func:`solve_many` call — a client
+must not be able to tell the transport from the library.
+
+The win is structural, not statistical: a per-request process pays the
+interpreter start-up, the imports and a cold cache on *every* request,
+while the daemon pays them once and then serves repeats from its warm
+in-memory cache (and concurrent identical requests from the single-flight
+map — a concurrency phase below records the coalescer's counters).
+
+Artefacts:
+
+* ``benchmarks/results/service_latency.txt`` — human-readable report;
+* ``BENCH_service.json`` at the repo root — machine-readable trajectory
+  point for tracking the service layer over time.
+
+``python benchmarks/bench_service_latency.py --smoke`` runs the same
+measurement at reduced sizes; ``make bench`` runs the full pytest entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_utils import BENCH_SEED, write_report
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.server import DaemonConfig, DaemonThread, ServiceClient, SolveTaskSpec
+from repro.solvers.service import solve_many
+
+FAMILY = "E1"
+N_STAGES = 12
+N_PROCESSORS = 8
+PERIOD_BOUND = 12.0
+SOLVER = "H1"
+#: Zipf exponent of the request mix (rank-r instance drawn with p ~ 1/r^s)
+ZIPF_S = 1.1
+
+#: required p50-latency and throughput advantage of the warm daemon
+MIN_SPEEDUP = 5.0
+
+_ROOT = Path(__file__).resolve().parent.parent
+_JSON_PATH = _ROOT / "BENCH_service.json"
+
+
+def _zipf_mix(n_distinct: int, n_requests: int) -> list[int]:
+    """Deterministic Zipf-weighted instance indices for the request stream."""
+    rng = np.random.default_rng(BENCH_SEED)
+    weights = 1.0 / np.arange(1, n_distinct + 1, dtype=float) ** ZIPF_S
+    weights /= weights.sum()
+    return [int(i) for i in rng.choice(n_distinct, size=n_requests, p=weights)]
+
+
+def _cli_baseline(reps: int) -> list[float]:
+    """Wall time of one-shot CLI processes solving one instance each.
+
+    Every request pays what a cold process pays: interpreter start-up, the
+    package imports, instance generation and the solve itself — there is
+    nowhere for a per-request process to keep a warm cache.
+    """
+    times = []
+    for rep in range(reps):
+        argv = [
+            sys.executable, "-m", "repro.cli", "batch",
+            "--family", FAMILY,
+            "--stages", str(N_STAGES),
+            "--processors", str(N_PROCESSORS),
+            "--instances", "1",
+            "--seed", str(BENCH_SEED + rep),
+            "--period", str(PERIOD_BOUND),
+            "--solver", SOLVER,
+        ]
+        start = time.perf_counter()
+        proc = subprocess.run(
+            argv, capture_output=True, text=True, env=os.environ.copy()
+        )
+        elapsed = time.perf_counter() - start
+        assert proc.returncode == 0, proc.stderr
+        times.append(elapsed)
+    return times
+
+
+def _concurrency_phase(socket_path: str, instances) -> dict:
+    """Concurrent clients against one daemon: coalescing and batching.
+
+    One wave of identical requests (must coalesce to one solve) and one
+    wave of distinct requests (should flush as few multi-task batches);
+    returns the daemon-side counter deltas via ``/stats``.
+    """
+    def _spec(instance) -> SolveTaskSpec:
+        return SolveTaskSpec(
+            application=instance.application,
+            platform=instance.platform,
+            solver=SOLVER,
+            period_bound=PERIOD_BOUND,
+        )
+
+    with ServiceClient(socket_path) as probe:
+        before = probe.stats()
+
+    def _request(spec: SolveTaskSpec) -> None:
+        with ServiceClient(socket_path) as client:
+            client.solve_batch([spec])
+
+    # wave 1: n_threads clients ask for the SAME (uncached) instance
+    same = _spec(instances[0])
+    threads = [
+        threading.Thread(target=_request, args=(same,)) for _ in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # wave 2: distinct (uncached) instances arrive together -> micro-batches
+    threads = [
+        threading.Thread(target=_request, args=(_spec(instance),))
+        for instance in instances[1:]
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    with ServiceClient(socket_path) as probe:
+        after = probe.stats()
+    return {
+        "n_identical_clients": 8,
+        "n_distinct_clients": len(instances) - 1,
+        "n_coalesced": after["coalescer"]["n_coalesced"]
+        - before["coalescer"]["n_coalesced"],
+        "n_solved": after["requests"]["n_solved"]
+        - before["requests"]["n_solved"],
+        "batch_sizes": after["coalescer"]["batch_sizes"],
+    }
+
+
+def measure(smoke: bool = False) -> dict:
+    n_distinct = 8 if smoke else 24
+    n_requests = 40 if smoke else 200
+    baseline_reps = 2 if smoke else 5
+
+    config = experiment_config(
+        FAMILY, N_STAGES, N_PROCESSORS, n_instances=n_distinct
+    )
+    instances = generate_instances(config, seed=BENCH_SEED)
+    mix = _zipf_mix(n_distinct, n_requests)
+
+    # ---- reference: the library itself, for the identity check ----------- #
+    direct = solve_many(
+        [(inst.application, inst.platform) for inst in instances],
+        [SOLVER],
+        period_bound=PERIOD_BOUND,
+    )
+    reference = [row[0].identity() for row in direct.results]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_path = os.path.join(tmp, "daemon.sock")
+        daemon_config = DaemonConfig(socket_path=socket_path)
+        with DaemonThread(daemon_config):
+            # ---- warm-daemon latency over the Zipf mix ------------------- #
+            latencies = []
+            with ServiceClient(socket_path) as client:
+                for index in mix:
+                    instance = instances[index]
+                    start = time.perf_counter()
+                    result = client.solve(
+                        instance.application,
+                        instance.platform,
+                        SOLVER,
+                        period_bound=PERIOD_BOUND,
+                    )
+                    latencies.append(time.perf_counter() - start)
+                    assert result.identity() == reference[index], (
+                        f"daemon answer for instance {index} differs from "
+                        "the direct solve_many result"
+                    )
+                daemon_stats = client.stats()
+            total = sum(latencies)
+            concurrency = _concurrency_phase(
+                socket_path, generate_instances(config, seed=BENCH_SEED + 1)
+            )
+
+    # ---- baseline: one CLI process per request --------------------------- #
+    baseline_times = _cli_baseline(baseline_reps)
+    baseline_p50 = statistics.median(baseline_times)
+
+    daemon_p50 = statistics.median(latencies)
+    daemon_throughput = n_requests / total if total > 0 else float("inf")
+    baseline_throughput = 1.0 / baseline_p50
+
+    return {
+        "workload": {
+            "label": config.label,
+            "solver": SOLVER,
+            "period_bound": PERIOD_BOUND,
+            "n_distinct": n_distinct,
+            "n_requests": n_requests,
+            "zipf_s": ZIPF_S,
+        },
+        "daemon": {
+            "p50_ms": daemon_p50 * 1e3,
+            "p90_ms": statistics.quantiles(latencies, n=10)[-1] * 1e3,
+            "total_s": total,
+            "throughput_rps": daemon_throughput,
+            "cache": daemon_stats["cache"],
+            "coalescer": daemon_stats["coalescer"],
+        },
+        "per_request_cli": {
+            "reps": baseline_reps,
+            "p50_ms": baseline_p50 * 1e3,
+            "times_ms": [t * 1e3 for t in baseline_times],
+            "throughput_rps": baseline_throughput,
+        },
+        "speedup": {
+            "p50": baseline_p50 / daemon_p50,
+            "throughput": daemon_throughput / baseline_throughput,
+        },
+        "concurrency": concurrency,
+    }
+
+
+def render(data: dict) -> str:
+    workload = data["workload"]
+    daemon = data["daemon"]
+    cli = data["per_request_cli"]
+    speedup = data["speedup"]
+    concurrency = data["concurrency"]
+    return "\n".join([
+        f"solver-service latency gate ({workload['label']}, "
+        f"{workload['n_requests']} requests over {workload['n_distinct']} "
+        f"distinct instances, Zipf s={workload['zipf_s']}, "
+        f"solver {workload['solver']})",
+        "",
+        f"{'transport':<24} {'p50':>12} {'throughput':>16}",
+        "-" * 54,
+        f"{'per-request CLI':<24} {cli['p50_ms']:>10.1f}ms "
+        f"{cli['throughput_rps']:>12.1f}/s",
+        f"{'warm daemon':<24} {daemon['p50_ms']:>10.2f}ms "
+        f"{daemon['throughput_rps']:>12.1f}/s",
+        "",
+        f"speedup: {speedup['p50']:.0f}x p50 latency, "
+        f"{speedup['throughput']:.0f}x throughput "
+        f"(gate: >= {MIN_SPEEDUP:.0f}x each)",
+        f"daemon cache hit rate over the mix: "
+        f"{daemon['cache']['hit_rate']:.1%}",
+        "",
+        f"concurrency phase: {concurrency['n_identical_clients']} identical "
+        f"clients -> {concurrency['n_coalesced']} coalesced; "
+        f"{concurrency['n_distinct_clients']} distinct clients solved in "
+        f"micro-batches (sizes seen: "
+        f"{', '.join(sorted(concurrency['batch_sizes']))})",
+        "results byte-identical to direct solve_many on every request",
+    ])
+
+
+def persist(data: dict) -> None:
+    write_report("service_latency", render(data))
+    _JSON_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def check(data: dict) -> None:
+    p50 = data["speedup"]["p50"]
+    throughput = data["speedup"]["throughput"]
+    assert p50 >= MIN_SPEEDUP, (
+        f"warm daemon p50 only {p50:.2f}x better than per-request CLI "
+        f"(need >= {MIN_SPEEDUP:.0f}x)"
+    )
+    assert throughput >= MIN_SPEEDUP, (
+        f"warm daemon throughput only {throughput:.2f}x better than "
+        f"per-request CLI (need >= {MIN_SPEEDUP:.0f}x)"
+    )
+    # the coalescer must have collapsed the identical-client wave
+    assert data["concurrency"]["n_coalesced"] > 0, (
+        "no request was coalesced: the single-flight map did not engage"
+    )
+
+
+def test_warm_daemon_is_5x_faster_than_cli():
+    data = measure(smoke=os.environ.get("REPRO_BENCH_INSTANCES") is not None)
+    persist(data)
+    check(data)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="gate the solver daemon: >= 5x p50 latency and "
+        "throughput vs per-request CLI on a Zipf-repeated mix"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer requests and baseline reps (CI's smoke slice)",
+    )
+    cli_args = parser.parse_args()
+    bench_data = measure(smoke=cli_args.smoke)
+    print(render(bench_data))
+    persist(bench_data)
+    print(f"\ntrajectory point written to {_JSON_PATH}")
+    check(bench_data)

@@ -16,7 +16,11 @@ Three classes, layered:
   :class:`CacheStats` counter block.  It pickles by configuration
   (``maxsize``, ``directory``), so handing a cache to the process pool
   re-attaches workers to the shared directory while the in-memory layer
-  stays per-process.
+  stays per-process.  ``get``/``put`` and the counters are guarded by one
+  lock, so a cache shared between threads — the solver daemon's event loop
+  and its executor threads — neither drops counter increments nor corrupts
+  the LRU order; :meth:`SolveCache.stats_snapshot` reads a consistent
+  counter block for the daemon's ``/stats`` payload.
 
 Results go in exactly once and come back out stamped ``cache_hit=True``;
 everything else about them — including the original ``wall_time`` — is the
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -228,6 +233,11 @@ class SolveCache:
         self._memory = InMemoryLRUCache(maxsize)
         self._disk = None if directory is None else DiskCacheStore(directory)
         self.stats = CacheStats()
+        # one lock over lookup/store and the counters: the cache is shared
+        # between the daemon's event loop and its executor threads, and
+        # unguarded `stats.x += 1` read-modify-writes drop increments under
+        # that interleaving (as does concurrent OrderedDict reordering)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # lookup / store
@@ -235,26 +245,35 @@ class SolveCache:
     def get(self, key: CacheKey) -> "SolveResult | None":
         """The memoised result for ``key`` (stamped ``cache_hit=True``), or None."""
         digest = key.digest
-        result = self._memory.get(digest)
-        if result is not None:
-            self.stats.memory_hits += 1
-        elif self._disk is not None:
-            result = self._disk.get(key)
+        with self._lock:
+            result = self._memory.get(digest)
             if result is not None:
-                self.stats.disk_hits += 1
-                # promote: the next lookup is a dictionary hit
-                self.stats.evictions += self._memory.put(digest, result)
-        if result is None:
-            self.stats.misses += 1
+                self.stats.memory_hits += 1
+                self.stats.hits += 1
+                return replace(result, cache_hit=True)
+        # the disk probe (file I/O, JSON decode) runs outside the lock so a
+        # slow read never serialises the in-memory fast path of other threads
+        if self._disk is None:
+            with self._lock:
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        result = self._disk.get(key)
+        with self._lock:
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self.stats.disk_hits += 1
+            self.stats.hits += 1
+            # promote: the next lookup is a dictionary hit
+            self.stats.evictions += self._memory.put(digest, result)
         return replace(result, cache_hit=True)
 
     def put(self, key: CacheKey, result: "SolveResult") -> None:
         """Memoise a freshly solved result under ``key``."""
         stored = replace(result, cache_hit=False)
-        self.stats.evictions += self._memory.put(key.digest, stored)
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.evictions += self._memory.put(key.digest, stored)
+            self.stats.stores += 1
         if self._disk is not None:
             self._disk.put(key, stored)
 
@@ -271,13 +290,25 @@ class SolveCache:
         """
         return self.stats.hit_rate
 
+    def stats_snapshot(self) -> dict[str, Any]:
+        """A consistent :meth:`CacheStats.as_dict` taken under the lock.
+
+        Reading the counters field by field while another thread updates
+        them can observe a torn view (e.g. ``hits`` bumped but ``lookups``
+        not yet); the daemon's ``/stats`` endpoint reads through here.
+        """
+        with self._lock:
+            return self.stats.as_dict()
+
     def __len__(self) -> int:
         """Entries resident in the in-memory layer."""
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear(self) -> None:
         """Drop the in-memory layer (the disk store, if any, is kept)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     def describe(self) -> str:
         """One-line summary of configuration and counters."""

@@ -28,7 +28,14 @@ The ``repro-pipeline`` entry point exposes the main workflows:
   processes or hosts, one journal per shard);
 * ``merge-journals`` — fold the shard journals of one plan back into a
   single journal that ``run --journal ... --resume`` replays into the
-  final report, byte-identical to an unsharded run.
+  final report, byte-identical to an unsharded run;
+* ``serve``     — run the persistent solver daemon (:mod:`repro.server`):
+  one warm solve cache and worker pool serving many clients over a unix
+  socket, with single-flight coalescing of identical in-air requests and
+  micro-batching of concurrent distinct ones;
+* ``client``    — talk to a running daemon (``ping``, ``stats``,
+  ``solve``); ``batch --server SOCKET`` routes the ordinary batch command
+  through a daemon with byte-identical stdout.
 
 All output is plain text (the environment is headless); every command accepts
 ``--seed`` so results are reproducible.  The experiment commands additionally
@@ -128,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replicate the instance stream N times (a "
                             "repeated-instance workload: the service solves "
                             "each distinct instance once)")
+    batch.add_argument("--server", default=None, metavar="SOCKET",
+                       help="route the batch through the solver daemon "
+                            "listening on this unix socket instead of "
+                            "solving in-process (stdout is byte-identical; "
+                            "the cache and the worker pool live in the "
+                            "daemon, so local cache/worker flags are "
+                            "ignored)")
     _add_budget_arguments(batch)
     _add_cache_arguments(batch)
 
@@ -245,6 +259,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="merged journal path (written atomically); "
                             "replay it with 'run SPEC --journal PATH --resume'")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent solver daemon on a unix socket "
+             "(warm cache + worker pool shared by every client; "
+             "SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--socket", required=True, metavar="PATH",
+                       help="unix socket to listen on (created on start, "
+                            "removed on drain)")
+    serve.add_argument("--cache-size", type=_positive_int_arg, default=4096,
+                       metavar="N",
+                       help="capacity of the daemon's in-memory LRU solve "
+                            "cache (the daemon always memoises; that is "
+                            "its point)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="additionally persist the solve cache as "
+                            "content-addressed blobs under DIR (the daemon "
+                            "restarts warm)")
+    serve.add_argument("--window", type=_nonnegative_float_arg, default=0.002,
+                       metavar="SECONDS",
+                       help="micro-batching window: how long the first "
+                            "pending solve waits for company before the "
+                            "batch flushes (0 = flush immediately)")
+    serve.add_argument("--max-batch", type=_positive_int_arg, default=128,
+                       metavar="N",
+                       help="flush a pending batch eagerly at this size")
+    _add_parallel_arguments(serve)
+    _add_backend_argument(serve)
+
+    client = sub.add_parser(
+        "client", help="talk to a running solver daemon (see 'serve')"
+    )
+    csub = client.add_subparsers(dest="client_command", required=True)
+    cping = csub.add_parser("ping", help="liveness probe (round-trip time)")
+    cping.add_argument("--socket", required=True, metavar="PATH")
+    cping.add_argument("--wait", type=_positive_float_arg, default=None,
+                       metavar="SECONDS",
+                       help="poll up to SECONDS for the daemon to come up "
+                            "before pinging (for scripts that just "
+                            "started one)")
+    cstats = csub.add_parser(
+        "stats",
+        help="print the daemon's /stats snapshot as JSON (cache hit rate, "
+             "in-flight count, batch-size histogram)",
+    )
+    cstats.add_argument("--socket", required=True, metavar="PATH")
+    csolve = csub.add_parser(
+        "solve", help="solve one explicit instance on the daemon"
+    )
+    csolve.add_argument("--socket", required=True, metavar="PATH")
+    csolve.add_argument("--works", type=float, nargs="+", required=True,
+                        help="per-stage computation amounts w_1 .. w_n")
+    csolve.add_argument("--comms", type=float, nargs="+", required=True,
+                        help="data sizes delta_0 .. delta_n (n+1 values)")
+    csolve.add_argument("--speeds", type=float, nargs="+", required=True,
+                        help="processor speeds s_1 .. s_p")
+    csolve.add_argument("--bandwidth", type=float, default=10.0,
+                        help="link bandwidth b")
+    csolve.add_argument("--solver", "--heuristic", dest="solver", default="H1",
+                        help="a single registered solver (groups need "
+                             "'batch --server')")
+    csolve.add_argument("--period", type=float, default=None, help="period bound")
+    csolve.add_argument("--latency", type=float, default=None,
+                        help="latency bound")
+    _add_budget_arguments(csolve)
+
     return parser
 
 
@@ -301,6 +381,16 @@ def _positive_float_arg(value: str) -> float:
         raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
     if x <= 0:
         raise argparse.ArgumentTypeError("must be a positive number")
+    return x
+
+
+def _nonnegative_float_arg(value: str) -> float:
+    try:
+        x = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if x < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
     return x
 
 
@@ -582,36 +672,87 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("error: no applicable solver in the selection", file=sys.stderr)
         return 2
 
-    cache = _build_cache(args)
     # one service call per solver: a solver that rejects the given bounds at
     # solve time (e.g. one-to-one with an opposite-criterion bound) is
-    # skipped with a note instead of aborting the whole batch
+    # skipped with a note instead of aborting the whole batch.  Each entry is
+    # (solver, per-instance results, n_tasks, n_unique, n_solved, n_hits) —
+    # the same shape whether the batch ran in-process or through a daemon.
+    cache = None
     per_solver = []
-    for solver in runnable:
+    if args.server:
+        from .server.client import ServiceClient, ServiceError
+        from .server.protocol import SolveTaskSpec
+
+        if args.use_cache is not None or args.cache_dir:
+            print("note: --server ignores local cache flags "
+                  "(the solve cache lives in the daemon)", file=sys.stderr)
         try:
-            outcome = solve_many(
-                stream,
-                [solver],
-                period_bound=args.period,
-                latency_bound=args.latency,
-                max_steps=args.max_steps,
-                time_budget=args.time_budget,
-                workers=args.workers,
-                batch_size=args.batch_size,
-                cache=cache,
-            )
-        except (ValueError, ConfigurationError) as exc:
-            print(f"note: skipping {solver.name} ({exc})", file=sys.stderr)
-            continue
-        per_solver.append((solver, outcome))
+            service = ServiceClient(args.server)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        with service:
+            for solver in runnable:
+                tasks = [
+                    SolveTaskSpec(
+                        application=instance.application,
+                        platform=instance.platform,
+                        solver=solver.name,
+                        period_bound=args.period,
+                        latency_bound=args.latency,
+                        max_steps=args.max_steps,
+                        time_budget=args.time_budget,
+                    )
+                    for instance in stream
+                ]
+                try:
+                    reply = service.solve_batch(tasks)
+                except ServiceError as exc:
+                    print(f"note: skipping {solver.name} ({exc})",
+                          file=sys.stderr)
+                    continue
+                per_solver.append((
+                    solver,
+                    list(reply.results),
+                    reply.n_tasks,
+                    reply.n_unique,
+                    reply.dispositions.get("solved", 0),
+                    reply.dispositions.get("cache", 0),
+                ))
+    else:
+        cache = _build_cache(args)
+        for solver in runnable:
+            try:
+                outcome = solve_many(
+                    stream,
+                    [solver],
+                    period_bound=args.period,
+                    latency_bound=args.latency,
+                    max_steps=args.max_steps,
+                    time_budget=args.time_budget,
+                    workers=args.workers,
+                    batch_size=args.batch_size,
+                    cache=cache,
+                )
+            except (ValueError, ConfigurationError) as exc:
+                print(f"note: skipping {solver.name} ({exc})", file=sys.stderr)
+                continue
+            per_solver.append((
+                solver,
+                [row[0] for row in outcome.results],
+                outcome.stats.n_tasks,
+                outcome.stats.n_unique,
+                outcome.stats.n_solved,
+                outcome.stats.n_cache_hits,
+            ))
     if not per_solver:
         print("error: every selected solver was skipped", file=sys.stderr)
         return 2
 
-    n_tasks = sum(o.stats.n_tasks for _, o in per_solver)
-    n_unique = sum(o.stats.n_unique for _, o in per_solver)
-    n_solved = sum(o.stats.n_solved for _, o in per_solver)
-    n_hits = sum(o.stats.n_cache_hits for _, o in per_solver)
+    n_tasks = sum(entry[2] for entry in per_solver)
+    n_unique = sum(entry[3] for entry in per_solver)
+    n_solved = sum(entry[4] for entry in per_solver)
+    n_hits = sum(entry[5] for entry in per_solver)
     print(f"batch solve : {config.label} — {len(base)} instance(s) "
           f"x {args.repeat} repeat(s), {len(per_solver)} solver(s)")
     print(f"tasks       : {n_tasks} requested, "
@@ -623,8 +764,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print("-" * len(header))
     for i, instance in enumerate(stream):
         digest = instance_digest(instance.application, instance.platform)[:12]
-        for solver, outcome in per_solver:
-            result = outcome.results[i][0]
+        for solver, results, *_ in per_solver:
+            result = results[i]
             status = "ok" if result.feasible else "infeasible"
             print(f"{i:>4} {digest:<14} {solver.key:<6} {status:<12} "
                   f"{result.period:>12.6g} {result.latency:>12.6g}")
@@ -939,6 +1080,80 @@ def _cmd_merge_journals(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the solver daemon until SIGTERM/SIGINT drains it (exit 0)."""
+    from .server import DaemonConfig, run_daemon
+
+    config = DaemonConfig(
+        socket_path=args.socket,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        cache_maxsize=args.cache_size,
+        cache_dir=args.cache_dir,
+        window=args.window,
+        max_batch=args.max_batch,
+        # the active backend is already applied by main()'s use_backend
+    )
+    print(f"solver daemon starting on {args.socket} "
+          f"(workers={args.workers}, window={args.window}s, "
+          f"max-batch={args.max_batch}); SIGTERM drains gracefully",
+          file=sys.stderr)
+    return run_daemon(config)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running daemon: ping, stats, or a one-off solve."""
+    import json as _json
+
+    from .server.client import ServiceClient, ServiceError, wait_for_server
+
+    try:
+        if args.client_command == "ping":
+            if args.wait is not None:
+                wait_for_server(args.socket, timeout=args.wait)
+            with ServiceClient(args.socket) as service:
+                rtt = service.ping()
+                print(f"pong from pid {service.server_pid} "
+                      f"in {rtt * 1e3:.3f} ms")
+            return 0
+        if args.client_command == "stats":
+            with ServiceClient(args.socket) as service:
+                print(_json.dumps(service.stats(), indent=2, sort_keys=True))
+            return 0
+        # solve
+        selection = args.solver.strip()
+        if selection.lower() in GROUP_SELECTORS:
+            print("error: 'client solve' takes a single solver "
+                  "(route groups through 'batch --server')", file=sys.stderr)
+            return 2
+        try:
+            solver = resolve_solvers(selection)[0]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        bounds = _solver_bounds(solver, args, strict=True)
+        if isinstance(bounds, str):
+            if bounds.startswith("--"):
+                bounds = f"this solver needs {bounds}"
+            print(f"error: {bounds}", file=sys.stderr)
+            return 2
+        app = PipelineApplication(args.works, args.comms, name="cli-instance")
+        platform = Platform.communication_homogeneous(
+            args.speeds, bandwidth=args.bandwidth, name="cli-platform"
+        )
+        with ServiceClient(args.socket) as service:
+            result = service.solve(app, platform, solver.name, **bounds)
+        print(f"solver    : {result.solver} ({solver.key}, {solver.family})")
+        print(f"feasible  : {result.feasible}")
+        print(f"period    : {result.period:.6g}")
+        print(f"latency   : {result.latency:.6g}")
+        print(result.mapping.describe())
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-pipeline`` console script."""
     parser = build_parser()
@@ -954,6 +1169,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fuzz": _cmd_fuzz,
         "run": _cmd_run,
         "merge-journals": _cmd_merge_journals,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }
     # --backend applies to the whole command; worker pools mirror the active
     # backend through the parallel_map initializer.

@@ -20,17 +20,21 @@ from .dispatch import (
     batch_terms,
     compiled_engine,
     compiled_unavailable_reason,
+    elementwise_compiled_min,
     interval_components,
     min_latency_tables,
     min_period_tables,
     resolve_backend,
     set_active_backend,
+    set_elementwise_compiled_min,
     use_backend,
 )
 
 __all__ = [
     "BACKENDS",
     "ELEMENTWISE_COMPILED_MIN",
+    "elementwise_compiled_min",
+    "set_elementwise_compiled_min",
     "active_backend",
     "set_active_backend",
     "use_backend",

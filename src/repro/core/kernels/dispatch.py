@@ -36,6 +36,8 @@ from . import reference
 __all__ = [
     "BACKENDS",
     "ELEMENTWISE_COMPILED_MIN",
+    "elementwise_compiled_min",
+    "set_elementwise_compiled_min",
     "active_backend",
     "set_active_backend",
     "use_backend",
@@ -57,7 +59,57 @@ BACKENDS = ("numpy", "scalar", "compiled")
 #: engine: below this the per-call marshalling overhead exceeds the loop
 #: itself and the bit-identical numpy kernels are faster.  The DP table
 #: kernels have no such floor — they win at every size the solvers use.
-ELEMENTWISE_COMPILED_MIN = 4096
+#:
+#: The default is set from measurement, not guesswork: on the reference
+#: container the compiled ``batch_terms`` breaks even with numpy at ~2k
+#: intervals and holds a robust >= 1.25x win from ~4k upward (the crossover
+#: curve is re-measured and recorded in ``BENCH_kernels.json`` by
+#: ``benchmarks/bench_kernel_speedup.py --calibrate``).  Override per host
+#: with ``REPRO_ELEMENTWISE_COMPILED_MIN`` or
+#: :func:`set_elementwise_compiled_min`.
+_ELEMENTWISE_COMPILED_MIN_DEFAULT = 4096
+
+
+def _initial_elementwise_min() -> int:
+    raw = os.environ.get("REPRO_ELEMENTWISE_COMPILED_MIN", "").strip()
+    if not raw:
+        return _ELEMENTWISE_COMPILED_MIN_DEFAULT
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_ELEMENTWISE_COMPILED_MIN must be an integer, got {raw!r}"
+        )
+    if value < 1:
+        raise ConfigurationError(
+            f"REPRO_ELEMENTWISE_COMPILED_MIN must be >= 1, got {value}"
+        )
+    return value
+
+
+ELEMENTWISE_COMPILED_MIN = _initial_elementwise_min()
+
+
+def elementwise_compiled_min() -> int:
+    """The currently active elementwise compiled-dispatch floor."""
+    return ELEMENTWISE_COMPILED_MIN
+
+
+def set_elementwise_compiled_min(value: int) -> int:
+    """Set the dispatch floor (e.g. from a calibration run); returns the old.
+
+    The floor only affects *which* bit-identical kernel serves a call, never
+    the results, so re-tuning it per host is always safe.
+    """
+    global ELEMENTWISE_COMPILED_MIN
+    value = int(value)
+    if value < 1:
+        raise ConfigurationError(
+            f"elementwise compiled floor must be >= 1, got {value}"
+        )
+    previous = ELEMENTWISE_COMPILED_MIN
+    ELEMENTWISE_COMPILED_MIN = value
+    return previous
 
 
 def _validated(name: str) -> str:

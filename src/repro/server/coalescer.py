@@ -1,0 +1,216 @@
+"""Single-flight coalescing and time/size-windowed micro-batching.
+
+Two ideas, one data structure:
+
+* **single-flight** — every pending solve is keyed by its content-addressed
+  cache-key digest (instance × solver × version × request).  A request
+  whose digest is already in flight does not enqueue new work; it awaits
+  the existing future, so *N* concurrent clients asking for one digest cost
+  exactly one solver run (the solve cache covers repeats over time, the
+  in-flight map covers repeats in the air);
+* **micro-batching** — distinct pending solves are not executed one by
+  one.  The first arrival opens a short window (``window`` seconds);
+  everything that arrives before it closes — or before ``max_batch`` tasks
+  accumulate — is flushed as one batch, which the daemon pushes through
+  :func:`repro.solvers.service.solve_many` so the shared-memory arena,
+  the worker pool and the dedupe/cache probe amortise across clients.
+
+The coalescer is a pure asyncio object: it never touches sockets or
+solvers itself.  The daemon supplies ``execute`` — an async callable that
+receives each flushed batch and must resolve every task's future.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Awaitable, Callable
+
+from ..cache.keys import solve_key
+
+if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
+    from ..core.application import PipelineApplication
+    from ..core.platform import Platform
+    from ..solvers.base import SolveRequest, SolveResult
+    from ..solvers.registry import Solver
+
+__all__ = ["PendingSolve", "SolveCoalescer"]
+
+
+@dataclass
+class PendingSolve:
+    """One enqueued solver run awaiting execution."""
+
+    handle: "Solver"
+    application: "PipelineApplication"
+    platform: "Platform"
+    request: "SolveRequest"
+    digest: str
+    future: "asyncio.Future[SolveResult]" = field(repr=False)
+
+    @property
+    def group_key(self) -> tuple[str, "SolveRequest"]:
+        """Tasks sharing (solver, request) batch into one solve_many call."""
+        return (self.handle.name, self.request)
+
+
+class SolveCoalescer:
+    """The daemon's admission queue: single-flight map + windowed batcher.
+
+    Parameters
+    ----------
+    execute:
+        ``async execute(batch: list[PendingSolve]) -> None``.  Must resolve
+        (``set_result``/``set_exception``) every future in the batch; any
+        exception it raises is propagated onto the still-unresolved ones,
+        so a waiter can never hang on a crashed batch.
+    window:
+        Seconds the first pending task waits for company before the batch
+        flushes.  ``0`` flushes immediately (every batch is whatever
+        arrived in one event-loop beat).
+    max_batch:
+        Flush eagerly once this many tasks are pending.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[list[PendingSolve]], Awaitable[None]],
+        *,
+        window: float = 0.002,
+        max_batch: int = 128,
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._execute = execute
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._pending: list[PendingSolve] = []
+        self._inflight: dict[str, "asyncio.Future[SolveResult]"] = {}
+        self._arrival = asyncio.Event()
+        self._flush = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._hurry = False
+        self._stopping = False
+        #: tasks enqueued (post single-flight dedupe)
+        self.n_enqueued = 0
+        #: submissions answered by an already in-flight digest
+        self.n_coalesced = 0
+        #: histogram {batch size: count} of every flushed batch
+        self.batch_sizes: Counter[int] = Counter()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the flush loop on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="solve-coalescer"
+            )
+
+    def hurry(self) -> None:
+        """Stop waiting out windows: flush everything as it arrives (drain)."""
+        self._hurry = True
+        self._flush.set()
+        self._arrival.set()
+
+    async def stop(self) -> None:
+        """Flush the queue and stop the loop once it is empty."""
+        self._stopping = True
+        self.hurry()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    @property
+    def n_in_flight(self) -> int:
+        """Distinct digests currently pending or executing."""
+        return len(self._inflight)
+
+    async def submit(
+        self,
+        handle: "Solver",
+        app: "PipelineApplication",
+        platform: "Platform",
+        request: "SolveRequest",
+    ) -> tuple["SolveResult", bool]:
+        """Enqueue (or join) one solve; returns ``(result, coalesced)``.
+
+        ``coalesced`` is ``True`` when the call joined an already in-flight
+        identical task instead of enqueuing work of its own.
+        """
+        if self._stopping:
+            raise RuntimeError("coalescer is stopping; no new submissions")
+        digest = solve_key(app, platform, handle, request).digest
+        existing = self._inflight.get(digest)
+        if existing is not None:
+            self.n_coalesced += 1
+            # shield: a disconnected waiter must not cancel the shared future
+            return await asyncio.shield(existing), True
+        future: "asyncio.Future[SolveResult]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[digest] = future
+        self._pending.append(
+            PendingSolve(handle, app, platform, request, digest, future)
+        )
+        self.n_enqueued += 1
+        if len(self._pending) >= self.max_batch:
+            self._flush.set()
+        self._arrival.set()
+        return await asyncio.shield(future), False
+
+    # ------------------------------------------------------------------ #
+    # flush loop
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        while True:
+            await self._arrival.wait()
+            self._arrival.clear()
+            if not self._pending:
+                if self._stopping:
+                    return
+                continue
+            if self.window > 0 and not self._hurry:
+                if len(self._pending) < self.max_batch:
+                    try:
+                        await asyncio.wait_for(self._flush.wait(), self.window)
+                    except asyncio.TimeoutError:
+                        pass
+            self._flush.clear()
+            batch, self._pending = self._pending, []
+            self.batch_sizes[len(batch)] += 1
+            try:
+                await self._execute(batch)
+            except Exception as exc:  # noqa: BLE001 - propagated to waiters
+                for task in batch:
+                    if not task.future.done():
+                        task.future.set_exception(exc)
+            finally:
+                for task in batch:
+                    self._inflight.pop(task.digest, None)
+                    if not task.future.done():  # executor forgot one: fail loud
+                        task.future.set_exception(
+                            RuntimeError(
+                                f"batch executor resolved no result for "
+                                f"{task.digest[:12]}…"
+                            )
+                        )
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-safe counters for the ``/stats`` payload."""
+        sizes = {str(size): count for size, count in sorted(self.batch_sizes.items())}
+        return {
+            "n_enqueued": self.n_enqueued,
+            "n_coalesced": self.n_coalesced,
+            "in_flight": self.n_in_flight,
+            "n_batches": sum(self.batch_sizes.values()),
+            "max_batch_size": max(self.batch_sizes, default=0),
+            "batch_sizes": sizes,
+        }

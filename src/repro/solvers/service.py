@@ -36,7 +36,7 @@ from ..cache.keys import CacheKey, solve_key
 from ..core import kernels
 from ..core.exceptions import ConfigurationError
 from ..core.identity import instance_digest
-from ..utils.parallel import parallel_map, resolve_worker_count
+from ..utils.parallel import WorkerPool, parallel_map, resolve_worker_count
 from ..utils.shm import InstanceArena, InstanceRef, resolve_instance
 from .base import SolveRequest, SolveResult
 from .registry import Solver, as_solver, resolve_solvers
@@ -186,6 +186,7 @@ def solve_many(
     cache: "SolveCache | None" = None,
     backend: str | None = None,
     transport: str = "auto",
+    pool: WorkerPool | None = None,
 ) -> BatchResult:
     """Solve every instance with every selected solver, doing minimal work.
 
@@ -230,6 +231,12 @@ def solve_many(
         (:mod:`repro.utils.shm`) and ships digest-sized refs per task,
         ``"pickle"`` forces the legacy per-task instance pickling,
         ``"shm"`` forces the arena even for serial runs (tests).
+    pool:
+        A persistent :class:`~repro.utils.parallel.WorkerPool` to ship the
+        cache misses through instead of the per-call pool — the solver
+        daemon holds one across requests so batches never re-pay worker
+        start-up.  When given, the pool's worker count wins over
+        ``workers=``; results stay byte-identical either way.
     """
     if transport not in _TRANSPORTS:
         raise ConfigurationError(
@@ -247,6 +254,7 @@ def solve_many(
             batch_size=batch_size,
             cache=cache,
             transport=transport,
+            pool=pool,
         )
 
 
@@ -262,6 +270,7 @@ def _solve_many_active(
     batch_size: int | None,
     cache: "SolveCache | None",
     transport: str,
+    pool: WorkerPool | None = None,
 ) -> BatchResult:
     """The batch pipeline, run under the already-active kernel backend."""
     pairs = [as_instance_pair(item) for item in instances]
@@ -310,8 +319,9 @@ def _solve_many_active(
             n_cache_hits += 1
 
     # -- ship the misses: shared-memory refs when pooling, objects serially - #
+    n_workers = pool.workers if pool is not None else resolve_worker_count(workers)
     use_arena = transport == "shm" or (
-        transport == "auto" and resolve_worker_count(workers) > 1 and len(misses) > 1
+        transport == "auto" and n_workers > 1 and len(misses) > 1
     )
     if use_arena:
         with InstanceArena(
@@ -325,13 +335,27 @@ def _solve_many_active(
                 )
                 for u in misses
             ]
-            solved = parallel_map(
-                _solve_ref_task,
-                ref_tasks,
-                workers=workers,
-                batch_size=batch_size,
-                payload=arena.shipment(),
-            )
+            if pool is not None:
+                solved = pool.map(
+                    _solve_ref_task,
+                    ref_tasks,
+                    batch_size=batch_size,
+                    payload=arena.shipment(),
+                )
+            else:
+                solved = parallel_map(
+                    _solve_ref_task,
+                    ref_tasks,
+                    workers=workers,
+                    batch_size=batch_size,
+                    payload=arena.shipment(),
+                )
+    elif pool is not None:
+        solved = pool.map(
+            _solve_task,
+            [unique_tasks[u] for u in misses],
+            batch_size=batch_size,
+        )
     else:
         solved = parallel_map(
             _solve_task,

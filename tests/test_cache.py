@@ -218,3 +218,90 @@ class TestSolveWithCache:
             "H1", instance.application, instance.platform, request, None
         )
         assert not result.cache_hit and result.solver == "Sp mono P"
+
+
+class TestThreadSafety:
+    """The cache is shared between the daemon's event loop and its solver
+    threads; unguarded ``stats.x += 1`` read-modify-writes (and concurrent
+    LRU reordering) used to drop increments under that interleaving.  The
+    accounting must be *exact*, not approximately right."""
+
+    def _hammer(self, work, n_threads: int = 8):
+        import sys
+        import threading
+
+        # preempt as aggressively as the interpreter allows: the drift bug
+        # is a lost-update race, so shrink the race window's grain
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            barrier = threading.Barrier(n_threads)
+
+            def runner(tid: int) -> None:
+                barrier.wait()
+                work(tid)
+
+            threads = [
+                threading.Thread(target=runner, args=(tid,))
+                for tid in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(interval)
+
+    def test_lookup_counters_are_exact_under_concurrency(self, solved):
+        import random
+
+        key, result = solved
+        cache = SolveCache(maxsize=8)
+        keys = [
+            dataclasses.replace(key, instance_hash=f"{i:02x}" * 32)
+            for i in range(16)
+        ]
+        for k in keys:
+            cache.put(k, result)
+        n_threads, n_rounds = 8, 400
+
+        def work(tid: int) -> None:
+            rng = random.Random(tid)
+            for _ in range(n_rounds):
+                cache.get(rng.choice(keys))
+
+        self._hammer(work, n_threads)
+        snap = cache.stats_snapshot()
+        assert snap["hits"] + snap["misses"] == n_threads * n_rounds
+        assert snap["memory_hits"] == snap["hits"]
+        assert snap["hit_rate"] == snap["hits"] / (n_threads * n_rounds)
+
+    def test_store_counters_are_exact_under_concurrency(self, solved):
+        key, result = solved
+        cache = SolveCache(maxsize=4)
+        n_threads, n_rounds = 8, 200
+
+        def work(tid: int) -> None:
+            for i in range(n_rounds):
+                mine = dataclasses.replace(
+                    key, instance_hash=f"{tid:02x}{i:06x}" * 8
+                )
+                cache.put(mine, result)
+                cache.get(mine)
+
+        self._hammer(work, n_threads)
+        snap = cache.stats_snapshot()
+        assert snap["stores"] == n_threads * n_rounds
+        assert snap["hits"] + snap["misses"] == n_threads * n_rounds
+        # LRU bound holds despite concurrent reordering
+        assert len(cache) <= 4
+        assert snap["evictions"] == snap["stores"] - len(cache)
+
+    def test_snapshot_is_a_consistent_copy(self, solved):
+        key, result = solved
+        cache = SolveCache()
+        cache.put(key, result)
+        snap = cache.stats_snapshot()
+        cache.get(key)
+        assert snap["hits"] == 0  # a copy, not a live view
+        assert cache.stats_snapshot()["hits"] == 1

@@ -1,0 +1,108 @@
+"""Wire format of the solver daemon: framing, task specs, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.serialization import instance_from_dict
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SolveTaskSpec,
+    decode_line,
+    encode_line,
+)
+from tests.conftest import random_instance
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return random_instance(6, 4, seed=11, family="E1")
+
+
+class TestFraming:
+    def test_encode_is_one_newline_terminated_line(self):
+        line = encode_line({"op": "ping", "id": 7})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_encoding_is_byte_stable(self):
+        # same document, different insertion order -> same bytes (the smoke
+        # tests cmp stdout produced from these lines)
+        a = encode_line({"op": "solve", "id": 1, "task": {"x": 1, "y": 2}})
+        b = encode_line({"task": {"y": 2, "x": 1}, "id": 1, "op": "solve"})
+        assert a == b
+
+    def test_round_trip(self):
+        doc = {"op": "batch", "id": 3, "tasks": [{"solver": "H1"}]}
+        assert decode_line(encode_line(doc)) == doc
+
+    def test_undecodable_line_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json\n")
+
+    def test_non_object_line_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_protocol_constants_sane(self):
+        assert PROTOCOL_VERSION == 1
+        assert MAX_LINE_BYTES >= 1024 * 1024
+
+
+class TestSolveTaskSpec:
+    def test_round_trip_preserves_instance_and_bounds(self, pair):
+        app, platform = pair
+        spec = SolveTaskSpec(
+            application=app,
+            platform=platform,
+            solver="H1",
+            period_bound=12.0,
+            latency_bound=60.0,
+            max_steps=100,
+        )
+        again = SolveTaskSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again.solver == "H1"
+        assert again.period_bound == 12.0
+        assert again.latency_bound == 60.0
+        assert again.max_steps == 100
+        assert again.time_budget is None
+        # the embedded instance survives the round trip exactly
+        a0, p0, _ = instance_from_dict(spec.to_dict()["instance"])
+        a1, p1, _ = instance_from_dict(again.to_dict()["instance"])
+        assert (a0.works == a1.works).all() and (p0.speeds == p1.speeds).all()
+
+    def test_missing_instance_rejected(self):
+        with pytest.raises(ProtocolError, match="instance"):
+            SolveTaskSpec.from_dict({"solver": "H1"})
+
+    def test_missing_solver_rejected(self, pair):
+        app, platform = pair
+        document = SolveTaskSpec(app, platform, "H1").to_dict()
+        document["solver"] = "  "
+        with pytest.raises(ProtocolError, match="solver"):
+            SolveTaskSpec.from_dict(document)
+
+    def test_non_numeric_bound_rejected(self, pair):
+        app, platform = pair
+        document = SolveTaskSpec(app, platform, "H1").to_dict()
+        document["period_bound"] = "twelve"
+        with pytest.raises(ProtocolError, match="period_bound"):
+            SolveTaskSpec.from_dict(document)
+
+    def test_fractional_max_steps_rejected(self, pair):
+        app, platform = pair
+        document = SolveTaskSpec(app, platform, "H1").to_dict()
+        document["max_steps"] = 1.5
+        with pytest.raises(ProtocolError, match="max_steps"):
+            SolveTaskSpec.from_dict(document)
+
+    def test_corrupt_instance_rejected(self, pair):
+        app, platform = pair
+        document = SolveTaskSpec(app, platform, "H1").to_dict()
+        document["instance"] = {"application": {"bogus": True}}
+        with pytest.raises(ProtocolError, match="deserialise"):
+            SolveTaskSpec.from_dict(document)

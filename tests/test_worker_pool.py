@@ -1,0 +1,97 @@
+"""The persistent :class:`~repro.utils.parallel.WorkerPool`.
+
+Contract: :meth:`WorkerPool.map` returns exactly what a serial loop
+returns, in input order, at any worker count — and the processes survive
+across calls (that amortisation is why the solver daemon holds one).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.generators.experiments import experiment_config, generate_instances
+from repro.solvers.service import solve_many
+from repro.utils.parallel import WorkerPool
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class _Payload:
+    """A minimal installable payload (content-compared like the shipment)."""
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.installed = 0
+
+    def install(self) -> None:
+        self.installed += 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Payload) and other.tag == self.tag
+
+    def __hash__(self) -> int:  # pragma: no cover - not used
+        return hash(self.tag)
+
+
+class TestWorkerPool:
+    def test_serial_pool_is_a_plain_loop(self):
+        with WorkerPool(workers=1) as pool:
+            assert pool.workers == 1
+            assert pool.map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+            assert not pool.closed
+
+    def test_parallel_results_match_serial_in_order(self):
+        items = list(range(23))
+        with WorkerPool(workers=2) as pool:
+            assert pool.map(_square, items, batch_size=3) == [
+                _square(i) for i in items
+            ]
+
+    def test_pool_survives_many_map_calls(self):
+        with WorkerPool(workers=2) as pool:
+            for _ in range(3):
+                assert pool.map(_square, range(8)) == [
+                    _square(i) for i in range(8)
+                ]
+
+    def test_closed_pool_refuses_work(self):
+        pool = WorkerPool(workers=2)
+        pool.close()
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_square, range(4))
+        pool.close()  # idempotent
+
+    def test_serial_payload_installed_in_process(self):
+        payload = _Payload("a")
+        with WorkerPool(workers=1) as pool:
+            pool.map(_square, range(3), payload=payload)
+        assert payload.installed == 1
+
+    def test_repr_shows_state(self):
+        pool = WorkerPool(workers=2)
+        assert "live" in repr(pool)
+        pool.close()
+        assert "closed" in repr(pool)
+
+
+class TestSolveManyWithPool:
+    def test_pooled_solve_many_is_byte_identical(self):
+        config = experiment_config("E1", 8, 6, n_instances=6)
+        instances = generate_instances(config, seed=5)
+        pairs = [(inst.application, inst.platform) for inst in instances]
+        serial = solve_many(pairs, ["H1"], period_bound=12.0)
+        with WorkerPool(workers=2) as pool:
+            pooled = solve_many(
+                pairs, ["H1"], period_bound=12.0, workers=2, pool=pool,
+            )
+        assert [
+            pickle.dumps(r.identity()) for row in pooled.results for r in row
+        ] == [
+            pickle.dumps(r.identity()) for row in serial.results for r in row
+        ]
+        assert pooled.stats.n_solved == serial.stats.n_solved
