@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-cache bench-kernels bench-service cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke shard-smoke serve-smoke sweep-demo clean-results
+.PHONY: test lint bench-smoke bench bench-cache bench-kernels bench-service bench-sweep cache-smoke fuzz-smoke fuzz-hetero-smoke workload-smoke shard-smoke serve-smoke sweep-smoke sweep-demo clean-results
 
 ## tier-1 verification: the full test suite, fail fast
 test:
@@ -114,6 +114,12 @@ shard-smoke:
 bench-service:
 	$(PYTHON) benchmarks/bench_service_latency.py
 
+## frontier-sweep amortisation gate: one frontier solve per (instance,
+## solver) answers a 10-threshold sweep >= 5x faster than per-threshold
+## solving, identical curves; writes BENCH_sweep.json
+bench-sweep:
+	$(PYTHON) benchmarks/bench_sweep_frontier.py
+
 ## CI's solver-daemon smoke slice: start `serve` in the background, run the
 ## same batch twice through `batch --server`, assert the two stdout reports
 ## are byte-identical and the second pass hit the daemon's warm cache, then
@@ -140,6 +146,18 @@ serve-smoke:
 	kill -TERM $$SRV; rc=0; wait $$SRV || rc=$$?; trap - EXIT; \
 	test $$rc -eq 0 || { echo "daemon exited $$rc (want 0)"; cat .serve-smoke/serve.log; exit 1; }
 	rm -rf .serve-smoke
+
+## CI's frontier smoke slice: run one sweep per-threshold (--no-frontier)
+## and frontier-routed (--frontier) and assert the two stdout reports are
+## byte-identical — the frontier layer may only change the wall clock
+sweep-smoke:
+	rm -rf .sweep-smoke && mkdir -p .sweep-smoke
+	$(PYTHON) -m repro.cli sweep --family E1 --stages 12 --processors 6 \
+		--instances 4 --thresholds 6 --no-frontier > .sweep-smoke/direct.txt
+	$(PYTHON) -m repro.cli sweep --family E1 --stages 12 --processors 6 \
+		--instances 4 --thresholds 6 --frontier > .sweep-smoke/frontier.txt
+	cmp .sweep-smoke/direct.txt .sweep-smoke/frontier.txt
+	rm -rf .sweep-smoke
 
 ## one parallel figure panel end to end (smoke test of the --workers path)
 sweep-demo:

@@ -27,22 +27,25 @@ provenance excluded from :meth:`~repro.solvers.base.SolveResult.identity`,
 so a warm replay is byte-identical to the cold solve it memoised.
 """
 
-from .keys import DEFAULT_SOLVER_VERSION, CacheKey, solve_key
+from .keys import DEFAULT_SOLVER_VERSION, CacheKey, frontier_key, solve_key
 from .store import (
     CACHE_BLOB_SCHEMA,
     CacheStats,
     DiskCacheStore,
     InMemoryLRUCache,
     SolveCache,
+    prune_cache_dir,
 )
 
 __all__ = [
     "DEFAULT_SOLVER_VERSION",
     "CacheKey",
     "solve_key",
+    "frontier_key",
     "CACHE_BLOB_SCHEMA",
     "CacheStats",
     "DiskCacheStore",
     "InMemoryLRUCache",
     "SolveCache",
+    "prune_cache_dir",
 ]

@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
     from ..core.platform import Platform
     from ..solvers.base import SolveRequest
 
-__all__ = ["DEFAULT_SOLVER_VERSION", "CacheKey", "solve_key"]
+__all__ = ["DEFAULT_SOLVER_VERSION", "CacheKey", "solve_key", "frontier_key"]
 
 #: version tag assumed for solvers that do not declare one
 DEFAULT_SOLVER_VERSION = "1"
@@ -82,4 +82,26 @@ def solve_key(
         solver_name=str(getattr(solver, "name", solver)),
         solver_version=str(getattr(solver, "version", DEFAULT_SOLVER_VERSION)),
         request_digest=request.canonical_hash(),
+    )
+
+
+def frontier_key(
+    app: "PipelineApplication",
+    platform: "Platform",
+    solver: Any,
+    objective: str,
+) -> CacheKey:
+    """The *threshold-free* key of a solver's frontier document.
+
+    A frontier answers every threshold of one bounded objective, so its
+    address replaces the request digest with the tagged objective —
+    ``frontier:<objective>`` can never collide with the hex digests of
+    :meth:`~repro.solvers.base.SolveRequest.canonical_hash`, so frontier
+    blobs and per-threshold result blobs share one store safely.
+    """
+    return CacheKey(
+        instance_hash=instance_digest(app, platform),
+        solver_name=str(getattr(solver, "name", solver)),
+        solver_version=str(getattr(solver, "version", DEFAULT_SOLVER_VERSION)),
+        request_digest=f"frontier:{objective}",
     )

@@ -31,6 +31,7 @@ identity` as the cold solve it memoised.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import threading
@@ -51,6 +52,7 @@ __all__ = [
     "InMemoryLRUCache",
     "DiskCacheStore",
     "SolveCache",
+    "prune_cache_dir",
 ]
 
 #: current on-disk blob format version (unknown versions are misses)
@@ -202,6 +204,61 @@ class DiskCacheStore:
             return None
         return path
 
+    # ------------------------------------------------------------------ #
+    # raw JSON payloads (frontier documents)
+    # ------------------------------------------------------------------ #
+    def get_document(self, key: CacheKey) -> dict[str, Any] | None:
+        """Load a raw JSON payload stored under ``key`` (``None`` on miss).
+
+        Same degradation contract as :meth:`get`: unreadable, corrupt or
+        foreign blobs are misses.  Payload blobs carry the key under the
+        same embedded fields as result blobs, so pruning and sharing one
+        directory work uniformly.
+        """
+        path = self.path_for(key)
+        try:
+            blob = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(blob, dict) or blob.get("schema") != CACHE_BLOB_SCHEMA:
+                return None
+            if (
+                blob.get("instance_hash") != key.instance_hash
+                or blob.get("solver_name") != key.solver_name
+                or blob.get("solver_version") != key.solver_version
+                or blob.get("request_digest") != key.request_digest
+            ):
+                return None
+            payload = blob["payload"]
+            return payload if isinstance(payload, dict) else None
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def put_document(self, key: CacheKey, payload: dict[str, Any]) -> Path | None:
+        """Persist a raw JSON payload atomically (``None`` on storage failure)."""
+        path = self.path_for(key)
+        blob = {
+            "schema": CACHE_BLOB_SCHEMA,
+            "instance_hash": key.instance_hash,
+            "solver_name": key.solver_name,
+            "solver_version": key.solver_version,
+            "request_digest": key.request_digest,
+            "payload": payload,
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(blob, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        return path
+
     def __len__(self) -> int:
         if not self.directory.is_dir():
             return 0
@@ -247,7 +304,9 @@ class SolveCache:
         digest = key.digest
         with self._lock:
             result = self._memory.get(digest)
-            if result is not None:
+            # isinstance guard: frontier documents (plain dicts) share the
+            # LRU under disjoint digests; a mixed-up key must miss, not crash
+            if result is not None and not isinstance(result, dict):
                 self.stats.memory_hits += 1
                 self.stats.hits += 1
                 return replace(result, cache_hit=True)
@@ -276,6 +335,47 @@ class SolveCache:
             self.stats.stores += 1
         if self._disk is not None:
             self._disk.put(key, stored)
+
+    # ------------------------------------------------------------------ #
+    # frontier documents (raw JSON payloads under threshold-free keys)
+    # ------------------------------------------------------------------ #
+    def get_frontier(self, key: CacheKey) -> dict[str, Any] | None:
+        """The memoised frontier document for ``key``, or ``None``.
+
+        The returned document is a private deep copy: callers extend it
+        (monotone anchors grow as new thresholds are solved) and re-``put``
+        it, and handing out the stored object would let that read-modify-
+        write race corrupt other readers' views.
+        """
+        digest = key.digest
+        with self._lock:
+            document = self._memory.get(digest)
+            if isinstance(document, dict):
+                self.stats.memory_hits += 1
+                self.stats.hits += 1
+                return copy.deepcopy(document)
+        if self._disk is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        document = self._disk.get_document(key)
+        with self._lock:
+            if document is None:
+                self.stats.misses += 1
+                return None
+            self.stats.disk_hits += 1
+            self.stats.hits += 1
+            self.stats.evictions += self._memory.put(digest, document)
+        return copy.deepcopy(document)
+
+    def put_frontier(self, key: CacheKey, document: dict[str, Any]) -> None:
+        """Memoise a frontier document under its threshold-free key."""
+        stored = copy.deepcopy(document)
+        with self._lock:
+            self.stats.evictions += self._memory.put(key.digest, stored)
+            self.stats.stores += 1
+        if self._disk is not None:
+            self._disk.put_document(key, stored)
 
     # ------------------------------------------------------------------ #
     # introspection / lifecycle
@@ -330,3 +430,50 @@ class SolveCache:
     def __reduce__(self):
         directory = None if self.directory is None else str(self.directory)
         return (SolveCache, (self.maxsize, directory))
+
+
+# --------------------------------------------------------------------------- #
+# disk-store hygiene
+# --------------------------------------------------------------------------- #
+def prune_cache_dir(
+    directory: str | Path, max_bytes: int
+) -> tuple[int, int, int]:
+    """Evict oldest blobs until a cache directory fits under ``max_bytes``.
+
+    Frontier documents are much bigger than single-result blobs, so a
+    long-lived shared ``--cache-dir`` needs a bound.  Blobs are removed
+    oldest-modification-first, one atomic ``unlink`` each, so concurrent
+    readers see either a whole blob or a plain miss — never a torn one.
+    Blobs are *never parsed*: a corrupt blob is just bytes to reclaim, and
+    a blob deleted under our feet (a concurrent pruner) is counted as
+    already gone.  Stray ``*.tmp`` files from crashed writers are ignored
+    here — :class:`DiskCacheStore` replaces them on the next write.
+
+    Returns ``(n_kept, n_removed, bytes_kept)``.
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    root = Path(directory)
+    entries: list[tuple[float, int, Path]] = []
+    if root.is_dir():
+        for path in root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # removed by a concurrent pruner/writer
+            entries.append((stat.st_mtime, stat.st_size, path))
+    # oldest first; ties broken by path so concurrent pruners agree
+    entries.sort(key=lambda item: (item[0], str(item[2])))
+    total = sum(size for _, size, _ in entries)
+    n_removed = 0
+    index = 0
+    while total > max_bytes and index < len(entries):
+        _, size, path = entries[index]
+        index += 1
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            continue  # un-removable blob: skip it, keep pruning the rest
+        total -= size
+        n_removed += 1
+    return len(entries) - n_removed, n_removed, total

@@ -157,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_arguments(sweep)
     sweep.add_argument("--thresholds", type=_positive_int_arg, default=10,
                        help="number of threshold values per heuristic family")
+    sweep.add_argument("--frontier", dest="frontier", action="store_true",
+                       default=None,
+                       help="answer each frontier-capable solver's whole "
+                            "threshold grid from one frontier solve per "
+                            "instance (the default; the report is "
+                            "byte-identical either way)")
+    sweep.add_argument("--no-frontier", dest="frontier", action="store_false",
+                       help="force one solver run per threshold "
+                            "(the pre-frontier execution path)")
     _add_cache_arguments(sweep)
 
     failure = sub.add_parser("failure", help="reproduce one quadrant of Table 1")
@@ -247,6 +256,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_arguments(run)
     _add_backend_argument(run)
     _add_cache_arguments(run)
+
+    cache = sub.add_parser(
+        "cache", help="manage a persistent --cache-dir solve-cache directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prune = cache_sub.add_parser(
+        "prune",
+        help="evict oldest content-addressed blobs until the directory "
+             "fits a byte budget",
+    )
+    prune.add_argument("--cache-dir", required=True, metavar="DIR",
+                       help="the cache directory to prune (as passed to "
+                            "--cache-dir elsewhere)")
+    prune.add_argument("--max-bytes", type=_nonnegative_int_arg, required=True,
+                       metavar="N",
+                       help="target size: blobs are removed oldest-first "
+                            "(by mtime) until at most N bytes remain")
 
     merge = sub.add_parser(
         "merge-journals",
@@ -356,6 +382,16 @@ def _positive_int_arg(value: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
     if n <= 0:
         raise argparse.ArgumentTypeError("must be a positive integer")
+    return n
+
+
+def _nonnegative_int_arg(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
     return n
 
 
@@ -790,6 +826,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         batch_size=args.batch_size,
         cache=cache,
+        frontier=args.frontier,
     )
     print(render_sweep(result))
     # the workload engine probes the cache in the parent process, so the
@@ -1051,6 +1088,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Maintain a persistent ``--cache-dir`` store (currently: prune).
+
+    Exit status: 0 on success, 2 on a bad directory or budget.
+    """
+    from pathlib import Path
+
+    from .cache.store import prune_cache_dir
+
+    if args.cache_command == "prune":
+        directory = Path(args.cache_dir)
+        if not directory.is_dir():
+            print(f"error: {args.cache_dir!r} is not a directory", file=sys.stderr)
+            return 2
+        try:
+            n_kept, n_removed, bytes_kept = prune_cache_dir(
+                directory, args.max_bytes
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"pruned {args.cache_dir}: removed {n_removed} blob(s), "
+            f"kept {n_kept} ({bytes_kept} bytes <= {args.max_bytes})"
+        )
+        return 0
+    raise AssertionError(f"unknown cache command {args.cache_command!r}")
+
+
 def _cmd_merge_journals(args: argparse.Namespace) -> int:
     """Merge shard journals into one resumable journal (see ``--help``).
 
@@ -1168,6 +1234,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate": _cmd_validate,
         "fuzz": _cmd_fuzz,
         "run": _cmd_run,
+        "cache": _cmd_cache,
         "merge-journals": _cmd_merge_journals,
         "serve": _cmd_serve,
         "client": _cmd_client,

@@ -139,9 +139,19 @@ def sweep_results_equal(a: SweepResult, b: SweepResult) -> bool:
 
 
 def _threshold_grid(lo: float, hi: float, n_points: int) -> list[float]:
+    """``n_points`` thresholds spanning ``[lo, hi]``, duplicates removed.
+
+    A degenerate range (``hi <= lo``, e.g. every instance achieving the
+    same optimum) is widened before gridding, but ``linspace`` can still
+    emit colliding grid points (``lo == hi == 0``, or steps below float
+    resolution); those collapse to one threshold each — order preserved —
+    so downstream plans never carry duplicate (solver, threshold) cells.
+    """
     if hi <= lo:
         hi = lo * 1.1 + 1e-9
-    return [float(x) for x in np.linspace(lo, hi, n_points)]
+    return list(
+        dict.fromkeys(float(x) for x in np.linspace(lo, hi, n_points))
+    )
 
 
 def run_sweep(
@@ -154,6 +164,7 @@ def run_sweep(
     workers: int | None = None,
     batch_size: int | None = None,
     cache: "SolveCache | None" = None,
+    frontier: bool | None = None,
 ) -> SweepResult:
     """Reproduce one latency-versus-period figure panel (Figs. 2–7).
 
@@ -187,6 +198,15 @@ def run_sweep(
         it).  The engine probes the cache in the parent process — its
         statistics now count every sweep lookup — and with ``workers > 1``
         only the misses are shipped to the pool.
+    frontier:
+        Frontier routing (:mod:`repro.solvers.frontier`): a sweep asks each
+        frontier-capable solver the same question at every grid threshold,
+        so the engine collapses those cells to one frontier solve per
+        (instance, solver) and extracts the per-threshold results — curves
+        stay bit-identical (``sweep_results_equal``), the wall clock drops
+        by roughly the grid size.  ``None`` (default) enables the routing,
+        ``False`` forces per-threshold solves, and ``REPRO_DISABLE_FRONTIER``
+        in the environment disables it regardless.
     """
     if instances is None:
         instances = generate_instances(config, seed=seed)
@@ -230,7 +250,13 @@ def run_sweep(
     # one workload plan for the whole figure panel; the engine dedupes,
     # probes the cache and shards the remaining tasks over the pool
     plan, cells = solve_plan(instances, tasks)
-    run = execute_plan(plan, workers=workers, batch_size=batch_size, cache=cache)
+    run = execute_plan(
+        plan,
+        workers=workers,
+        batch_size=batch_size,
+        cache=cache,
+        frontier=frontier,
+    )
     hashes = plan.input_hashes
 
     for (heuristic, threshold), cell in zip(tasks, cells):

@@ -21,7 +21,7 @@ from typing import ClassVar
 from ..core.application import PipelineApplication
 from ..core.platform import Platform
 from .base import FixedLatencyHeuristic, FixedPeriodHeuristic, HeuristicResult
-from .engine import SelectionRule, SplittingState
+from .engine import SelectionRule, SplitCandidate, SplittingState
 
 __all__ = ["SplittingMonoPeriod", "SplittingMonoLatency", "SplittingBiLatency"]
 
@@ -38,6 +38,22 @@ class SplittingMonoPeriod(FixedPeriodHeuristic):
     name: ClassVar[str] = "Sp mono P"
     key: ClassVar[str] = "H1"
 
+    def _step_candidate(self, state: SplittingState) -> SplitCandidate | None:
+        """The next split the heuristic would apply (``None`` when stalled).
+
+        The selection never sees the threshold — the bound only decides when
+        the loop *stops* — which is what makes the whole trajectory
+        threshold-independent and the heuristic frontier-capable
+        (:mod:`repro.solvers.frontier`).
+        """
+        unused = state.next_unused(1)
+        if not unused:
+            return None
+        j = state.bottleneck_index
+        return state.best_two_way_split(
+            j, unused[0], rule=SelectionRule.MONO, require_improvement=True
+        )
+
     def _solve(
         self, app: PipelineApplication, platform: Platform, bound: float
     ) -> HeuristicResult:
@@ -45,13 +61,7 @@ class SplittingMonoPeriod(FixedPeriodHeuristic):
         history = [state.point()]
         n_splits = 0
         while not _reached(state.period, bound):
-            unused = state.next_unused(1)
-            if not unused:
-                break
-            j = state.bottleneck_index
-            candidate = state.best_two_way_split(
-                j, unused[0], rule=SelectionRule.MONO, require_improvement=True
-            )
+            candidate = self._step_candidate(state)
             if candidate is None:
                 break
             state.apply(candidate)

@@ -52,6 +52,7 @@ from ..exact import one_to_one as _one_to_one_mod
 from ..simulation.event_driven import simulate_mapping
 from ..simulation.synchronous import synchronous_schedule
 from ..solvers.base import SolveResult
+from ..solvers.frontier import frontier_eligible, frontier_solve
 from ..solvers.local_search import DEFAULT_STEP_BUDGET, objective_key
 from ..solvers.registry import get_solver
 from ..solvers.service import solve_with_cache
@@ -581,6 +582,66 @@ def differential_check(
                     f"{name}: period {result.period!r} beats the exact optimum "
                     f"{bounded_optimum!r} at latency <= {latency_bound!r}",
                 )
+
+    # ------------------------------------------------------------------ #
+    # frontier extraction: one-run curves must equal the direct solves
+    # ------------------------------------------------------------------ #
+    # Every frontier-capable solver promises bit-identical extraction
+    # (SolveResult.identity) at any threshold, including below the
+    # infeasible knee; bound_lo probes that region, bound_mid/bound_hi the
+    # feasible curve.  The direct solves reuse the session cache, so a
+    # warm/cold cache cannot change the verdict.
+    bound_lo = _positive(0.5 * p_lb)
+    latency_lo = _positive(0.75 * latency_opt)
+    frontier_cases: list[tuple[str, str, tuple[float, ...]]] = []
+    if comm_homog:
+        for key in ("H1", "H2", "H3"):
+            frontier_cases.append(
+                (key, "period_bound", (bound_lo, bound_mid, bound_hi))
+            )
+    if fully_homog:
+        frontier_cases.append(
+            ("hom-dp-latency-for-period", "period_bound", (bound_lo, bound_mid, bound_hi))
+        )
+        frontier_cases.append(
+            ("hom-dp-period-for-latency", "latency_bound", (latency_lo, latency_bound))
+        )
+    if small_bm:
+        frontier_cases.append(
+            (
+                "bitmask-dp-latency-for-period",
+                "period_bound",
+                (bound_lo, bound_mid, bound_hi),
+            )
+        )
+    for name, bound_kw, thresholds in frontier_cases:
+        solver = get_solver(name)
+        if not frontier_eligible(
+            solver, solver.default_request(**{bound_kw: thresholds[0]})
+        ):
+            continue
+        try:
+            _, extracted, _ = frontier_solve(solver, app, platform, thresholds)
+        except Exception as exc:  # noqa: BLE001 - findings, not aborts
+            sess.fail(
+                "solver-crash",
+                f"frontier:{solver.name}: {type(exc).__name__}: {exc}",
+            )
+            continue
+        for threshold, from_frontier in zip(thresholds, extracted):
+            direct = _run(sess, name, app, platform, **{bound_kw: threshold})
+            if direct is None or from_frontier is None:
+                continue
+            sess.expect(
+                from_frontier.identity() == direct.identity(),
+                "frontier-extraction-mismatch",
+                f"{solver.name}@{threshold:g}: frontier extraction "
+                f"(feasible={from_frontier.feasible}, "
+                f"period={from_frontier.period!r}, "
+                f"latency={from_frontier.latency!r}) differs from the direct "
+                f"solve (feasible={direct.feasible}, period={direct.period!r}, "
+                f"latency={direct.latency!r})",
+            )
 
     # ------------------------------------------------------------------ #
     # local-search family: anytime refinement invariants

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Awaitable, Callable
 
 from ..cache.keys import solve_key
+from ..solvers.frontier import frontier_eligible, frontier_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
     from ..core.application import PipelineApplication
@@ -50,8 +51,21 @@ class PendingSolve:
     future: "asyncio.Future[SolveResult]" = field(repr=False)
 
     @property
-    def group_key(self) -> tuple[str, "SolveRequest"]:
-        """Tasks sharing (solver, request) batch into one solve_many call."""
+    def group_key(self) -> tuple[str, Any]:
+        """Tasks sharing (solver, request) batch into one solve_many call.
+
+        Frontier-eligible tasks (a frontier-capable solver asked a
+        threshold-only question) drop the threshold from the key and group
+        by (solver, objective) instead: concurrent requests that differ
+        only in their threshold land in *one* group, which the daemon then
+        answers through a single frontier solve per instance
+        (:func:`repro.solvers.service.solve_frontier_many`).  The tuple
+        shapes cannot collide — the second element is a ``SolveRequest``
+        on the legacy path and a plain objective string on the frontier
+        path.
+        """
+        if frontier_enabled() and frontier_eligible(self.handle, self.request):
+            return (self.handle.name, self.request.objective)
         return (self.handle.name, self.request)
 
 

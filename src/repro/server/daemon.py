@@ -32,6 +32,7 @@ import os
 import signal
 import threading
 import time
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
@@ -43,7 +44,7 @@ from ..core import kernels
 from ..core.exceptions import ReproError
 from ..solvers.base import SolveResult
 from ..solvers.registry import get_solver
-from ..solvers.service import solve_many
+from ..solvers.service import solve_frontier_many, solve_many
 from ..utils.parallel import WorkerPool
 from .coalescer import PendingSolve, SolveCoalescer
 from .protocol import (
@@ -114,6 +115,12 @@ class SolverDaemon:
         self.n_solved = 0
         self.n_cache_hits = 0
         self.n_errors = 0
+        # frontier accounting: distinct-threshold groups answered through
+        # solve_frontier_many, the threshold queries they covered, and a
+        # {thresholds-per-group: count} histogram (the amortisation shape)
+        self.n_frontier_groups = 0
+        self.n_frontier_thresholds = 0
+        self.frontier_group_sizes: Counter[int] = Counter()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -403,9 +410,17 @@ class SolverDaemon:
         for task in batch:
             groups.setdefault(task.group_key, []).append(task)
         for tasks in groups.values():
+            # several distinct requests in one group can only come from the
+            # frontier-aware group key (the legacy key pins the full
+            # request), so the threshold spread routes through one frontier
+            # solve per instance; a single-request group takes the legacy
+            # path even on a frontier-capable solver
+            n_requests = len({task.request for task in tasks})
+            use_frontier = n_requests > 1
+            body = self._solve_frontier_group if use_frontier else self._solve_group
             try:
                 results, stats = await loop.run_in_executor(
-                    self._executor, partial(self._solve_group, tasks)
+                    self._executor, partial(body, tasks)
                 )
             except Exception as exc:  # noqa: BLE001 - fan the failure out
                 for task in tasks:
@@ -414,6 +429,10 @@ class SolverDaemon:
                 continue
             self.n_solved += stats.n_solved
             self.n_cache_hits += stats.n_cache_hits
+            if use_frontier:
+                self.n_frontier_groups += 1
+                self.n_frontier_thresholds += n_requests
+                self.frontier_group_sizes[n_requests] += 1
             for task, result in zip(tasks, results):
                 if not task.future.done():
                     task.future.set_result(result)
@@ -434,6 +453,23 @@ class SolverDaemon:
             pool=self._pool,
         )
         return [row[0] for row in outcome.results], outcome.stats
+
+    def _solve_frontier_group(self, tasks: list[PendingSolve]):
+        """Executor-thread body: one frontier-routed group (many thresholds)."""
+        return solve_frontier_many(
+            [
+                (
+                    (task.application, task.platform),
+                    float(task.request.threshold),
+                )
+                for task in tasks
+            ],
+            tasks[0].handle,
+            workers=self.config.workers,
+            batch_size=self.config.batch_size,
+            cache=self.cache,
+            pool=self._pool,
+        )
 
     # ------------------------------------------------------------------ #
     # stats
@@ -462,6 +498,14 @@ class SolverDaemon:
                 "n_errors": self.n_errors,
             },
             "coalescer": self.coalescer.stats(),
+            "frontier": {
+                "n_groups": self.n_frontier_groups,
+                "n_thresholds": self.n_frontier_thresholds,
+                "group_sizes": {
+                    str(size): count
+                    for size, count in sorted(self.frontier_group_sizes.items())
+                },
+            },
             "cache": self.cache.stats_snapshot(),
             "cache_entries": len(self.cache),
         }

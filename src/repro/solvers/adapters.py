@@ -123,7 +123,18 @@ def heuristic_solve_fn(
     return solve_fn
 
 
+# The splitting heuristics whose trajectory never sees the threshold (the
+# bound appears only in the loop's stop test): one exhaustion run answers
+# every threshold (see repro.solvers.frontier).  H4 bisects with a
+# threshold-dependent latency cap and H5/H6 cap the selection at the bound,
+# so their trajectories are bound-dependent and not frontier-replayable.
+_STEPS_FRONTIER_KEYS = ("H1", "H2", "H3")
+
 for _cls in HEURISTIC_CLASSES:
+    _frontier = "steps" if _cls.key in _STEPS_FRONTIER_KEYS else None
+    _caps = {Capability.BICRITERIA, Capability.COMM_HOMOGENEOUS_ONLY}
+    if _frontier is not None:
+        _caps.add(Capability.FRONTIER)
     register_solver(
         SolverSpec(
             name=_cls.name,
@@ -131,11 +142,10 @@ for _cls in HEURISTIC_CLASSES:
             family=SolverFamily.HEURISTIC,
             objective=_cls.objective,
             solve_fn=heuristic_solve_fn(_cls),
-            capabilities=frozenset(
-                {Capability.BICRITERIA, Capability.COMM_HOMOGENEOUS_ONLY}
-            ),
+            capabilities=frozenset(_caps),
             description=f"Section 4 heuristic {_cls.key} ({_cls.name})",
             aliases=(_cls.__name__,),
+            frontier=_frontier,
         )
     )
 
@@ -199,10 +209,16 @@ register_solver(
         objective=Objective.MIN_LATENCY_FOR_PERIOD,
         solve_fn=_hom_dp_latency_for_period,
         capabilities=frozenset(
-            {Capability.EXACT, Capability.HOMOGENEOUS_ONLY, Capability.BICRITERIA}
+            {
+                Capability.EXACT,
+                Capability.HOMOGENEOUS_ONLY,
+                Capability.BICRITERIA,
+                Capability.FRONTIER,
+            }
         ),
         description="optimal latency under a period bound (homogeneous DP)",
         aliases=("homogeneous_min_latency_for_period",),
+        frontier="monotone",
     )
 )
 register_solver(
@@ -213,10 +229,16 @@ register_solver(
         objective=Objective.MIN_PERIOD_FOR_LATENCY,
         solve_fn=_hom_dp_period_for_latency,
         capabilities=frozenset(
-            {Capability.EXACT, Capability.HOMOGENEOUS_ONLY, Capability.BICRITERIA}
+            {
+                Capability.EXACT,
+                Capability.HOMOGENEOUS_ONLY,
+                Capability.BICRITERIA,
+                Capability.FRONTIER,
+            }
         ),
         description="optimal period under a latency bound (homogeneous DP)",
         aliases=("homogeneous_min_period_for_latency",),
+        frontier="monotone",
     )
 )
 
@@ -252,10 +274,16 @@ register_solver(
         objective=Objective.MIN_LATENCY_FOR_PERIOD,
         solve_fn=_bitmask_latency_for_period,
         capabilities=frozenset(
-            {Capability.EXACT, Capability.COMM_HOMOGENEOUS_ONLY, Capability.BICRITERIA}
+            {
+                Capability.EXACT,
+                Capability.COMM_HOMOGENEOUS_ONLY,
+                Capability.BICRITERIA,
+                Capability.FRONTIER,
+            }
         ),
         description="exact latency under a period bound (O(n^2 2^p p) subset DP)",
         aliases=("bitmask-dp", "dp_min_latency_for_period"),
+        frontier="monotone",
     )
 )
 register_solver(

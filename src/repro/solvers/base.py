@@ -104,6 +104,11 @@ class Capability:
     #: anytime solver: requires a step/time budget on the request and returns
     #: the best solution found within it (more budget, same or better result)
     ANYTIME = "anytime"
+    #: frontier-capable solver: one run can answer every threshold of its
+    #: bounded objective (the full threshold -> result curve), with each
+    #: extracted result bit-identical to the corresponding direct solve
+    #: (see :mod:`repro.solvers.frontier`)
+    FRONTIER = "frontier"
 
 
 @dataclass(frozen=True)

@@ -32,13 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-from ..cache.keys import CacheKey, solve_key
+from ..cache.keys import CacheKey, frontier_key, solve_key
 from ..core import kernels
 from ..core.exceptions import ConfigurationError
 from ..core.identity import instance_digest
 from ..utils.parallel import WorkerPool, parallel_map, resolve_worker_count
 from ..utils.shm import InstanceArena, InstanceRef, resolve_instance
-from .base import SolveRequest, SolveResult
+from .base import Objective, SolveRequest, SolveResult
+from .frontier import frontier_eligible, frontier_solve
 from .registry import Solver, as_solver, resolve_solvers
 
 if TYPE_CHECKING:  # pragma: no cover - type-checking imports only
@@ -52,6 +53,7 @@ __all__ = [
     "as_instance_pair",
     "solve_with_cache",
     "solve_many",
+    "solve_frontier_many",
 ]
 
 
@@ -100,7 +102,15 @@ def solve_with_cache(
 
 @dataclass(frozen=True)
 class BatchStats:
-    """How much work a :func:`solve_many` call actually had to do."""
+    """How much work a :func:`solve_many` call actually had to do.
+
+    The ``n_frontier_*`` fields are populated by
+    :func:`solve_frontier_many` only (they default to zero on the
+    per-threshold path): ``n_frontier_groups`` counts the instances routed
+    through a frontier document, ``n_frontier_extracted`` the threshold
+    queries those documents answered, and ``n_solved`` then counts the
+    *underlying* full solver runs — the amortisation is their ratio.
+    """
 
     n_instances: int
     n_solvers: int
@@ -108,6 +118,8 @@ class BatchStats:
     n_unique: int
     n_cache_hits: int
     n_solved: int
+    n_frontier_groups: int = 0
+    n_frontier_extracted: int = 0
 
     @property
     def n_deduplicated(self) -> int:
@@ -385,3 +397,141 @@ def _solve_many_active(
         results=results,
         stats=stats,
     )
+
+
+def _frontier_task(
+    task: tuple[Solver, "PipelineApplication", "Platform", tuple[float, ...], dict | None],
+) -> tuple[dict, list[SolveResult], int]:
+    """One instance's whole threshold group (module-level, picklable).
+
+    Frontier groups travel by plain pickling rather than the shared-memory
+    arena: there is one task per *instance* (not per threshold), so the
+    per-task instance payload is already amortised over the group.
+    """
+    handle, app, platform, thresholds, document = task
+    return frontier_solve(handle, app, platform, thresholds, document)
+
+
+def _bound_request(handle: Solver, threshold: float) -> SolveRequest:
+    """The per-threshold request a frontier answer stands in for."""
+    if handle.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+        return handle.default_request(period_bound=threshold)
+    return handle.default_request(latency_bound=threshold)
+
+
+def solve_frontier_many(
+    tasks: Sequence[tuple[Any, float]],
+    solver: Any,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    cache: "SolveCache | None" = None,
+    backend: str | None = None,
+    pool: WorkerPool | None = None,
+) -> tuple[list[SolveResult], BatchStats]:
+    """Solve ``(instance, threshold)`` tasks through one frontier per instance.
+
+    The frontier sibling of :func:`solve_many` for task batches that differ
+    only in their threshold: tasks are deduplicated and probed against the
+    per-threshold solve cache exactly like the direct path, but the misses
+    are then *grouped by instance* and each group is answered by a single
+    :func:`~repro.solvers.frontier.frontier_solve` — one underlying solver
+    run (steps mode) or one per uncovered segment (monotone mode) instead
+    of one per threshold.  Every returned result is bit-identical (through
+    :meth:`~repro.solvers.base.SolveResult.identity`) to what the direct
+    path produces, and both the per-threshold results and the frontier
+    documents are memoised, so a warm cache serves *any* later threshold.
+
+    Returns ``(results, stats)`` with ``results`` aligned to ``tasks``.
+    Raises :class:`~repro.core.exceptions.ConfigurationError` when the
+    solver is not frontier-capable — callers gate on
+    :func:`~repro.solvers.frontier.frontier_eligible` first.
+    """
+    handle = as_solver(solver)
+    with kernels.use_backend(backend):
+        if tasks and not frontier_eligible(
+            handle, _bound_request(handle, float(tasks[0][1]))
+        ):
+            raise ConfigurationError(
+                f"solver {handle.name!r} cannot serve frontier batches"
+            )
+
+        # -- dedupe: one slot per distinct (instance digest, threshold) ---- #
+        slot_of: dict[tuple[str, float], int] = {}
+        unique: list[tuple["PipelineApplication", "Platform", float]] = []
+        assignment: list[int] = []
+        digests: list[str] = []
+        for item, threshold in tasks:
+            app, platform = as_instance_pair(item)
+            thr = float(threshold)
+            digest = instance_digest(app, platform)
+            task_key = (digest, thr)
+            slot = slot_of.get(task_key)
+            if slot is None:
+                slot = len(unique)
+                slot_of[task_key] = slot
+                unique.append((app, platform, thr))
+                digests.append(digest)
+            assignment.append(slot)
+
+        # -- probe the per-threshold cache; group the misses by instance --- #
+        unique_results: list[SolveResult | None] = [None] * len(unique)
+        keys: list[CacheKey | None] = [None] * len(unique)
+        n_cache_hits = 0
+        groups: dict[str, list[int]] = {}
+        for u, (app, platform, thr) in enumerate(unique):
+            if cache is not None:
+                keys[u] = solve_key(app, platform, handle, _bound_request(handle, thr))
+                unique_results[u] = cache.get(keys[u])
+            if unique_results[u] is None:
+                groups.setdefault(digests[u], []).append(u)
+            else:
+                n_cache_hits += 1
+
+        # -- one frontier task per instance, warm documents attached ------- #
+        group_slots = list(groups.values())
+        group_keys: list[CacheKey | None] = []
+        group_tasks = []
+        for slots in group_slots:
+            app, platform, _ = unique[slots[0]]
+            fkey = None
+            document = None
+            if cache is not None:
+                fkey = frontier_key(app, platform, handle, handle.objective)
+                document = cache.get_frontier(fkey)
+            group_keys.append(fkey)
+            group_tasks.append(
+                (handle, app, platform, tuple(unique[u][2] for u in slots), document)
+            )
+        if pool is not None:
+            outcomes = pool.map(_frontier_task, group_tasks, batch_size=batch_size)
+        else:
+            outcomes = parallel_map(
+                _frontier_task, group_tasks, workers=workers, batch_size=batch_size
+            )
+
+        # -- back-fill and memoise ----------------------------------------- #
+        n_solved = 0
+        for slots, fkey, (document, group_results, n_solves) in zip(
+            group_slots, group_keys, outcomes
+        ):
+            n_solved += n_solves
+            for u, result in zip(slots, group_results):
+                unique_results[u] = result
+                if cache is not None and keys[u] is not None:
+                    cache.put(keys[u], result)
+            if cache is not None and fkey is not None:
+                cache.put_frontier(fkey, document)
+
+        n_extracted = sum(len(slots) for slots in group_slots)
+        stats = BatchStats(
+            n_instances=len(set(digests)),
+            n_solvers=1,
+            n_tasks=len(tasks),
+            n_unique=len(unique),
+            n_cache_hits=n_cache_hits,
+            n_solved=n_solved,
+            n_frontier_groups=len(group_slots),
+            n_frontier_extracted=n_extracted,
+        )
+        return [unique_results[slot] for slot in assignment], stats

@@ -54,7 +54,8 @@ from ..core import kernels
 from ..core.exceptions import ConfigurationError, ReproError
 from ..core.serialization import solve_result_from_dict, solve_result_to_dict
 from ..solvers.base import SolveResult
-from ..solvers.service import solve_many
+from ..solvers.frontier import frontier_eligible, frontier_enabled
+from ..solvers.service import solve_frontier_many, solve_many
 from ..utils.parallel import parallel_map, resolve_worker_count
 from ..utils.shm import InstanceArena, resolve_instance
 from ..utils.tables import format_table
@@ -488,6 +489,86 @@ def _solve_groups(
     return [(groups[key][0], groups[key]) for key in order]
 
 
+def _task_threshold(task: WorkloadTask) -> float:
+    """The one bound a frontier-routed task carries (eligibility guarantees it)."""
+    bound = task.period_bound if task.period_bound is not None else task.latency_bound
+    return float(bound)
+
+
+def _partition_frontier(
+    plan: WorkloadPlan,
+    solve_tasks: Sequence[WorkloadTask],
+    enabled: bool,
+) -> tuple[dict[str, list[WorkloadTask]], list[WorkloadTask]]:
+    """Split solve tasks into frontier groups (per solver) and the direct rest.
+
+    A task is routed through the frontier when its solver is
+    frontier-capable and its request is threshold-only
+    (:func:`~repro.solvers.frontier.frontier_eligible`), *and* its group
+    actually repeats an instance across thresholds — a group of one
+    threshold per instance gains nothing from a cold frontier run, so it
+    stays on the direct path (a warm frontier cache still serves it through
+    the per-threshold solve cache the frontier back-fills).
+    """
+    groups: dict[str, list[WorkloadTask]] = {}
+    rest: list[WorkloadTask] = []
+    if not enabled:
+        return groups, list(solve_tasks)
+    for task in solve_tasks:
+        handle = plan.solvers.get(task.solver)
+        eligible = False
+        if handle is not None and getattr(handle, "frontier_mode", None) is not None:
+            request = handle.default_request(
+                period_bound=task.period_bound,
+                latency_bound=task.latency_bound,
+                max_steps=task.max_steps,
+                time_budget=task.time_budget,
+            )
+            eligible = frontier_eligible(handle, request)
+        if eligible:
+            groups.setdefault(task.solver, []).append(task)
+        else:
+            rest.append(task)
+    for name in list(groups):
+        group = groups[name]
+        counts: dict[str, int] = {}
+        for task in group:
+            counts[task.instance_hash] = counts.get(task.instance_hash, 0) + 1
+        if max(counts.values()) <= 1:
+            rest.extend(groups.pop(name))
+    return groups, rest
+
+
+def _frontier_chunks(
+    tasks: Sequence[WorkloadTask], step: int
+) -> list[list[WorkloadTask]]:
+    """Slice a frontier group into checkpoint chunks along *whole* instances.
+
+    Splitting one instance's thresholds across chunks would re-pay the
+    frontier computation per chunk when no cache is attached, so chunks are
+    packed instance by instance; an instance with more thresholds than
+    ``step`` overflows its own chunk rather than being split.
+    """
+    by_instance: dict[str, list[WorkloadTask]] = {}
+    order: list[str] = []
+    for task in tasks:
+        if task.instance_hash not in by_instance:
+            by_instance[task.instance_hash] = []
+            order.append(task.instance_hash)
+        by_instance[task.instance_hash].append(task)
+    chunks: list[list[WorkloadTask]] = []
+    current: list[WorkloadTask] = []
+    for digest in order:
+        group = by_instance[digest]
+        if current and len(current) + len(group) > step:
+            chunks.append(current)
+            current = []
+        current.extend(group)
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 def execute_plan(
     plan: WorkloadPlan,
     *,
@@ -500,6 +581,7 @@ def execute_plan(
     shard: tuple[int, int] | None = None,
     backend: str | None = None,
     transport: str = "auto",
+    frontier: bool | None = None,
 ) -> WorkloadRun:
     """Execute a plan's incomplete tasks; checkpoint and replay via ``journal``.
 
@@ -541,6 +623,15 @@ def execute_plan(
         :func:`repro.solvers.service.solve_many`: ``"auto"`` ships each
         unique instance to each worker at most once through a shared-memory
         arena, ``"pickle"`` forces the legacy per-task pickling.
+    frontier:
+        Frontier routing: solve-task groups identical up to their threshold
+        on a frontier-capable solver are answered through one
+        :func:`~repro.solvers.service.solve_frontier_many` call per group
+        instead of one run per threshold (the sweep amortisation).  The
+        default ``None`` enables routing — extracted results are
+        bit-identical to the direct path, so reports and journals are
+        unaffected — ``False`` forces per-threshold solves, and the
+        ``REPRO_DISABLE_FRONTIER`` environment switch overrides everything.
     """
     with kernels.use_backend(backend):
         return _execute_plan_active(
@@ -553,6 +644,7 @@ def execute_plan(
             max_tasks=max_tasks,
             shard=shard,
             transport=transport,
+            frontier=frontier,
         )
 
 
@@ -567,6 +659,7 @@ def _execute_plan_active(
     max_tasks: int | None,
     shard: tuple[int, int] | None,
     transport: str,
+    frontier: bool | None = None,
 ) -> WorkloadRun:
     """The execution loop, run under the already-active kernel backend."""
     in_shard: set[str] | None = None
@@ -600,7 +693,35 @@ def _execute_plan_active(
         # _CHECKPOINT_INTERVAL tasks (an interruption loses one slice, not a
         # whole fuzz stream); results are byte-identical at any slicing
         solve_tasks = [task for task in pending if task.kind == "solve"]
-        for head, group in _solve_groups(solve_tasks):
+        frontier_on = (frontier is not False) and frontier_enabled()
+        frontier_groups, direct_tasks = _partition_frontier(
+            plan, solve_tasks, frontier_on
+        )
+        for solver_name, group in frontier_groups.items():
+            solver = plan.solvers[solver_name]
+            step = _CHECKPOINT_INTERVAL if handle is not None else len(group)
+            for chunk in _frontier_chunks(group, step):
+                chunk_results, fstats = solve_frontier_many(
+                    [
+                        (plan.pair_for(task.instance_hash), _task_threshold(task))
+                        for task in chunk
+                    ],
+                    solver,
+                    workers=workers,
+                    batch_size=batch_size,
+                    cache=cache,
+                )
+                n_cache_hits += fstats.n_cache_hits
+                n_solved += fstats.n_solved
+                for task, result in zip(chunk, chunk_results):
+                    completed[task.digest] = result
+                    # frontier-eligible tasks never carry a time budget, so
+                    # every record is journal-safe
+                    if handle is not None:
+                        handle.write(_journal_line(task, result))
+                if handle is not None:
+                    handle.flush()
+        for head, group in _solve_groups(direct_tasks):
             solver = plan.solvers[head.solver]
             step = _CHECKPOINT_INTERVAL if handle is not None else len(group)
             for start in range(0, len(group), step):

@@ -61,7 +61,9 @@ ORACLE_SOLVER = "differential-oracle"
 #: journal-invalidation tag of the oracle (bump when its checks change)
 #: 2: local-search invariants (never worse than seed, seed provenance,
 #:    never beats the exact optimum) joined the check battery
-ORACLE_VERSION = "2"
+#: 3: frontier-extraction cross-check (one-run threshold curves must be
+#:    bit-identical to the direct solves) joined the check battery
+ORACLE_VERSION = "3"
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,8 @@ from repro.cache import (
     DiskCacheStore,
     InMemoryLRUCache,
     SolveCache,
+    frontier_key,
+    prune_cache_dir,
     solve_key,
 )
 from repro.generators.experiments import experiment_config, generate_instances
@@ -186,6 +188,125 @@ class TestSolveCacheDisk:
         cache.put(key, result)
         clone = pickle.loads(pickle.dumps(cache))
         assert clone.get(key).identity() == result.identity()
+
+
+class TestFrontierDocumentCache:
+    def test_round_trip_and_isolation(self, instance, solved):
+        _, result = solved
+        key = frontier_key(
+            instance.application,
+            instance.platform,
+            get_solver("H1"),
+            "min-latency-fixed-period",
+        )
+        doc = {"schema": 1, "iterates": [{"period": 9.0, "latency": 20.0}]}
+        cache = SolveCache()
+        assert cache.get_frontier(key) is None
+        cache.put_frontier(key, doc)
+        doc["iterates"].append({"period": 1.0})  # caller mutation after put
+        got = cache.get_frontier(key)
+        assert got == {"schema": 1, "iterates": [{"period": 9.0, "latency": 20.0}]}
+        got["iterates"].clear()  # caller mutation after get
+        assert cache.get_frontier(key)["iterates"]
+
+    def test_frontier_documents_persist_on_disk(self, tmp_path, instance):
+        key = frontier_key(
+            instance.application,
+            instance.platform,
+            get_solver("H1"),
+            "min-latency-fixed-period",
+        )
+        doc = {"schema": 1, "iterates": []}
+        SolveCache(directory=tmp_path / "store").put_frontier(key, doc)
+        # a different process/session: fresh memory, same directory
+        assert SolveCache(directory=tmp_path / "store").get_frontier(key) == doc
+
+    def test_frontier_and_result_blobs_share_a_store_safely(
+        self, tmp_path, instance, solved
+    ):
+        result_key, result = solved
+        fkey = frontier_key(
+            instance.application,
+            instance.platform,
+            get_solver("H1"),
+            "min-latency-fixed-period",
+        )
+        cache = SolveCache(directory=tmp_path / "store")
+        cache.put(result_key, result)
+        cache.put_frontier(fkey, {"schema": 1})
+        fresh = SolveCache(directory=tmp_path / "store")
+        assert fresh.get_frontier(result_key) is None  # wrong kind: a miss
+        assert fresh.get_frontier(fkey) == {"schema": 1}
+        assert fresh.get(result_key).identity() == result.identity()
+
+
+class TestPruneCacheDir:
+    def _fill(self, tmp_path, solved, n: int = 4):
+        """``n`` blobs with strictly increasing mtimes; returns their keys."""
+        import os
+
+        key, result = solved
+        store = DiskCacheStore(tmp_path / "store")
+        keys = [
+            dataclasses.replace(key, instance_hash=f"{i:02x}" * 32)
+            for i in range(n)
+        ]
+        for i, k in enumerate(keys):
+            path = store.put(k, result)
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        return store, keys
+
+    def test_oldest_blobs_are_evicted_first(self, tmp_path, solved):
+        store, keys = self._fill(tmp_path, solved)
+        sizes = [store.path_for(k).stat().st_size for k in keys]
+        budget = sizes[-2] + sizes[-1]  # room for exactly the two newest
+        n_kept, n_removed, bytes_kept = prune_cache_dir(
+            tmp_path / "store", budget
+        )
+        assert (n_kept, n_removed) == (2, 2)
+        assert bytes_kept == budget
+        assert store.get(keys[0]) is None and store.get(keys[1]) is None
+        assert store.get(keys[2]) is not None and store.get(keys[3]) is not None
+
+    def test_under_budget_removes_nothing(self, tmp_path, solved):
+        store, keys = self._fill(tmp_path, solved)
+        n_kept, n_removed, _ = prune_cache_dir(tmp_path / "store", 10**9)
+        assert (n_kept, n_removed) == (len(keys), 0)
+        assert all(store.get(k) is not None for k in keys)
+
+    def test_zero_budget_removes_everything(self, tmp_path, solved):
+        store, keys = self._fill(tmp_path, solved)
+        n_kept, n_removed, bytes_kept = prune_cache_dir(tmp_path / "store", 0)
+        assert (n_kept, n_removed, bytes_kept) == (0, len(keys), 0)
+        assert all(store.get(k) is None for k in keys)
+
+    def test_negative_budget_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            prune_cache_dir(tmp_path / "store", -1)
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert prune_cache_dir(tmp_path / "nowhere", 100) == (0, 0, 0)
+
+    def test_corrupt_blobs_are_counted_and_evictable(self, tmp_path, solved):
+        """Pruning never parses blobs: garbage is just bytes to reclaim."""
+        import os
+
+        store, keys = self._fill(tmp_path, solved, n=2)
+        junk = tmp_path / "store" / "zz" / "junk.json"
+        junk.parent.mkdir()
+        junk.write_text("{ not json at all")
+        os.utime(junk, (999_999, 999_999))  # older than every real blob
+        sizes = [store.path_for(k).stat().st_size for k in keys]
+        n_kept, n_removed, bytes_kept = prune_cache_dir(
+            tmp_path / "store", sum(sizes)
+        )
+        # the corrupt (and oldest) blob went first; the real ones survive
+        assert (n_kept, n_removed) == (2, 1)
+        assert not junk.exists()
+        assert all(store.get(k) is not None for k in keys)
+        # ... and a corrupt survivor still reads as a miss, never as wrong
+        store.path_for(keys[0]).write_text("{ not json")
+        assert store.get(keys[0]) is None
 
 
 class TestSolveWithCache:

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+import numpy as np
+
 from repro.experiments.report import render_sweep
-from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep import _threshold_grid, run_sweep, sweep_results_equal
 from repro.generators.experiments import experiment_config, generate_instances
 from repro.heuristics import heuristic_names
 
@@ -45,6 +47,53 @@ class TestSweepStructure:
             assert len(curve.as_series()) == sum(
                 1 for p in curve.points if p.n_feasible > 0
             )
+
+
+class TestThresholdGrid:
+    def test_regular_grid_is_untouched(self):
+        assert _threshold_grid(1.0, 2.0, 5) == [1.0, 1.25, 1.5, 1.75, 2.0]
+
+    def test_colliding_grid_points_are_deduped(self):
+        """Steps below float resolution collapse; order is preserved.
+
+        ``linspace(1.0, nextafter(1.0), 7)`` emits only two distinct floats
+        (seven requested); a workload plan built from the raw grid would
+        carry duplicate (solver, threshold) cells — and crash the engine's
+        duplicate-digest check.
+        """
+        hi = float(np.nextafter(1.0, 2.0))
+        grid = _threshold_grid(1.0, hi, 7)
+        assert grid == [1.0, hi]
+        assert len(grid) == len(set(grid))
+        assert grid == sorted(grid)
+
+    def test_degenerate_range_is_widened_before_gridding(self):
+        grid = _threshold_grid(0.0, 0.0, 5)
+        assert len(grid) == 5
+        assert len(grid) == len(set(grid))
+
+    def test_sweep_survives_degenerate_threshold_range(self):
+        """End to end: a single-point range must not produce duplicate cells."""
+        cfg = experiment_config("E1", 6, 4, n_instances=2)
+        instances = generate_instances(cfg, seed=2)
+        result = run_sweep(
+            cfg, heuristics=["H1"], n_thresholds=6, instances=instances
+        )
+        thresholds = [p.threshold for p in result.curves["Sp mono P"].points]
+        assert len(thresholds) == len(set(thresholds))
+
+
+class TestFrontierRouting:
+    def test_frontier_sweep_equals_per_threshold_sweep(self):
+        cfg = experiment_config("E1", 10, 6, n_instances=3)
+        instances = generate_instances(cfg, seed=4)
+        direct = run_sweep(
+            cfg, n_thresholds=5, instances=instances, frontier=False
+        )
+        routed = run_sweep(
+            cfg, n_thresholds=5, instances=instances, frontier=True
+        )
+        assert sweep_results_equal(direct, routed)
 
 
 class TestSweepSemantics:

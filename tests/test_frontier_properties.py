@@ -1,0 +1,246 @@
+"""Hypothesis property suite of the frontier-solve layer.
+
+The frontier contract (:mod:`repro.solvers.frontier`): for every
+frontier-capable solver, one frontier run answers *any* threshold with a
+result **bit-identical** (``SolveResult.identity``) to solving that
+threshold directly — including thresholds below the infeasible knee, where
+the extracted result must report infeasibility exactly like the direct
+path.  This suite pins that contract on random instances from all eight
+scenario families, and cross-checks the extracted curves against the exact
+Pareto front (:func:`brute_force_pareto_front`) on instances small enough
+to enumerate: exact solvers must sit *on* the front, heuristics must never
+beat it, and extraction must walk the curve monotonically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.costs import evaluate, optimal_latency_mapping, period_lower_bound
+from repro.exact.brute_force import brute_force_pareto_front
+from repro.scenarios.families import family_names, generate_scenarios
+from repro.solvers.base import Objective
+from repro.solvers.frontier import frontier_eligible, frontier_solve
+from repro.solvers.registry import get_solver
+
+ALL_FAMILIES = family_names()
+
+#: the frontier-capable registry solvers, by replay mode
+STEPS_SOLVERS = ("H1", "H2", "H3")
+MONOTONE_SOLVERS = (
+    "hom-dp-latency-for-period",
+    "hom-dp-period-for-latency",
+    "bitmask-dp-latency-for-period",
+)
+FRONTIER_SOLVERS = STEPS_SOLVERS + MONOTONE_SOLVERS
+
+#: bitmask-DP size gate (matches the differential oracle's)
+_BM_MAX_STAGES, _BM_MAX_PROCS = 14, 8
+#: brute-force enumeration gate for the Pareto-front oracle
+_BF_MAX_STAGES, _BF_MAX_PROCS = 8, 5
+
+_REL = 1e-9
+_LOOSE_REL = 1e-6
+#: skip feasibility comparisons this close to the threshold boundary
+#: (different solvers use different epsilon conventions there)
+_MARGIN = 1e-7
+
+
+def _applicable(name: str, app, platform) -> bool:
+    """Platform/size gates, mirroring the registry's capability checks."""
+    if name.startswith("hom-dp"):
+        return platform.is_fully_homogeneous
+    if name.startswith("bitmask-dp"):
+        return (
+            platform.is_communication_homogeneous
+            and app.n_stages <= _BM_MAX_STAGES
+            and platform.n_processors <= _BM_MAX_PROCS
+        )
+    return platform.is_communication_homogeneous
+
+
+def _anchors(app, platform) -> tuple[float, float, float]:
+    """(period lower bound, achievable period, optimal latency)."""
+    ev1 = evaluate(app, platform, optimal_latency_mapping(app, platform))
+    return period_lower_bound(app, platform), ev1.period, ev1.latency
+
+
+def _threshold_range(solver, app, platform) -> tuple[float, float]:
+    """A [lo, hi] span straddling the solver's infeasible knee."""
+    p_lb, period_hi, latency_opt = _anchors(app, platform)
+    if solver.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+        return 0.25 * p_lb, 1.25 * period_hi
+    return 0.5 * latency_opt, 1.5 * latency_opt
+
+
+def _request(solver, threshold: float):
+    if solver.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+        return solver.default_request(period_bound=threshold)
+    return solver.default_request(latency_bound=threshold)
+
+
+def _thresholds(lo: float, hi: float, fractions) -> list[float]:
+    """Distinct strictly-positive thresholds at ``fractions`` of [lo, hi]."""
+    return list(
+        dict.fromkeys(max(lo + f * (hi - lo), 1e-6) for f in fractions)
+    )
+
+
+def _assert_extraction_identity(solver, app, platform, thresholds) -> None:
+    """frontier_solve's answers == direct solves, bit for bit."""
+    assert frontier_eligible(solver, _request(solver, thresholds[0]))
+    _, extracted, _ = frontier_solve(solver, app, platform, thresholds)
+    for threshold, from_frontier in zip(thresholds, extracted):
+        direct = solver.solve(app, platform, _request(solver, threshold))
+        assert from_frontier.identity() == direct.identity(), (
+            f"{solver.name}@{threshold!r}: frontier extraction differs "
+            f"from the direct solve"
+        )
+
+
+class TestExtractionIdentity:
+    @given(
+        family=st.sampled_from(ALL_FAMILIES),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        fractions=st.tuples(
+            st.floats(min_value=0.05, max_value=1.45),
+            st.floats(min_value=0.05, max_value=1.45),
+            st.floats(min_value=0.05, max_value=1.45),
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_extracted_result_equals_direct_solve(
+        self, family, seed, fractions
+    ):
+        scenario = generate_scenarios(1, family, seed=seed)[0]
+        app, platform = scenario.application, scenario.platform
+        names = [n for n in FRONTIER_SOLVERS if _applicable(n, app, platform)]
+        assume(names)
+        for name in names:
+            solver = get_solver(name)
+            lo, hi = _threshold_range(solver, app, platform)
+            _assert_extraction_identity(
+                solver, app, platform, _thresholds(lo, hi, fractions)
+            )
+
+    def test_every_family_and_solver_covered(self):
+        """Deterministic sweep: each family and each frontier solver is
+        exercised by at least one extraction-identity check (the drawn
+        examples above cannot guarantee that)."""
+        covered: set[tuple[str, str]] = set()
+        for family in ALL_FAMILIES:
+            for seed in range(3):
+                scenario = generate_scenarios(1, family, seed=seed)[0]
+                app, platform = scenario.application, scenario.platform
+                for name in FRONTIER_SOLVERS:
+                    if not _applicable(name, app, platform):
+                        continue
+                    solver = get_solver(name)
+                    lo, hi = _threshold_range(solver, app, platform)
+                    _assert_extraction_identity(
+                        solver, app, platform,
+                        _thresholds(lo, hi, (0.1, 0.5, 0.9, 1.3)),
+                    )
+                    covered.add((family, name))
+        assert {name for _, name in covered} == set(FRONTIER_SOLVERS)
+        # heterogeneous-links platforms are communication-heterogeneous,
+        # outside the platform class of every frontier-capable solver
+        assert {family for family, _ in covered} == (
+            set(ALL_FAMILIES) - {"heterogeneous-links"}
+        )
+
+
+class TestInfeasibleKnee:
+    @given(
+        family=st.sampled_from(ALL_FAMILIES),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_query_below_the_knee_matches_direct_infeasibility(
+        self, family, seed
+    ):
+        """A threshold below anything achievable: the extracted result must
+        carry the same feasibility flag — and, for the exact solvers, the
+        same infeasibility details — as the direct path."""
+        scenario = generate_scenarios(1, family, seed=seed)[0]
+        app, platform = scenario.application, scenario.platform
+        names = [n for n in FRONTIER_SOLVERS if _applicable(n, app, platform)]
+        assume(names)
+        p_lb, _, latency_opt = _anchors(app, platform)
+        for name in names:
+            solver = get_solver(name)
+            if solver.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+                below = max(0.25 * p_lb, 1e-6)
+            else:
+                below = max(0.5 * latency_opt, 1e-6)
+            _, (from_frontier,), _ = frontier_solve(
+                solver, app, platform, [below]
+            )
+            direct = solver.solve(app, platform, _request(solver, below))
+            assert from_frontier.feasible == direct.feasible
+            assert from_frontier.identity() == direct.identity()
+            if name in MONOTONE_SOLVERS and below < p_lb * (1 - _MARGIN):
+                # exact period solvers cannot beat the period lower bound
+                if solver.objective == Objective.MIN_LATENCY_FOR_PERIOD:
+                    assert not from_frontier.feasible
+
+
+class TestFrontierShape:
+    def _small_scenarios(self):
+        for family in ALL_FAMILIES:
+            for seed in range(6):
+                scenario = generate_scenarios(1, family, seed=seed)[0]
+                app, platform = scenario.application, scenario.platform
+                if (
+                    app.n_stages <= _BF_MAX_STAGES
+                    and platform.n_processors <= _BF_MAX_PROCS
+                ):
+                    yield app, platform
+
+    def test_extracted_curves_are_monotone_and_never_beat_the_front(self):
+        """Walking the threshold grid upward, extraction moves monotonically
+        along the recorded curve; against the exact Pareto front, heuristics
+        never win and the exact DPs sit on it."""
+        n_checked = 0
+        for app, platform in self._small_scenarios():
+            front = brute_force_pareto_front(app, platform)
+            names = [
+                n for n in FRONTIER_SOLVERS if _applicable(n, app, platform)
+            ]
+            for name in names:
+                solver = get_solver(name)
+                if solver.objective != Objective.MIN_LATENCY_FOR_PERIOD:
+                    continue
+                lo, hi = _threshold_range(solver, app, platform)
+                grid = _thresholds(lo, hi, [i / 9 for i in range(10)])
+                _, extracted, _ = frontier_solve(solver, app, platform, grid)
+                feasible = [r.feasible for r in extracted]
+                # feasibility is monotone in the threshold
+                assert feasible == sorted(feasible)
+                achieved = [r for r in extracted if r.feasible]
+                for a, b in zip(achieved, achieved[1:]):
+                    # a looser threshold never forces a tighter period
+                    assert a.period <= b.period * (1 + _REL)
+                for threshold, result in zip(grid, extracted):
+                    if not result.feasible:
+                        continue
+                    assert result.period <= threshold * (1 + _REL)
+                    best = min(
+                        (
+                            point.latency
+                            for point in front
+                            if point.period <= threshold * (1 + _MARGIN)
+                        ),
+                        default=None,
+                    )
+                    assert best is not None, (
+                        f"{name}: feasible at {threshold!r} where the exact "
+                        f"front has no point"
+                    )
+                    # never non-dominated *past* the optimal front
+                    assert result.latency >= best * (1 - _LOOSE_REL)
+                    if name in MONOTONE_SOLVERS:
+                        # the exact solvers' points lie on the front
+                        assert result.latency <= best * (1 + _LOOSE_REL)
+                    n_checked += 1
+        assert n_checked > 0

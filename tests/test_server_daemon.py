@@ -290,6 +290,63 @@ class TestDrain:
             ServiceClient(sock)
 
 
+class TestFrontierCoalescing:
+    def test_distinct_thresholds_coalesce_onto_one_frontier_solve(
+        self, tmp_path, instances
+    ):
+        """Concurrent same-instance requests differing only in threshold
+        land in one group and are answered by a single frontier solve,
+        byte-identical to the per-threshold path."""
+        bounds = [8.0, 10.0, 12.0, 14.0]
+        reference = [
+            solve_many(
+                [(instances[0].application, instances[0].platform)],
+                [SOLVER],
+                period_bound=bound,
+            ).results[0][0].identity()
+            for bound in bounds
+        ]
+        sock = _socket(tmp_path)
+        results = [None] * len(bounds)
+        host = DaemonThread(
+            DaemonConfig(socket_path=sock, window=0.25)
+        ).start()
+        try:
+            barrier = threading.Barrier(len(bounds))
+
+            def _one(slot: int) -> None:
+                with ServiceClient(sock) as client:
+                    barrier.wait()
+                    results[slot] = client.solve(
+                        instances[0].application,
+                        instances[0].platform,
+                        SOLVER,
+                        period_bound=bounds[slot],
+                    )
+
+            threads = [
+                threading.Thread(target=_one, args=(slot,))
+                for slot in range(len(bounds))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            with ServiceClient(sock) as client:
+                stats = client.stats()
+        finally:
+            host.stop()
+        for slot, result in enumerate(results):
+            assert result is not None
+            assert result.identity() == reference[slot]
+        frontier = stats["frontier"]
+        assert frontier["n_groups"] >= 1
+        assert frontier["n_thresholds"] == len(bounds)
+        # the histogram records how many thresholds each frontier solve
+        # answered; all four rode one group here
+        assert frontier["group_sizes"] == {str(len(bounds)): 1}
+
+
 class TestStatsEndpoint:
     def test_stats_surface_cache_and_batch_histogram(self, tmp_path, instances):
         sock = _socket(tmp_path)
@@ -316,3 +373,9 @@ class TestStatsEndpoint:
         assert requests["n_tasks"] == 2 * len(instances)
         assert requests["n_cache_hits"] >= len(instances)
         assert stats["cache_entries"] == len(instances)
+        # the frontier counters sit next to the batch histogram even when
+        # no group formed (every spec here shares one threshold)
+        frontier = stats["frontier"]
+        assert frontier["n_groups"] == 0
+        assert frontier["n_thresholds"] == 0
+        assert frontier["group_sizes"] == {}
